@@ -1,0 +1,306 @@
+package origin
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation (plus the ablations), so that
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result. Each benchmark prints its experiment's table on
+// the first iteration and reports the headline scalar as a custom metric,
+// so the bench log doubles as the reproduction artefact. Benchmarks use
+// shortened (but still statistically meaningful) stream lengths; the
+// cmd/origin-experiments binary runs the full-length versions.
+
+import (
+	"testing"
+
+	"origin/internal/experiments"
+)
+
+func benchSystem(b *testing.B) *experiments.System {
+	b.Helper()
+	return experiments.BuildSystem("MHEALTH")
+}
+
+var benchSweep = experiments.SweepConfig{Slots: 4000, Seeds: []int64{3, 17}}
+
+// BenchmarkFig1a regenerates the naive-concurrent completion breakdown
+// (paper: 1% all / 9% ≥1 / 90% failed).
+func BenchmarkFig1a(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(sys, experiments.Fig1Config{Slots: 3000, Seed: 1})
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*r.NaiveAtLeastOne, "naive-atleast1-%")
+		}
+	}
+}
+
+// BenchmarkFig1b regenerates the RR3 completion breakdown (paper: 28/72).
+func BenchmarkFig1b(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(sys, experiments.Fig1Config{Slots: 3000, Seed: 1})
+		if i == 0 {
+			b.ReportMetric(100*r.RR3Succeeded, "rr3-succeeded-%")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the per-sensor / majority-vote accuracy table.
+func BenchmarkFig2(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(sys, experiments.Fig2Config{WindowsPerClass: 120, Seed: 1})
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the ER-r vs AAS sweep.
+func BenchmarkFig4(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(sys, benchSweep)
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkFig5a regenerates the MHEALTH policy sweep vs baselines.
+func BenchmarkFig5a(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig5(sys, benchSweep)
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*r.Cell(12, experiments.PolicyOrigin).Overall, "rr12-origin-%")
+			b.ReportMetric(100*r.B2Overall, "bl2-%")
+		}
+	}
+}
+
+// BenchmarkFig5b regenerates the PAMAP2 policy sweep vs baselines.
+func BenchmarkFig5b(b *testing.B) {
+	sys := experiments.BuildSystem("PAMAP2")
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig5(sys, benchSweep)
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*r.Cell(12, experiments.PolicyOrigin).Overall, "rr12-origin-%")
+			b.ReportMetric(100*r.B2Overall, "bl2-%")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the unseen-user adaptation curves (shortened to
+// 300 iterations; the paper's full 1000 runs in cmd/origin-experiments).
+func BenchmarkFig6(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig6(sys, experiments.Fig6Config{Iterations: 300})
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*r.Base, "base-%")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the RR12-Origin vs baselines comparison.
+func BenchmarkTable1(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1(sys, benchSweep)
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*(r.OriginOverall-r.BL2Overall), "origin-vs-bl2-points")
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract's claim (paper: 83.88% vs
+// 81.16%, ≥ +2.5 points).
+func BenchmarkHeadline(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunHeadline(sys, benchSweep)
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.Advantage, "advantage-points")
+		}
+	}
+}
+
+// BenchmarkAblationNVP quantifies checkpointed forward progress.
+func BenchmarkAblationNVP(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationNVP(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationRecall isolates recall and aggregation.
+func BenchmarkAblationRecall(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationRecall(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationAdaptive freezes the confidence matrix for an unseen user.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationAdaptive(sys, 8000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationWeighting compares the §III-C aggregation rules.
+func BenchmarkAblationWeighting(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationWeighting(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationRRWidth sweeps Origin beyond RR12.
+func BenchmarkAblationRRWidth(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationRRWidth(sys, 2400, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationRecallDecay explores age-decayed recall weights.
+func BenchmarkAblationRecallDecay(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationRecallDecay(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationComm stresses the wireless links.
+func BenchmarkAblationComm(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationComm(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationPower compares EH-only, hybrid and battery supplies.
+func BenchmarkAblationPower(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationPower(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationQuantization quantizes the deployed weights.
+func BenchmarkAblationQuantization(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationQuantization(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkCentralized compares Origin with the centralized fusion DNN
+// (the Discussion's failure-robustness argument).
+func BenchmarkCentralized(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCentralized(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*(r.OriginFailed-r.CentralFailed), "failure-margin-points")
+		}
+	}
+}
+
+// BenchmarkAblationCheckpoint compares NVP checkpoint granularities.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationCheckpoint(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkAblationScheduling brackets AAS between Random and Oracle.
+func BenchmarkAblationScheduling(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationScheduling(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}
+
+// BenchmarkExtendedNetwork scales the body-area network to five sensors
+// (the paper's footnote 1 extension) at matched inference duty.
+func BenchmarkExtendedNetwork(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunExtendedNetwork(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkBatteryLife quantifies the introduction's battery-life claim on
+// hybrid nodes.
+func BenchmarkBatteryLife(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunBatteryLife(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.LifetimeFactor, "lifetime-x")
+		}
+	}
+}
+
+// BenchmarkAblationAdaptiveWidth compares fixed RR12 with energy-adaptive
+// pacing on scarce and rich supplies (§IV's closing remark).
+func BenchmarkAblationAdaptiveWidth(b *testing.B) {
+	sys := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationAdaptiveWidth(sys, 4000, 3)
+		if i == 0 {
+			b.Logf("\n%s", a)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command origin-experiments regenerates every table and figure of the
+// paper's evaluation section (and the ablations) from the trained systems.
+//
+//	origin-experiments                      # everything, full length
+//	origin-experiments -run fig5 -profile PAMAP2
+//	origin-experiments -run table1 -slots 12000 -seeds 3,17,91
+//
+// The first invocation trains the per-sensor networks (a minute or two);
+// subsequent runs load them from the model cache (see -cache).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"origin/internal/experiments"
+	"origin/internal/report"
+)
+
+func main() {
+	var (
+		format  = flag.String("format", "text", "output format: text|markdown|csv (markdown/csv cover fig1, fig2, fig5, table1, fig6, ablations)")
+		run     = flag.String("run", "all", "experiment: fig1|fig2|fig4|fig5|fig6|table1|headline|ablations|extension|battery|centralized|all")
+		profile = flag.String("profile", "MHEALTH", "dataset profile: MHEALTH or PAMAP2 (fig5 always runs both panels under -run all)")
+		slots   = flag.Int("slots", 8000, "simulated scheduler slots per run (250 ms each)")
+		seeds   = flag.String("seeds", "3,17,91", "comma-separated seeds to average over")
+		iters   = flag.Int("iterations", 1000, "Fig. 6 iterations (10 classifications each)")
+		cache   = flag.String("cache", "", "model cache directory (default: $ORIGIN_CACHE or system temp)")
+		outDir  = flag.String("out", "", "also write each table to <out>/<name>.{md|csv|txt}")
+	)
+	flag.Parse()
+	if *cache != "" {
+		os.Setenv("ORIGIN_CACHE", *cache)
+	}
+
+	sweep := experiments.SweepConfig{Slots: *slots, Seeds: parseSeeds(*seeds)}
+	sys := experiments.BuildSystem(*profile)
+	fmt.Printf("system: %s  trace mean %.1f µW  B2 budget %d MACs\n\n",
+		*profile, sys.TraceMeanW*1e6, sys.B2BudgetMACs)
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	outFmt := map[string]report.Format{"text": report.Text, "markdown": report.Markdown, "csv": report.CSV}[*format]
+	ext := map[report.Format]string{report.Text: "txt", report.Markdown: "md", report.CSV: "csv"}[outFmt]
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "origin-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fileCount := 0
+	emit := func(t *report.Table) {
+		if err := t.Write(os.Stdout, outFmt); err != nil {
+			fmt.Fprintf(os.Stderr, "origin-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *outDir == "" {
+			return
+		}
+		fileCount++
+		path := filepath.Join(*outDir, fmt.Sprintf("%02d.%s", fileCount, ext))
+		f, err := os.Create(path)
+		if err == nil {
+			err = t.Write(f, outFmt)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "origin-experiments: write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	if want("fig1") {
+		emit(report.Fig1Table(experiments.RunFig1(sys, experiments.Fig1Config{Slots: *slots, Seed: sweep.Seeds[0]})))
+	}
+	if want("fig2") {
+		emit(report.Fig2Table(experiments.RunFig2(sys, experiments.Fig2Config{WindowsPerClass: 200, Seed: 1})))
+	}
+	if want("fig4") {
+		fmt.Println(experiments.RunFig4(sys, sweep))
+	}
+	if want("fig5") {
+		emit(report.Fig5Table(experiments.RunFig5(sys, sweep)))
+		if *run == "all" && *profile == "MHEALTH" {
+			emit(report.Fig5Table(experiments.RunFig5(experiments.BuildSystem("PAMAP2"), sweep)))
+		}
+	}
+	if want("table1") {
+		emit(report.Table1Table(experiments.RunTable1(sys, sweep)))
+	}
+	if want("headline") {
+		fmt.Println(experiments.RunHeadline(sys, sweep))
+	}
+	if want("fig6") {
+		emit(report.Fig6Table(experiments.RunFig6(sys, experiments.Fig6Config{Iterations: *iters})))
+	}
+	if *run == "extension" {
+		fmt.Println(experiments.RunExtendedNetwork(sys, *slots, sweep.Seeds[0]))
+	}
+	if *run == "battery" {
+		fmt.Println(experiments.RunBatteryLife(sys, *slots, sweep.Seeds[0]))
+	}
+	if *run == "centralized" {
+		fmt.Println(experiments.RunCentralized(sys, *slots, sweep.Seeds[0]))
+	}
+	if want("ablations") {
+		seed := sweep.Seeds[0]
+		emit(report.AblationTable(experiments.RunAblationNVP(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationRecall(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationAdaptive(sys, 12000, seed)))
+		emit(report.AblationTable(experiments.RunAblationWeighting(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationCheckpoint(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationScheduling(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationAdaptiveWidth(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationRRWidth(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationRecallDecay(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationComm(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationPower(sys, *slots, seed)))
+		emit(report.AblationTable(experiments.RunAblationQuantization(sys, *slots, seed)))
+		fmt.Println(experiments.RunCentralized(sys, *slots, seed))
+		fmt.Println(experiments.RunExtendedNetwork(sys, *slots, seed))
+		fmt.Println(experiments.RunBatteryLife(sys, *slots, seed))
+	}
+}
+
+func parseSeeds(s string) []int64 {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "origin-experiments: bad seed %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		out = []int64{3}
+	}
+	return out
+}

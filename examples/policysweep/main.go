@@ -1,0 +1,27 @@
+// Policysweep: the paper's Fig. 5 experiment in miniature — sweep the
+// extended-round-robin width across AAS, AASR and Origin, and place the
+// fully-powered baselines next to them.
+//
+//	go run ./examples/policysweep
+package main
+
+import (
+	"fmt"
+
+	"origin"
+)
+
+func main() {
+	fmt.Println("Origin policy sweep example — Fig. 5 in miniature")
+	cfg := origin.SweepConfig{Slots: 4000, Seeds: []int64{3, 17}}
+
+	for _, profile := range []string{"MHEALTH", "PAMAP2"} {
+		sys := origin.BuildSystem(profile)
+		fmt.Println(origin.RunFig5(sys, cfg))
+	}
+
+	fmt.Println("Reading the tables: accuracy rises with the round-robin width")
+	fmt.Println("(more harvesting per inference → more completions), Origin tops AASR")
+	fmt.Println("tops AAS at every width, and RR12-Origin — on harvested energy —")
+	fmt.Println("beats the fully-powered Baseline-2.")
+}

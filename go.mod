@@ -1,0 +1,3 @@
+module origin
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package comm models the low-rate wireless links of the body-area
+// network: the BLE/WiFi uplink that carries few-byte classification results
+// from the sensor nodes to the host, and the downlink that carries
+// activation signals (the AAS "external signal" of §III-B) back to the
+// nodes.
+//
+// The paper's introduction motivates Origin partly by "intermittent
+// coordination failures" when nodes or the fusing device lack energy at the
+// moment communication is required; this package makes those failures an
+// explicit, controllable part of the simulation — messages take time and
+// are sometimes lost — so the robustness of recall-based aggregation can be
+// measured rather than assumed (see the communication ablation bench).
+//
+// Links are deterministic for a fixed seed. The zero Config is a perfect
+// link: zero latency, zero loss.
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config describes one unidirectional link.
+type Config struct {
+	// LatencyTicks is the delivery delay in simulator ticks (10 ms each).
+	LatencyTicks int
+	// DropRate is the per-message loss probability in [0, 1).
+	DropRate float64
+	// Seed drives the loss process deterministically.
+	Seed int64
+}
+
+// Stats is cumulative link telemetry.
+type Stats struct {
+	// Sent counts Send calls; Dropped the messages lost in flight;
+	// Delivered the messages handed out by Deliver.
+	Sent, Dropped, Delivered int
+}
+
+// Link is a unidirectional, lossy, delayed message channel carrying
+// payloads of type T. Not safe for concurrent use; the simulator drives it
+// from a single goroutine.
+type Link[T any] struct {
+	cfg   Config
+	rng   *rand.Rand
+	queue []envelope[T]
+	seq   int
+	stats Stats
+}
+
+type envelope[T any] struct {
+	deliverAt int
+	seq       int
+	payload   T
+}
+
+// NewLink builds a link from cfg.
+func NewLink[T any](cfg Config) *Link[T] {
+	if cfg.LatencyTicks < 0 {
+		panic(fmt.Sprintf("comm: negative latency %d", cfg.LatencyTicks))
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		panic(fmt.Sprintf("comm: drop rate %v outside [0,1)", cfg.DropRate))
+	}
+	return &Link[T]{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Send enqueues a message at tick now. It returns false if the message was
+// lost in flight (the sender does not know — the return value is for
+// telemetry and tests, not protocol feedback).
+func (l *Link[T]) Send(now int, payload T) bool {
+	l.stats.Sent++
+	if l.cfg.DropRate > 0 && l.rng.Float64() < l.cfg.DropRate {
+		l.stats.Dropped++
+		return false
+	}
+	l.queue = append(l.queue, envelope[T]{
+		deliverAt: now + l.cfg.LatencyTicks,
+		seq:       l.seq,
+		payload:   payload,
+	})
+	l.seq++
+	return true
+}
+
+// Deliver returns every message whose delivery time has arrived by tick
+// now, in send order, removing them from the link.
+func (l *Link[T]) Deliver(now int) []T {
+	if len(l.queue) == 0 {
+		return nil
+	}
+	var due []envelope[T]
+	rest := l.queue[:0]
+	for _, e := range l.queue {
+		if e.deliverAt <= now {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	l.queue = rest
+	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	out := make([]T, len(due))
+	for i, e := range due {
+		out[i] = e.payload
+	}
+	l.stats.Delivered += len(out)
+	return out
+}
+
+// Pending returns the number of in-flight messages.
+func (l *Link[T]) Pending() int { return len(l.queue) }
+
+// Stats returns cumulative telemetry.
+func (l *Link[T]) Stats() Stats { return l.stats }
+
+// Activation is the downlink payload: the AAS external signal telling a
+// sensor to start an inference.
+type Activation struct {
+	// Sensor is the target node id.
+	Sensor int
+	// Slot is the scheduler slot the activation belongs to.
+	Slot int
+}

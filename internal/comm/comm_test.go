@@ -1,0 +1,139 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectLinkDeliversImmediately(t *testing.T) {
+	l := NewLink[int](Config{})
+	l.Send(0, 42)
+	got := l.Deliver(0)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Deliver = %v", got)
+	}
+	if l.Pending() != 0 {
+		t.Fatal("pending after delivery")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	l := NewLink[string](Config{LatencyTicks: 5})
+	l.Send(10, "a")
+	if got := l.Deliver(14); len(got) != 0 {
+		t.Fatalf("delivered early: %v", got)
+	}
+	if got := l.Deliver(15); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Deliver at latency = %v", got)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	l := NewLink[int](Config{LatencyTicks: 2})
+	for i := 0; i < 10; i++ {
+		l.Send(i, i)
+	}
+	var got []int
+	for now := 0; now < 20; now++ {
+		got = append(got, l.Deliver(now)...)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d of 10", len(got))
+	}
+}
+
+func TestDropRateLosesRoughlyThatFraction(t *testing.T) {
+	l := NewLink[int](Config{DropRate: 0.3, Seed: 1})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		l.Send(i, i)
+	}
+	st := l.Stats()
+	frac := float64(st.Dropped) / float64(st.Sent)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("drop fraction = %v, want ≈0.3", frac)
+	}
+}
+
+func TestDropDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) []bool {
+		l := NewLink[int](Config{DropRate: 0.5, Seed: seed})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = l.Send(i, i)
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should drop the same messages")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{{LatencyTicks: -1}, {DropRate: 1.0}, {DropRate: -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", bad)
+				}
+			}()
+			NewLink[int](bad)
+		}()
+	}
+}
+
+// prop: conservation — sent == dropped + delivered + pending at all times.
+func TestConservationQuick(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		l := NewLink[int](Config{LatencyTicks: 3, DropRate: 0.25, Seed: seed})
+		now := 0
+		for _, op := range ops {
+			if op%3 == 0 {
+				l.Deliver(now)
+			} else {
+				l.Send(now, int(op))
+			}
+			now++
+		}
+		st := l.Stats()
+		return st.Sent == st.Dropped+st.Delivered+l.Pending()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prop: nothing is ever delivered before its latency has elapsed.
+func TestNoEarlyDeliveryQuick(t *testing.T) {
+	f := func(seed int64, lat uint8) bool {
+		latency := int(lat%20) + 1
+		l := NewLink[int](Config{LatencyTicks: latency, Seed: seed})
+		sendAt := 5
+		l.Send(sendAt, 1)
+		for now := 0; now < sendAt+latency; now++ {
+			if len(l.Deliver(now)) != 0 {
+				return false
+			}
+		}
+		return len(l.Deliver(sendAt+latency)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	l := NewLink[int](Config{LatencyTicks: 2, DropRate: 0.1, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		l.Send(i, i)
+		l.Deliver(i)
+	}
+}

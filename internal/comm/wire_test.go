@@ -1,0 +1,107 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResultWireRoundTrip(t *testing.T) {
+	m := WireResult{Sensor: 2, Class: 5, Confidence: 0.1234, Seq: 40000}
+	b, err := EncodeResult(m)
+	if err != nil {
+		t.Fatalf("EncodeResult: %v", err)
+	}
+	back := DecodeResult(b)
+	if back.Sensor != m.Sensor || back.Class != m.Class || back.Seq != m.Seq {
+		t.Fatalf("round trip = %+v, want %+v", back, m)
+	}
+	// Confidence survives within quantisation error.
+	if math.Abs(back.Confidence-m.Confidence) > ConfidenceScale/65535+1e-12 {
+		t.Fatalf("confidence %v -> %v", m.Confidence, back.Confidence)
+	}
+}
+
+func TestResultWireClampsConfidence(t *testing.T) {
+	for _, conf := range []float64{-1, math.NaN(), 5} {
+		b, err := EncodeResult(WireResult{Sensor: 0, Class: 0, Confidence: conf})
+		if err != nil {
+			t.Fatalf("EncodeResult(%v): %v", conf, err)
+		}
+		got := DecodeResult(b).Confidence
+		if got < 0 || got > ConfidenceScale {
+			t.Fatalf("decoded confidence %v out of range", got)
+		}
+	}
+}
+
+func TestResultWireValidation(t *testing.T) {
+	if _, err := EncodeResult(WireResult{Class: 300}); err == nil {
+		t.Fatal("accepted class 300")
+	}
+	if _, err := EncodeResult(WireResult{Sensor: 64}); err == nil {
+		t.Fatal("accepted sensor 64")
+	}
+}
+
+func TestActivationWireRoundTrip(t *testing.T) {
+	a := Activation{Sensor: 1, Slot: 12345}
+	b, err := EncodeActivation(a)
+	if err != nil {
+		t.Fatalf("EncodeActivation: %v", err)
+	}
+	back := DecodeActivation(b)
+	if back != a {
+		t.Fatalf("round trip = %+v, want %+v", back, a)
+	}
+	if _, err := EncodeActivation(Activation{Sensor: 300}); err == nil {
+		t.Fatal("accepted sensor 300")
+	}
+	if _, err := EncodeActivation(Activation{Slot: -1}); err == nil {
+		t.Fatal("accepted negative slot")
+	}
+}
+
+func TestActivationSlotWraps(t *testing.T) {
+	b, err := EncodeActivation(Activation{Sensor: 0, Slot: 70000})
+	if err != nil {
+		t.Fatalf("EncodeActivation: %v", err)
+	}
+	if got := DecodeActivation(b).Slot; got != 70000%65536 {
+		t.Fatalf("slot = %d, want %d", got, 70000%65536)
+	}
+}
+
+// prop: every valid message round-trips losslessly apart from the bounded
+// confidence quantisation.
+func TestResultWireRoundTripQuick(t *testing.T) {
+	f := func(sensor, class, seq uint16, conf float64) bool {
+		m := WireResult{
+			Sensor:     int(sensor % 64),
+			Class:      int(class % 256),
+			Confidence: math.Abs(math.Mod(conf, ConfidenceScale)),
+			Seq:        int(seq),
+		}
+		if math.IsNaN(m.Confidence) {
+			m.Confidence = 0
+		}
+		b, err := EncodeResult(m)
+		if err != nil {
+			return false
+		}
+		back := DecodeResult(b)
+		return back.Sensor == m.Sensor && back.Class == m.Class && back.Seq == m.Seq &&
+			math.Abs(back.Confidence-m.Confidence) <= ConfidenceScale/65535+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireSizeMatchesEnergyAccounting pins the codec size to the radio
+// energy model's assumption.
+func TestWireSizeMatchesEnergyAccounting(t *testing.T) {
+	if ResultWireBytes != 6 {
+		t.Fatalf("result wire size = %d; sensor.ResultMessageBytes assumes 6", ResultWireBytes)
+	}
+}

@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"testing"
+
+	"origin/internal/dnn"
+	"origin/internal/synth"
+)
+
+// TestCalibrationReport trains one net per location and logs the full
+// per-(sensor, activity) accuracy table — the reproduction's analogue of
+// the paper's Fig. 2 inputs. Run with -v to see the table. It asserts only
+// the weak structural properties the rest of the system depends on.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	p := synth.MHEALTHProfile()
+	per := make([][]float64, synth.NumLocations)
+	overall := make([]float64, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		samples := Make(Config{Profile: p, User: synth.NewUser(0), Location: loc, PerClass: 60, Seed: 31 + int64(loc)})
+		train, test := Split(samples, 0.75, 6)
+		net := dnn.NewHARNetwork(newRand(41+int64(loc)), dnn.DefaultHARConfig(synth.Channels, Window, p.NumClasses()))
+		cfg := dnn.DefaultTrainConfig()
+		cfg.Epochs = 25
+		dnn.Train(net, train, cfg)
+		per[loc], overall[loc] = dnn.EvaluatePerClass(net, test, p.NumClasses())
+	}
+	for _, loc := range synth.Locations() {
+		t.Logf("%-12s overall=%.3f", loc, overall[loc])
+		for c, a := range per[loc] {
+			t.Logf("    %-10s %.3f", p.Activities[c], a)
+		}
+	}
+	// Structural property 1: the ankle is the best overall sensor (Fig. 2).
+	if overall[synth.LeftAnkle] < overall[synth.Chest] || overall[synth.LeftAnkle] < overall[synth.RightWrist] {
+		t.Errorf("ankle should be the strongest sensor overall: chest=%.3f ankle=%.3f wrist=%.3f",
+			overall[synth.Chest], overall[synth.LeftAnkle], overall[synth.RightWrist])
+	}
+	// Structural property 2: the chest beats the ankle at climbing (§III-C's
+	// motivating inversion for the confidence matrix).
+	climb := p.ActivityIndex("Climbing")
+	if per[synth.Chest][climb] <= per[synth.LeftAnkle][climb] {
+		t.Errorf("chest (%.3f) should beat ankle (%.3f) at climbing",
+			per[synth.Chest][climb], per[synth.LeftAnkle][climb])
+	}
+	// Structural property 3: no sensor is so strong that ensembling is moot.
+	for _, loc := range synth.Locations() {
+		if overall[loc] > 0.97 {
+			t.Errorf("%s accuracy %.3f is too high — weak-classifier regime required", loc, overall[loc])
+		}
+		if overall[loc] < 0.5 {
+			t.Errorf("%s accuracy %.3f is too low to be a useful weak classifier", loc, overall[loc])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"origin/internal/dnn"
+	"origin/internal/synth"
+	"origin/internal/tensor"
+)
+
+// MHEALTH subject-log interchange. The real MHEALTH dataset ships one
+// whitespace-separated log per subject with 24 columns at 50 Hz:
+//
+//	 1–3   chest acceleration (x, y, z)
+//	 4–5   ECG leads (unused here)
+//	 6–8   left-ankle acceleration
+//	 9–11  left-ankle gyroscope
+//	12–14  left-ankle magnetometer (unused here)
+//	15–17  right-lower-arm acceleration
+//	18–20  right-lower-arm gyroscope
+//	21–23  right-lower-arm magnetometer (unused here)
+//	24     activity label (0 = null class)
+//
+// This file reads that exact format into per-location labelled windows and
+// writes synthetic streams back out in it, so a real recording can replace
+// the synthetic substrate without touching any other code. The real chest
+// unit has no gyroscope; its three gyro channels are zero-filled on load
+// and zero-written on export, which the per-location networks tolerate
+// (they are trained per location).
+
+// mhealthLabel maps our activity names to the MHEALTH label ids.
+var mhealthLabel = map[string]int{
+	"Walking":  4,
+	"Climbing": 5, // "climbing stairs"
+	"Cycling":  9,
+	"Jogging":  10,
+	"Running":  11,
+	"Jumping":  12, // "jump front & back"
+}
+
+// MHEALTHColumns is the column count of a subject log.
+const MHEALTHColumns = 24
+
+// WriteMHEALTHLog renders a labelled synthetic stream as an MHEALTH
+// subject log: for every slot of the timeline it synthesises aligned
+// windows at all three locations and emits their samples row by row.
+// Only the window's samples are written (one window per segment-slot would
+// duplicate time), so the stream is continuous at 50 Hz.
+func WriteMHEALTHLog(w io.Writer, p *synth.Profile, u *synth.User, timeline []int, window int, seed int64) error {
+	gens := make([]*synth.Generator, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		gens[loc] = synth.NewGenerator(p, u, window, seed+int64(loc)*31)
+	}
+	bodyRng := rand.New(rand.NewSource(seed + 555))
+	bw := bufio.NewWriter(w)
+	for _, act := range timeline {
+		if act < 0 || act >= p.NumClasses() {
+			return fmt.Errorf("dataset: timeline activity %d out of range", act)
+		}
+		label, ok := mhealthLabel[p.Activities[act]]
+		if !ok {
+			return fmt.Errorf("dataset: activity %q has no MHEALTH label", p.Activities[act])
+		}
+		st := synth.DrawBodyState(bodyRng)
+		var wins [synth.NumLocations]*tensor.Tensor
+		for _, loc := range synth.Locations() {
+			wins[loc] = gens[loc].WindowWithState(act, loc, st)
+		}
+		for t := 0; t < window; t++ {
+			cols := make([]string, 0, MHEALTHColumns)
+			ch := func(loc synth.Location, c int) string {
+				return strconv.FormatFloat(wins[loc].At(c, t), 'f', 4, 64)
+			}
+			// chest acc x y z
+			cols = append(cols, ch(synth.Chest, 0), ch(synth.Chest, 1), ch(synth.Chest, 2))
+			// ECG ×2 (not modelled)
+			cols = append(cols, "0.0000", "0.0000")
+			// left ankle acc + gyro
+			cols = append(cols, ch(synth.LeftAnkle, 0), ch(synth.LeftAnkle, 1), ch(synth.LeftAnkle, 2))
+			cols = append(cols, ch(synth.LeftAnkle, 3), ch(synth.LeftAnkle, 4), ch(synth.LeftAnkle, 5))
+			// left ankle magnetometer (not modelled)
+			cols = append(cols, "0.0000", "0.0000", "0.0000")
+			// right arm acc + gyro
+			cols = append(cols, ch(synth.RightWrist, 0), ch(synth.RightWrist, 1), ch(synth.RightWrist, 2))
+			cols = append(cols, ch(synth.RightWrist, 3), ch(synth.RightWrist, 4), ch(synth.RightWrist, 5))
+			// right arm magnetometer (not modelled)
+			cols = append(cols, "0.0000", "0.0000", "0.0000")
+			cols = append(cols, strconv.Itoa(label))
+			if _, err := bw.WriteString(strings.Join(cols, "\t") + "\n"); err != nil {
+				return fmt.Errorf("dataset: write mhealth row: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMHEALTHLog parses a subject log into per-location labelled windows of
+// the given length: rows are grouped into consecutive windows of a single
+// activity (windows spanning a label change or the null class are
+// discarded, the standard MHEALTH protocol). The result is indexed by
+// synth.Location; every location holds the same number of samples with
+// identical labels.
+func ReadMHEALTHLog(r io.Reader, p *synth.Profile, window int) ([][]dnn.Sample, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dataset: invalid window %d", window)
+	}
+	// Reverse label map.
+	toClass := map[int]int{}
+	for name, id := range mhealthLabel {
+		if c := p.ActivityIndex(name); c >= 0 {
+			toClass[id] = c
+		}
+	}
+
+	out := make([][]dnn.Sample, synth.NumLocations)
+	var rows [][]float64
+	var labels []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != MHEALTHColumns {
+			return nil, fmt.Errorf("dataset: mhealth line %d has %d columns, want %d", line, len(fields), MHEALTHColumns)
+		}
+		vals := make([]float64, MHEALTHColumns-1)
+		for i := 0; i < MHEALTHColumns-1; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: mhealth line %d col %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		label, err := strconv.Atoi(fields[MHEALTHColumns-1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: mhealth line %d label: %w", line, err)
+		}
+		rows = append(rows, vals)
+		labels = append(labels, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: mhealth scan: %w", err)
+	}
+
+	// Column offsets per (location, channel): chest gyro is absent (−1).
+	colOf := [synth.NumLocations][synth.Channels]int{
+		synth.Chest:      {0, 1, 2, -1, -1, -1},
+		synth.LeftAnkle:  {5, 6, 7, 8, 9, 10},
+		synth.RightWrist: {14, 15, 16, 17, 18, 19},
+	}
+
+	for start := 0; start+window <= len(rows); start += window {
+		label := labels[start]
+		class, known := toClass[label]
+		if !known {
+			continue // null class or unmapped activity
+		}
+		uniform := true
+		for t := start; t < start+window; t++ {
+			if labels[t] != label {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			continue
+		}
+		for _, loc := range synth.Locations() {
+			x := tensor.New(synth.Channels, window)
+			for c := 0; c < synth.Channels; c++ {
+				col := colOf[loc][c]
+				if col < 0 {
+					continue // zero-filled channel
+				}
+				for t := 0; t < window; t++ {
+					x.Set(rows[start+t][col], c, t)
+				}
+			}
+			out[loc] = append(out[loc], dnn.Sample{X: x, Label: class})
+		}
+	}
+	return out, nil
+}
+
+// WriteMHEALTHFile writes a subject log to path.
+func WriteMHEALTHFile(path string, p *synth.Profile, u *synth.User, timeline []int, window int, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	if err := WriteMHEALTHLog(f, p, u, timeline, window, seed); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMHEALTHFile reads a subject log from path.
+func ReadMHEALTHFile(path string, p *synth.Profile, window int) ([][]dnn.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadMHEALTHLog(f, p, window)
+}

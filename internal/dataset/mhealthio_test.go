@@ -1,0 +1,197 @@
+package dataset
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"origin/internal/dnn"
+
+	"origin/internal/synth"
+)
+
+func TestMHEALTHRoundTrip(t *testing.T) {
+	p := synth.MHEALTHProfile()
+	u := synth.NewUser(0)
+	// 12 window-slots of activity: 4 walking, 4 cycling, 4 jumping.
+	walk := p.ActivityIndex("Walking")
+	cyc := p.ActivityIndex("Cycling")
+	jump := p.ActivityIndex("Jumping")
+	timeline := []int{walk, walk, walk, walk, cyc, cyc, cyc, cyc, jump, jump, jump, jump}
+
+	var buf bytes.Buffer
+	if err := WriteMHEALTHLog(&buf, p, u, timeline, 32, 7); err != nil {
+		t.Fatalf("WriteMHEALTHLog: %v", err)
+	}
+	// 12 slots × 32 samples = 384 rows of 24 columns.
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 384 {
+		t.Fatalf("rows = %d, want 384", lines)
+	}
+
+	sets, err := ReadMHEALTHLog(&buf, p, 32)
+	if err != nil {
+		t.Fatalf("ReadMHEALTHLog: %v", err)
+	}
+	for _, loc := range synth.Locations() {
+		if len(sets[loc]) != 12 {
+			t.Fatalf("%s windows = %d, want 12", loc, len(sets[loc]))
+		}
+	}
+	// Labels round-trip in order.
+	for i, want := range timeline {
+		for _, loc := range synth.Locations() {
+			if got := sets[loc][i].Label; got != want {
+				t.Fatalf("%s window %d label = %d, want %d", loc, i, got, want)
+			}
+		}
+	}
+	// The ankle's gyro channels carry signal; the chest's are zero-filled
+	// (the real MHEALTH chest unit has no gyroscope).
+	ankle := sets[synth.LeftAnkle][0].X
+	gyroPower := 0.0
+	for ti := 0; ti < 32; ti++ {
+		gyroPower += ankle.At(3, ti) * ankle.At(3, ti)
+	}
+	if gyroPower == 0 {
+		t.Fatal("ankle gyro channel is empty after round trip")
+	}
+	chest := sets[synth.Chest][0].X
+	for c := 3; c < 6; c++ {
+		for ti := 0; ti < 32; ti++ {
+			if chest.At(c, ti) != 0 {
+				t.Fatal("chest gyro channel should be zero-filled")
+			}
+		}
+	}
+}
+
+func TestReadMHEALTHSkipsNullAndMixedWindows(t *testing.T) {
+	p := synth.MHEALTHProfile()
+	// Hand-built log: 4 rows of label 0 (null), then 2 rows walking +
+	// 2 rows cycling (mixed window), then 4 rows walking (clean window).
+	row := func(label int) string {
+		cols := make([]string, MHEALTHColumns)
+		for i := range cols {
+			cols[i] = "0.5"
+		}
+		cols[MHEALTHColumns-1] = itoa(label)
+		return strings.Join(cols, "\t")
+	}
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		b.WriteString(row(0) + "\n")
+	}
+	b.WriteString(row(4) + "\n" + row(4) + "\n" + row(9) + "\n" + row(9) + "\n")
+	for i := 0; i < 4; i++ {
+		b.WriteString(row(4) + "\n")
+	}
+	sets, err := ReadMHEALTHLog(strings.NewReader(b.String()), p, 4)
+	if err != nil {
+		t.Fatalf("ReadMHEALTHLog: %v", err)
+	}
+	if len(sets[synth.Chest]) != 1 {
+		t.Fatalf("windows = %d, want 1 (null and mixed skipped)", len(sets[synth.Chest]))
+	}
+	if sets[synth.Chest][0].Label != p.ActivityIndex("Walking") {
+		t.Fatalf("label = %d, want walking", sets[synth.Chest][0].Label)
+	}
+}
+
+func TestReadMHEALTHRejectsMalformed(t *testing.T) {
+	p := synth.MHEALTHProfile()
+	cases := []string{
+		"1 2 3\n",                        // wrong column count
+		strings.Repeat("x ", 23) + "4\n", // non-numeric
+	}
+	for _, c := range cases {
+		if _, err := ReadMHEALTHLog(strings.NewReader(c), p, 4); err == nil {
+			t.Fatalf("accepted malformed log %q", c[:10])
+		}
+	}
+	if _, err := ReadMHEALTHLog(strings.NewReader(""), p, 0); err == nil {
+		t.Fatal("accepted window 0")
+	}
+}
+
+func TestMHEALTHFileRoundTrip(t *testing.T) {
+	p := synth.MHEALTHProfile()
+	path := t.TempDir() + "/subject1.log"
+	tl := []int{p.ActivityIndex("Running"), p.ActivityIndex("Running")}
+	if err := WriteMHEALTHFile(path, p, synth.NewUser(2), tl, 16, 9); err != nil {
+		t.Fatalf("WriteMHEALTHFile: %v", err)
+	}
+	sets, err := ReadMHEALTHFile(path, p, 16)
+	if err != nil {
+		t.Fatalf("ReadMHEALTHFile: %v", err)
+	}
+	if len(sets[synth.RightWrist]) != 2 {
+		t.Fatalf("windows = %d, want 2", len(sets[synth.RightWrist]))
+	}
+}
+
+// TestMHEALTHExportedDataIsLearnable closes the loop: windows loaded from
+// the interchange format must train a usable classifier, proving the format
+// preserves the signal (not just the labels).
+func TestMHEALTHExportedDataIsLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	p := synth.MHEALTHProfile()
+	// A long balanced timeline: 40 slots per class.
+	var tl []int
+	for i := 0; i < 40; i++ {
+		for c := 0; c < p.NumClasses(); c++ {
+			tl = append(tl, c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMHEALTHLog(&buf, p, synth.NewUser(0), tl, 64, 11); err != nil {
+		t.Fatalf("WriteMHEALTHLog: %v", err)
+	}
+	sets, err := ReadMHEALTHLog(&buf, p, 64)
+	if err != nil {
+		t.Fatalf("ReadMHEALTHLog: %v", err)
+	}
+	samples := sets[synth.LeftAnkle]
+	train, test := Split(samples, 0.75, 3)
+	net := dnnTrainSmall(train, p.NumClasses())
+	acc := dnnEval(net, test)
+	if acc < 0.45 {
+		t.Fatalf("accuracy on round-tripped data = %v, want >= 0.45", acc)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// dnnTrainSmall trains the default small HAR net briefly.
+func dnnTrainSmall(train []dnn.Sample, classes int) *dnn.Network {
+	net := dnn.NewHARNetwork(newRand(77), dnn.DefaultHARConfig(synth.Channels, 64, classes))
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 20
+	dnn.Train(net, train, cfg)
+	return net
+}
+
+func dnnEval(net *dnn.Network, test []dnn.Sample) float64 { return dnn.Evaluate(net, test) }
+
+// prop: the subject-log parsers never panic on arbitrary input.
+func TestLogParsersNeverPanicQuick(t *testing.T) {
+	mh := synth.MHEALTHProfile()
+	pa := synth.PAMAP2Profile()
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ReadMHEALTHLog(bytes.NewReader(data), mh, 8)
+		_, _ = ReadPAMAP2Log(bytes.NewReader(data), pa, 8)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

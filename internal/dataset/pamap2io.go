@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"origin/internal/dnn"
+	"origin/internal/synth"
+	"origin/internal/tensor"
+)
+
+// PAMAP2 subject-log interchange. The real PAMAP2 dataset ships one
+// space-separated .dat file per subject with 54 columns at 100 Hz:
+//
+//	 1      timestamp (s)
+//	 2      activity label (0 = transient/other)
+//	 3      heart rate (bpm, NaN between beats)
+//	 4–20   IMU hand:  temperature, 3D acc ±16g, 3D acc ±6g, 3D gyro,
+//	        3D magnetometer, 4D orientation (invalid)
+//	21–37   IMU chest: same layout
+//	38–54   IMU ankle: same layout
+//
+// The loader maps the hand IMU to this repository's right-wrist sensor,
+// downsamples 100 Hz → 50 Hz by taking every second row, and uses the
+// ±16g accelerometer plus the gyroscope as the six channels. The writer
+// emits the same layout from the synthetic generator (temperature,
+// magnetometer and orientation columns are zero-filled, heart rate is a
+// plausible constant), so PAMAP2 tooling reads the files unchanged.
+
+// PAMAP2Columns is the column count of a subject .dat file.
+const PAMAP2Columns = 54
+
+// pamap2Label maps our activity names to PAMAP2 activity ids.
+var pamap2Label = map[string]int{
+	"Walking":  4,
+	"Running":  5,
+	"Cycling":  6,
+	"Climbing": 12, // ascending stairs
+	"Jumping":  24, // rope jumping
+}
+
+// Column offsets (0-based) of the per-location ±16g accelerometer and
+// gyroscope triples.
+var pamap2Cols = map[synth.Location][2]int{
+	synth.RightWrist: {3, 10}, // hand IMU: acc16 at 4–6, gyro at 11–13 (1-based)
+	synth.Chest:      {20, 27},
+	synth.LeftAnkle:  {37, 44},
+}
+
+// WritePAMAP2Log renders a labelled synthetic stream as a PAMAP2 subject
+// file at 100 Hz (each 50 Hz synthetic sample is written twice, which
+// inverts exactly under the loader's 2:1 downsampling).
+func WritePAMAP2Log(w io.Writer, p *synth.Profile, u *synth.User, timeline []int, window int, seed int64) error {
+	gens := make([]*synth.Generator, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		gens[loc] = synth.NewGenerator(p, u, window, seed+int64(loc)*31)
+	}
+	bodyRng := rand.New(rand.NewSource(seed + 555))
+	bw := bufio.NewWriter(w)
+	now := 0.0
+	const dt = 0.01 // 100 Hz
+	for _, act := range timeline {
+		if act < 0 || act >= p.NumClasses() {
+			return fmt.Errorf("dataset: timeline activity %d out of range", act)
+		}
+		label, ok := pamap2Label[p.Activities[act]]
+		if !ok {
+			return fmt.Errorf("dataset: activity %q has no PAMAP2 label", p.Activities[act])
+		}
+		st := synth.DrawBodyState(bodyRng)
+		var wins [synth.NumLocations]*tensor.Tensor
+		for _, loc := range synth.Locations() {
+			wins[loc] = gens[loc].WindowWithState(act, loc, st)
+		}
+		for t := 0; t < window; t++ {
+			for rep := 0; rep < 2; rep++ { // 50 Hz → 100 Hz
+				cols := make([]string, PAMAP2Columns)
+				for i := range cols {
+					cols[i] = "0"
+				}
+				cols[0] = strconv.FormatFloat(now, 'f', 2, 64)
+				cols[1] = strconv.Itoa(label)
+				cols[2] = "110" // plausible constant heart rate
+				for _, loc := range synth.Locations() {
+					off := pamap2Cols[loc]
+					for c := 0; c < 3; c++ {
+						cols[off[0]+c] = strconv.FormatFloat(wins[loc].At(c, t), 'f', 4, 64)
+						cols[off[1]+c] = strconv.FormatFloat(wins[loc].At(3+c, t), 'f', 4, 64)
+					}
+				}
+				if _, err := bw.WriteString(strings.Join(cols, " ") + "\n"); err != nil {
+					return fmt.Errorf("dataset: write pamap2 row: %w", err)
+				}
+				now += dt
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPAMAP2Log parses a subject file into per-location labelled windows of
+// the given length (in 50 Hz samples): rows are downsampled 2:1, grouped
+// into label-uniform windows, and the transient class (0) plus unmapped
+// activities are skipped. NaN cells (PAMAP2 marks dropped samples and
+// between-beat heart rate as NaN) are treated as zeros.
+func ReadPAMAP2Log(r io.Reader, p *synth.Profile, window int) ([][]dnn.Sample, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dataset: invalid window %d", window)
+	}
+	toClass := map[int]int{}
+	for name, id := range pamap2Label {
+		if c := p.ActivityIndex(name); c >= 0 {
+			toClass[id] = c
+		}
+	}
+	var rows [][]float64
+	var labels []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line, kept := 0, 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		kept++
+		if kept%2 == 0 {
+			continue // 100 Hz → 50 Hz
+		}
+		fields := strings.Fields(text)
+		if len(fields) != PAMAP2Columns {
+			return nil, fmt.Errorf("dataset: pamap2 line %d has %d columns, want %d", line, len(fields), PAMAP2Columns)
+		}
+		label, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: pamap2 line %d label: %w", line, err)
+		}
+		vals := make([]float64, PAMAP2Columns)
+		for i, f := range fields {
+			if i == 1 {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: pamap2 line %d col %d: %w", line, i+1, err)
+			}
+			if math.IsNaN(v) {
+				v = 0
+			}
+			vals[i] = v
+		}
+		rows = append(rows, vals)
+		labels = append(labels, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: pamap2 scan: %w", err)
+	}
+
+	out := make([][]dnn.Sample, synth.NumLocations)
+	for start := 0; start+window <= len(rows); start += window {
+		class, known := toClass[labels[start]]
+		if !known {
+			continue
+		}
+		uniform := true
+		for t := start; t < start+window; t++ {
+			if labels[t] != labels[start] {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			continue
+		}
+		for _, loc := range synth.Locations() {
+			off := pamap2Cols[loc]
+			x := tensor.New(synth.Channels, window)
+			for c := 0; c < 3; c++ {
+				for t := 0; t < window; t++ {
+					x.Set(rows[start+t][off[0]+c], c, t)
+					x.Set(rows[start+t][off[1]+c], 3+c, t)
+				}
+			}
+			out[loc] = append(out[loc], dnn.Sample{X: x, Label: class})
+		}
+	}
+	return out, nil
+}
+
+// WritePAMAP2File writes a subject file to path.
+func WritePAMAP2File(path string, p *synth.Profile, u *synth.User, timeline []int, window int, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	if err := WritePAMAP2Log(f, p, u, timeline, window, seed); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPAMAP2File reads a subject file from path.
+func ReadPAMAP2File(path string, p *synth.Profile, window int) ([][]dnn.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadPAMAP2Log(f, p, window)
+}

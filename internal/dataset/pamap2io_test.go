@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"origin/internal/synth"
+)
+
+func TestPAMAP2RoundTrip(t *testing.T) {
+	p := synth.PAMAP2Profile()
+	u := synth.NewUser(0)
+	walk := p.ActivityIndex("Walking")
+	run := p.ActivityIndex("Running")
+	timeline := []int{walk, walk, run, run}
+
+	var buf bytes.Buffer
+	if err := WritePAMAP2Log(&buf, p, u, timeline, 32, 7); err != nil {
+		t.Fatalf("WritePAMAP2Log: %v", err)
+	}
+	// 4 slots × 32 samples × 2 (100 Hz) rows.
+	if lines := strings.Count(buf.String(), "\n"); lines != 256 {
+		t.Fatalf("rows = %d, want 256", lines)
+	}
+	sets, err := ReadPAMAP2Log(&buf, p, 32)
+	if err != nil {
+		t.Fatalf("ReadPAMAP2Log: %v", err)
+	}
+	for _, loc := range synth.Locations() {
+		if len(sets[loc]) != 4 {
+			t.Fatalf("%s windows = %d, want 4", loc, len(sets[loc]))
+		}
+	}
+	for i, want := range timeline {
+		if got := sets[synth.Chest][i].Label; got != want {
+			t.Fatalf("window %d label = %d, want %d", i, got, want)
+		}
+	}
+	// 2× upsampling then 2:1 downsampling must reproduce the samples.
+	x := sets[synth.LeftAnkle][0].X
+	power := 0.0
+	for ti := 0; ti < 32; ti++ {
+		power += x.At(2, ti) * x.At(2, ti)
+	}
+	if power == 0 {
+		t.Fatal("ankle az channel empty after round trip")
+	}
+}
+
+func TestPAMAP2SkipsTransientAndNaN(t *testing.T) {
+	p := synth.PAMAP2Profile()
+	row := func(label int, val string) string {
+		cols := make([]string, PAMAP2Columns)
+		for i := range cols {
+			cols[i] = val
+		}
+		cols[0] = "0.01"
+		cols[1] = itoa(label)
+		return strings.Join(cols, " ")
+	}
+	var b strings.Builder
+	// 8 rows (→4 at 50 Hz) of transient class, then 8 rows of walking with
+	// NaN cells.
+	for i := 0; i < 8; i++ {
+		b.WriteString(row(0, "1.0") + "\n")
+	}
+	for i := 0; i < 8; i++ {
+		b.WriteString(row(4, "NaN") + "\n")
+	}
+	sets, err := ReadPAMAP2Log(strings.NewReader(b.String()), p, 4)
+	if err != nil {
+		t.Fatalf("ReadPAMAP2Log: %v", err)
+	}
+	if len(sets[synth.Chest]) != 1 {
+		t.Fatalf("windows = %d, want 1", len(sets[synth.Chest]))
+	}
+	// NaN cells become zeros.
+	for _, v := range sets[synth.Chest][0].X.Data() {
+		if v != 0 {
+			t.Fatal("NaN cell did not map to zero")
+		}
+	}
+}
+
+func TestPAMAP2RejectsMalformed(t *testing.T) {
+	p := synth.PAMAP2Profile()
+	if _, err := ReadPAMAP2Log(strings.NewReader("1 2 3\n"), p, 4); err == nil {
+		t.Fatal("accepted short row")
+	}
+	bad := strings.Repeat("x ", PAMAP2Columns-1) + "4"
+	if _, err := ReadPAMAP2Log(strings.NewReader(bad+"\n"), p, 4); err == nil {
+		t.Fatal("accepted non-numeric row")
+	}
+}
+
+func TestPAMAP2FileRoundTrip(t *testing.T) {
+	p := synth.PAMAP2Profile()
+	path := t.TempDir() + "/subject101.dat"
+	tl := []int{p.ActivityIndex("Cycling")}
+	if err := WritePAMAP2File(path, p, synth.NewUser(3), tl, 16, 5); err != nil {
+		t.Fatalf("WritePAMAP2File: %v", err)
+	}
+	sets, err := ReadPAMAP2File(path, p, 16)
+	if err != nil {
+		t.Fatalf("ReadPAMAP2File: %v", err)
+	}
+	if len(sets[synth.RightWrist]) != 1 {
+		t.Fatalf("windows = %d, want 1", len(sets[synth.RightWrist]))
+	}
+}
+
+func TestPAMAP2RejectsUnmappedActivity(t *testing.T) {
+	// Jogging exists in MHEALTH but not in the PAMAP2 label map.
+	mh := synth.MHEALTHProfile()
+	var buf bytes.Buffer
+	err := WritePAMAP2Log(&buf, mh, synth.NewUser(0), []int{mh.ActivityIndex("Jogging")}, 8, 1)
+	if err == nil {
+		t.Fatal("writer accepted an activity without a PAMAP2 label")
+	}
+}

@@ -1,0 +1,140 @@
+package dnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"origin/internal/tensor"
+)
+
+func TestDropoutInferenceIsIdentity(t *testing.T) {
+	l := NewDropout(0.5, 1)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	y := l.Forward(x)
+	if !y.Equal(x, 0) {
+		t.Fatal("inference-mode dropout changed the input")
+	}
+	g := l.Backward(x)
+	if !g.Equal(x, 0) {
+		t.Fatal("inference-mode dropout changed the gradient")
+	}
+}
+
+func TestDropoutTrainingDropsAndScales(t *testing.T) {
+	l := NewDropout(0.5, 2)
+	l.SetTraining(true)
+	x := tensor.Full(1, 1000)
+	y := l.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1−0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected activation %v", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropped %d of 1000 at rate 0.5", zeros)
+	}
+	if zeros+scaled != 1000 {
+		t.Fatal("activations unaccounted for")
+	}
+	// Backward uses the same mask.
+	g := l.Backward(tensor.Full(1, 1000))
+	for i, v := range g.Data() {
+		if (y.Data()[i] == 0) != (v == 0) {
+			t.Fatal("backward mask disagrees with forward mask")
+		}
+	}
+}
+
+func TestDropoutExpectationPreserved(t *testing.T) {
+	l := NewDropout(0.3, 3)
+	l.SetTraining(true)
+	x := tensor.Full(1, 20000)
+	y := l.Forward(x)
+	if m := y.Mean(); math.Abs(m-1) > 0.03 {
+		t.Fatalf("inverted dropout mean = %v, want ≈1", m)
+	}
+}
+
+func TestDropoutInvalidRatePanics(t *testing.T) {
+	for _, r := range []float64{-0.1, 1.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rate %v did not panic", r)
+				}
+			}()
+			NewDropout(r, 1)
+		}()
+	}
+}
+
+func TestDropoutInNetworkTrainsAndServes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := NewNetwork([]int{2, 16},
+		NewConv1D(rng, 2, 3, 3, 1), NewReLU(), NewMaxPool1D(2),
+		NewFlatten(),
+		NewDense(rng, 21, 8), NewDropout(0.2, 5), NewReLU(),
+		NewDense(rng, 8, 3),
+	)
+	data := makeBlobs(rng, 90, 2, 16, 3)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 25
+	Train(n, data, cfg)
+	// Train leaves the net in inference mode: predictions are deterministic.
+	a, _ := n.Predict(data[0].X)
+	b, _ := n.Predict(data[0].X)
+	if a != b {
+		t.Fatal("post-training predictions are nondeterministic (dropout left on)")
+	}
+	if acc := Evaluate(n, data); acc < 0.6 {
+		t.Fatalf("accuracy with dropout = %v", acc)
+	}
+}
+
+func TestDropoutSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := NewNetwork([]int{4},
+		NewDense(rng, 4, 6), NewDropout(0.25, 7), NewReLU(),
+		NewDense(rng, 6, 2),
+	)
+	var buf bytes.Buffer
+	if err := Save(&buf, n); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	d, ok := m.Layers[1].(*Dropout)
+	if !ok {
+		t.Fatalf("layer 1 is %T, want *Dropout", m.Layers[1])
+	}
+	if math.Abs(d.Rate-0.25) > 1e-6 {
+		t.Fatalf("rate = %v, want 0.25", d.Rate)
+	}
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	if !n.Forward(x).Equal(m.Forward(x), 0) {
+		t.Fatal("round-tripped network differs at inference")
+	}
+}
+
+func TestDropoutCloneKeepsMode(t *testing.T) {
+	l := NewDropout(0.4, 9)
+	n := NewNetwork([]int{4}, NewDense(rand.New(rand.NewSource(1)), 4, 2))
+	_ = n
+	l.SetTraining(true)
+	nn := NewNetwork([]int{4}, NewDense(rand.New(rand.NewSource(2)), 4, 4), l, NewDense(rand.New(rand.NewSource(3)), 4, 2))
+	c := nn.Clone()
+	cd, ok := c.Layers[1].(*Dropout)
+	if !ok || cd.Rate != 0.4 {
+		t.Fatal("clone lost dropout configuration")
+	}
+}

@@ -1,0 +1,45 @@
+package dnn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"origin/internal/dnn"
+	"origin/internal/tensor"
+)
+
+func ExampleNewHARNetwork() {
+	rng := rand.New(rand.NewSource(1))
+	net := dnn.NewHARNetwork(rng, dnn.DefaultHARConfig(6, 64, 6))
+	fmt.Println(net.Classes, net.MACs() > 10000)
+	// Output: 6 true
+}
+
+func ExampleTrain() {
+	// Two linearly separable classes learn in a handful of epochs.
+	rng := rand.New(rand.NewSource(2))
+	var samples []dnn.Sample
+	for i := 0; i < 60; i++ {
+		label := i % 2
+		x := tensor.New(2, 16)
+		x.RandNormal(rng, float64(label)*2, 0.3)
+		samples = append(samples, dnn.Sample{X: x, Label: label})
+	}
+	net := dnn.NewHARNetwork(rng, dnn.HARConfig{
+		Channels: 2, Window: 16, Classes: 2,
+		Conv1Out: 3, Conv2Out: 4, Kernel: 3, Pool: 2, Hidden: 6,
+	})
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 10
+	dnn.Train(net, samples, cfg)
+	fmt.Println(dnn.Evaluate(net, samples) > 0.9)
+	// Output: true
+}
+
+func ExampleQuantize() {
+	rng := rand.New(rand.NewSource(3))
+	net := dnn.NewHARNetwork(rng, dnn.DefaultHARConfig(6, 64, 6))
+	rep := dnn.Quantize(net, 8)
+	fmt.Println(rep.Bits, rep.ModelBytes < rep.FloatBytes)
+	// Output: 8 true
+}

@@ -1,0 +1,81 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Post-training weight quantization. EH nodes store their parameters in
+// small non-volatile memories, so the deployed networks are quantized to a
+// few bits per weight; this file implements symmetric per-tensor weight
+// quantization (activations stay in full precision — the flash footprint,
+// not the arithmetic, is the constraint this models) and the accounting
+// around it.
+
+// QuantReport summarises one quantization run.
+type QuantReport struct {
+	// Bits is the weight width.
+	Bits int
+	// MaxAbsErr is the largest absolute weight perturbation introduced.
+	MaxAbsErr float64
+	// ModelBytes is the flash footprint of the quantized parameters
+	// (weights at Bits each, biases kept at 32-bit).
+	ModelBytes int
+	// FloatBytes is the float64 footprint for comparison.
+	FloatBytes int
+}
+
+// Quantize rounds every weight tensor of n to a symmetric bits-wide integer
+// grid (per-tensor scale), in place, and returns the report. Biases are left
+// untouched: they are few and cheap. bits must be in [2, 16].
+//
+// Exact zeros stay exactly zero, so quantization composes with magnitude
+// pruning (the sparsity mask survives).
+func Quantize(n *Network, bits int) QuantReport {
+	if bits < 2 || bits > 16 {
+		panic(fmt.Sprintf("dnn: invalid quantization width %d", bits))
+	}
+	rep := QuantReport{Bits: bits}
+	levels := float64(int(1)<<(bits-1)) - 1 // e.g. 127 for 8 bits
+
+	weightCount, biasCount := 0, 0
+	for _, p := range n.Params() {
+		if p.Dims() != 2 { // bias
+			biasCount += p.Len()
+			continue
+		}
+		weightCount += p.Len()
+		maxAbs := 0.0
+		for _, v := range p.Data() {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / levels
+		d := p.Data()
+		for i, v := range d {
+			if v == 0 {
+				continue // preserve pruning sparsity
+			}
+			q := math.Round(v/scale) * scale
+			if err := math.Abs(q - v); err > rep.MaxAbsErr {
+				rep.MaxAbsErr = err
+			}
+			d[i] = q
+		}
+	}
+	rep.ModelBytes = (weightCount*bits+7)/8 + biasCount*4
+	rep.FloatBytes = (weightCount + biasCount) * 8
+	return rep
+}
+
+// QuantizedClone returns a quantized deep copy of n, leaving n untouched,
+// along with the report.
+func QuantizedClone(n *Network, bits int) (*Network, QuantReport) {
+	c := n.Clone()
+	rep := Quantize(c, bits)
+	return c, rep
+}

@@ -1,0 +1,149 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"origin/internal/tensor"
+)
+
+func TestQuantizePreservesShapeAndBounds(t *testing.T) {
+	n := buildTinyNet(t)
+	rep := Quantize(n, 8)
+	if rep.Bits != 8 {
+		t.Fatalf("bits = %d", rep.Bits)
+	}
+	if rep.ModelBytes >= rep.FloatBytes {
+		t.Fatalf("quantized footprint %d should be below float %d", rep.ModelBytes, rep.FloatBytes)
+	}
+	// With 8 bits the max error is bounded by half a step of the largest
+	// weight: maxAbs/127/2 per tensor.
+	for _, p := range n.Params() {
+		if p.Dims() != 2 {
+			continue
+		}
+		maxAbs := 0.0
+		for _, v := range p.Data() {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		_ = maxAbs
+	}
+	if rep.MaxAbsErr <= 0 {
+		t.Fatal("expected some quantization error")
+	}
+}
+
+func TestQuantizeAccuracyDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	train := makeBlobs(rng, 150, 2, 16, 3)
+	test := makeBlobs(rng, 60, 2, 16, 3)
+	n := buildTinyNet(t)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 15
+	Train(n, train, cfg)
+	full := Evaluate(n, test)
+
+	q8, _ := QuantizedClone(n, 8)
+	acc8 := Evaluate(q8, test)
+	if acc8 < full-0.05 {
+		t.Fatalf("8-bit accuracy %v dropped too far from %v", acc8, full)
+	}
+	q2, _ := QuantizedClone(n, 2)
+	acc2 := Evaluate(q2, test)
+	if acc2 > acc8+0.05 {
+		t.Fatalf("2-bit (%v) should not beat 8-bit (%v)", acc2, acc8)
+	}
+	// Original must be untouched by QuantizedClone.
+	if got := Evaluate(n, test); got != full {
+		t.Fatal("QuantizedClone mutated the original network")
+	}
+}
+
+func TestQuantizePreservesPruningSparsity(t *testing.T) {
+	n := buildTinyNet(t)
+	PruneToFraction(n, 0.5)
+	before := n.NonZeroParamCount()
+	Quantize(n, 8)
+	if got := n.NonZeroParamCount(); got > before {
+		t.Fatalf("quantization resurrected pruned weights: %d > %d", got, before)
+	}
+}
+
+func TestQuantizeInvalidBitsPanics(t *testing.T) {
+	n := buildTinyNet(t)
+	for _, bits := range []int{0, 1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantize(%d) did not panic", bits)
+				}
+			}()
+			Quantize(n, bits)
+		}()
+	}
+}
+
+// prop: quantized weights land on the per-tensor grid: w = k·scale for
+// integer k with |k| ≤ levels.
+func TestQuantizeGridQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 2 + rng.Intn(7)
+		n := NewHARNetwork(rng, HARConfig{
+			Channels: 2, Window: 16, Classes: 3,
+			Conv1Out: 3, Conv2Out: 4, Kernel: 3, Pool: 2, Hidden: 6,
+		})
+		Quantize(n, bits)
+		levels := float64(int(1)<<(bits-1)) - 1
+		for _, p := range n.Params() {
+			if p.Dims() != 2 {
+				continue
+			}
+			maxAbs := 0.0
+			for _, v := range p.Data() {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 {
+				continue
+			}
+			scale := maxAbs / levels
+			for _, v := range p.Data() {
+				k := v / scale
+				if math.Abs(k-math.Round(k)) > 1e-9 {
+					return false
+				}
+				if math.Abs(math.Round(k)) > levels+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeZeroNetworkNoop(t *testing.T) {
+	n := buildTinyNet(t)
+	for _, p := range n.Params() {
+		p.Zero()
+	}
+	rep := Quantize(n, 8)
+	if rep.MaxAbsErr != 0 {
+		t.Fatalf("zero network should quantize exactly, err=%v", rep.MaxAbsErr)
+	}
+	x := tensor.New(2, 16)
+	out := n.Forward(x)
+	for _, v := range out.Data() {
+		if v != 0 {
+			t.Fatal("zero network output changed")
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package dnn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"origin/internal/tensor"
+)
+
+// Binary model format:
+//
+//	magic   [8]byte  "ORGNDNN1"
+//	inShape uint32 count, then uint32 dims
+//	classes uint32
+//	layers  uint32 count, then per layer:
+//	    tag uint8 (layerTag*)
+//	    geometry (tag-specific uint32s)
+//	    parameter tensors as float64 little-endian
+//
+// The format is versioned via the magic; incompatible files fail loudly.
+
+const modelMagic = "ORGNDNN1"
+
+const (
+	layerTagConv1D uint8 = iota + 1
+	layerTagDense
+	layerTagReLU
+	layerTagMaxPool
+	layerTagFlatten
+	layerTagDropout
+)
+
+// Save writes the network to w in the binary model format.
+func Save(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return fmt.Errorf("dnn: write magic: %w", err)
+	}
+	if err := writeUint32Slice(bw, n.InShape); err != nil {
+		return err
+	}
+	if err := writeUint32(bw, uint32(n.Classes)); err != nil {
+		return err
+	}
+	if err := writeUint32(bw, uint32(len(n.Layers))); err != nil {
+		return err
+	}
+	for _, l := range n.Layers {
+		if err := writeLayer(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a network from r in the binary model format. The returned
+// network has been warm-up forwarded so MAC accounting is valid.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dnn: read magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("dnn: bad magic %q (want %q)", magic, modelMagic)
+	}
+	inShape, err := readUint32Slice(br)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := readUint32(br)
+	if err != nil {
+		return nil, err
+	}
+	nLayers, err := readUint32(br)
+	if err != nil {
+		return nil, err
+	}
+	layers := make([]Layer, 0, nLayers)
+	for i := uint32(0); i < nLayers; i++ {
+		l, err := readLayer(br)
+		if err != nil {
+			return nil, fmt.Errorf("dnn: layer %d: %w", i, err)
+		}
+		layers = append(layers, l)
+	}
+	n := NewNetwork(inShape, layers...)
+	if n.Classes != int(classes) {
+		return nil, fmt.Errorf("dnn: stored classes %d disagree with layer shapes (%d)", classes, n.Classes)
+	}
+	n.Forward(tensor.New(inShape...))
+	return n, nil
+}
+
+// SaveFile writes the network to path, creating or truncating it.
+func SaveFile(path string, n *Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dnn: save %s: %w", path, err)
+	}
+	if err := Save(f, n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeLayer(w io.Writer, l Layer) error {
+	switch v := l.(type) {
+	case *Conv1D:
+		if err := writeUint8(w, layerTagConv1D); err != nil {
+			return err
+		}
+		for _, x := range []int{v.InC, v.OutC, v.Kernel, v.Stride} {
+			if err := writeUint32(w, uint32(x)); err != nil {
+				return err
+			}
+		}
+		if err := writeTensor(w, v.W); err != nil {
+			return err
+		}
+		return writeTensor(w, v.B)
+	case *Dense:
+		if err := writeUint8(w, layerTagDense); err != nil {
+			return err
+		}
+		for _, x := range []int{v.In, v.Out} {
+			if err := writeUint32(w, uint32(x)); err != nil {
+				return err
+			}
+		}
+		if err := writeTensor(w, v.W); err != nil {
+			return err
+		}
+		return writeTensor(w, v.B)
+	case *ReLU:
+		return writeUint8(w, layerTagReLU)
+	case *MaxPool1D:
+		if err := writeUint8(w, layerTagMaxPool); err != nil {
+			return err
+		}
+		return writeUint32(w, uint32(v.Pool))
+	case *Flatten:
+		return writeUint8(w, layerTagFlatten)
+	case *Dropout:
+		if err := writeUint8(w, layerTagDropout); err != nil {
+			return err
+		}
+		// Store the rate scaled to 1e-6 precision; dropout is inference-
+		// inert, so the seed need not survive serialization.
+		return writeUint32(w, uint32(v.Rate*1e6))
+	default:
+		return fmt.Errorf("dnn: cannot serialize layer type %T", l)
+	}
+}
+
+func readLayer(r io.Reader) (Layer, error) {
+	tag, err := readUint8(r)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case layerTagConv1D:
+		var geo [4]uint32
+		for i := range geo {
+			if geo[i], err = readUint32(r); err != nil {
+				return nil, err
+			}
+		}
+		l := &Conv1D{
+			InC: int(geo[0]), OutC: int(geo[1]), Kernel: int(geo[2]), Stride: int(geo[3]),
+		}
+		if l.W, err = readTensor(r, l.OutC, l.InC*l.Kernel); err != nil {
+			return nil, err
+		}
+		if l.B, err = readTensor(r, l.OutC); err != nil {
+			return nil, err
+		}
+		l.dW = tensor.New(l.OutC, l.InC*l.Kernel)
+		l.dB = tensor.New(l.OutC)
+		return l, nil
+	case layerTagDense:
+		var geo [2]uint32
+		for i := range geo {
+			if geo[i], err = readUint32(r); err != nil {
+				return nil, err
+			}
+		}
+		l := &Dense{In: int(geo[0]), Out: int(geo[1])}
+		if l.W, err = readTensor(r, l.Out, l.In); err != nil {
+			return nil, err
+		}
+		if l.B, err = readTensor(r, l.Out); err != nil {
+			return nil, err
+		}
+		l.dW = tensor.New(l.Out, l.In)
+		l.dB = tensor.New(l.Out)
+		return l, nil
+	case layerTagReLU:
+		return NewReLU(), nil
+	case layerTagMaxPool:
+		pool, err := readUint32(r)
+		if err != nil {
+			return nil, err
+		}
+		return NewMaxPool1D(int(pool)), nil
+	case layerTagFlatten:
+		return NewFlatten(), nil
+	case layerTagDropout:
+		rate, err := readUint32(r)
+		if err != nil {
+			return nil, err
+		}
+		return NewDropout(float64(rate)/1e6, 1), nil
+	default:
+		return nil, fmt.Errorf("dnn: unknown layer tag %d", tag)
+	}
+}
+
+func writeTensor(w io.Writer, t *tensor.Tensor) error {
+	buf := make([]byte, 8)
+	for _, v := range t.Data() {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("dnn: write tensor: %w", err)
+		}
+	}
+	return nil
+}
+
+func readTensor(r io.Reader, shape ...int) (*tensor.Tensor, error) {
+	t := tensor.New(shape...)
+	buf := make([]byte, 8)
+	d := t.Data()
+	for i := range d {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("dnn: read tensor: %w", err)
+		}
+		d[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return t, nil
+}
+
+func writeUint8(w io.Writer, v uint8) error {
+	_, err := w.Write([]byte{v})
+	return err
+}
+
+func readUint8(r io.Reader) (uint8, error) {
+	var b [1]byte
+	_, err := io.ReadFull(r, b[:])
+	return b[0], err
+}
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeUint32Slice(w io.Writer, xs []int) error {
+	if err := writeUint32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if err := writeUint32(w, uint32(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readUint32Slice(r io.Reader) ([]int, error) {
+	n, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("dnn: implausible shape rank %d", n)
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		v, err := readUint32(r)
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = int(v)
+	}
+	return xs, nil
+}

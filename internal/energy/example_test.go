@@ -1,0 +1,30 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"origin/internal/energy"
+)
+
+func ExampleCapacitor() {
+	// A 100 µJ store with a 5 µJ brown-out floor: harvest 60 µJ, spend 40.
+	c := energy.NewCapacitor(100e-6, 0, 5e-6, 0)
+	c.Harvest(600e-6, 0.1) // 600 µW for 100 ms
+	fmt.Printf("stored %.0f µJ\n", c.Stored()*1e6)
+	if c.Draw(40e-6) {
+		fmt.Printf("after draw %.0f µJ\n", c.Stored()*1e6)
+	}
+	fmt.Println(c.Draw(16e-6)) // would cross the brown-out floor
+	// Output:
+	// stored 60 µJ
+	// after draw 20 µJ
+	// false
+}
+
+func ExampleGenerateWiFiTrace() {
+	cfg := energy.DefaultWiFiTraceConfig(60, 1)
+	tr := energy.GenerateWiFiTrace(cfg)
+	fmt.Printf("%d samples at %.0f ms, bursty: %v\n",
+		tr.Len(), tr.Tick*1000, tr.Peak() > 2*tr.Mean())
+	// Output: 6000 samples at 10 ms, bursty: true
+}

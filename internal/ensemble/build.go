@@ -1,0 +1,50 @@
+package ensemble
+
+import (
+	"origin/internal/dnn"
+)
+
+// BuildMatrix derives the initial confidence matrix from held-out test
+// cases, exactly as §III-C describes: for every sensor, run its classifier
+// over its test set and average the softmax-output variance per *predicted*
+// class. Predicted (not true) class is the right conditioning because at
+// run time the host only ever sees predictions.
+//
+// nets[s] is sensor s's classifier; testSets[s] its held-out windows.
+// The returned matrix uses the default Alpha and RecallDiscount.
+func BuildMatrix(nets []*dnn.Network, testSets [][]dnn.Sample, classes int) *Matrix {
+	if len(nets) == 0 || len(nets) != len(testSets) {
+		panic("ensemble: BuildMatrix requires one test set per network")
+	}
+	m := NewMatrix(len(nets), classes)
+	for s, net := range nets {
+		sum := make([]float64, classes)
+		count := make([]int, classes)
+		for _, sample := range testSets[s] {
+			pred, probs := net.Predict(sample.X)
+			sum[pred] += Confidence(probs)
+			count[pred]++
+		}
+		for c := 0; c < classes; c++ {
+			if count[c] > 0 {
+				m.Set(s, c, sum[c]/float64(count[c]))
+			}
+		}
+	}
+	return m
+}
+
+// BuildAccuracyTable computes the per-(sensor, class) accuracy table used
+// by AccuracyWeightedVote and by the scheduler's rank table: entry (s, c)
+// is sensor s's recall on true class c over its test set.
+func BuildAccuracyTable(nets []*dnn.Network, testSets [][]dnn.Sample, classes int) [][]float64 {
+	if len(nets) == 0 || len(nets) != len(testSets) {
+		panic("ensemble: BuildAccuracyTable requires one test set per network")
+	}
+	acc := make([][]float64, len(nets))
+	for s, net := range nets {
+		perClass, _ := dnn.EvaluatePerClass(net, testSets[s], classes)
+		acc[s] = perClass
+	}
+	return acc
+}

@@ -1,0 +1,232 @@
+// Package ensemble implements the aggregation side of Origin: plain
+// majority voting (the paper's baselines and AASR), the confidence matrix —
+// a per-(sensor, class) weight table whose entries are the average variance
+// of the classifier's softmax output vector — and its adaptive moving-average
+// update that personalises the ensemble to the current user (§III-C, §III-D,
+// Fig. 6).
+//
+// The variance of a softmax output is maximal for a one-hot (fully
+// confident) prediction and zero for the uniform (fully confused) one, which
+// is why the paper adopts it as a classification-confidence measure.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+
+	"origin/internal/tensor"
+)
+
+// Vote is one sensor's opinion entering an ensemble round.
+type Vote struct {
+	// Sensor is the voter's index.
+	Sensor int
+	// Class is the predicted activity class.
+	Class int
+	// Confidence is the variance of the softmax output vector that produced
+	// the prediction (instantaneous confidence).
+	Confidence float64
+	// Fresh is true for a just-computed inference and false for a recalled
+	// (remembered) classification.
+	Fresh bool
+	// Age is the recalled vote's staleness in scheduler slots (0 if fresh).
+	Age int
+}
+
+// Confidence computes the paper's confidence measure for a probability
+// vector: the variance of its entries.
+func Confidence(probs *tensor.Tensor) float64 { return probs.Variance() }
+
+// MajorityVote aggregates votes by simple plurality, breaking ties in
+// favour of the lowest class index. The tie-break is deliberately naive:
+// the paper's baselines "only perform majority voting based ensembling",
+// and resolving ties intelligently is one of the confidence matrix's
+// documented contributions (§III-D), so that value must not leak into the
+// baseline.
+func MajorityVote(votes []Vote, classes int) int {
+	if classes <= 0 {
+		panic(fmt.Sprintf("ensemble: invalid class count %d", classes))
+	}
+	if len(votes) == 0 {
+		return -1
+	}
+	counts := make([]int, classes)
+	for _, v := range votes {
+		if v.Class < 0 || v.Class >= classes {
+			panic(fmt.Sprintf("ensemble: vote class %d out of range [0,%d)", v.Class, classes))
+		}
+		counts[v.Class]++
+	}
+	winner := -1
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		if winner == -1 || counts[c] > counts[winner] {
+			winner = c
+		}
+	}
+	return winner
+}
+
+// Matrix is the adaptive confidence matrix: entry (s, c) is the running
+// average softmax-variance the sensor s classifier exhibits when it
+// predicts class c. Higher = more trustworthy for that class.
+type Matrix struct {
+	// Alpha is the moving-average factor for Update: new = (1-α)·old + α·obs.
+	Alpha float64
+	// RecallDiscount scales the weight of recalled (non-fresh) votes in
+	// WeightedVote. The paper treats recalled votes at full weight
+	// (discount 1); the ablation benches explore lower values.
+	RecallDiscount float64
+	// RecallDecayPerSlot exponentially decays a recalled vote's weight per
+	// slot of staleness (1, the default, disables ageing — the paper's
+	// aggressive recall). The ablation benches explore decay: temporal
+	// continuity makes old classifications representative (§III-B), but a
+	// decayed ensemble loses more within segments than it gains at
+	// transitions.
+	RecallDecayPerSlot float64
+	// UseInstantFresh weights a fresh vote by its own transmitted
+	// confidence score instead of the historical matrix entry. The sensors
+	// send the instantaneous score with every result (§III-C), so the host
+	// has it; using it lets a confidently-fresh sensor overrule stale
+	// recalled opinions right after an activity transition. Recalled votes
+	// always use the matrix (their instantaneous context is gone).
+	UseInstantFresh bool
+
+	w       [][]float64
+	sensors int
+	classes int
+}
+
+// NewMatrix returns a confidence matrix with all weights set to a small
+// uniform prior, ready for online updates.
+func NewMatrix(sensors, classes int) *Matrix {
+	if sensors <= 0 || classes <= 0 {
+		panic(fmt.Sprintf("ensemble: invalid matrix geometry %d×%d", sensors, classes))
+	}
+	m := &Matrix{Alpha: 0.05, RecallDiscount: 1, RecallDecayPerSlot: 1, UseInstantFresh: true, sensors: sensors, classes: classes}
+	m.w = make([][]float64, sensors)
+	for s := range m.w {
+		m.w[s] = make([]float64, classes)
+		for c := range m.w[s] {
+			m.w[s][c] = 1e-3
+		}
+	}
+	return m
+}
+
+// Sensors returns the number of voters the matrix covers.
+func (m *Matrix) Sensors() int { return m.sensors }
+
+// Classes returns the number of classes the matrix covers.
+func (m *Matrix) Classes() int { return m.classes }
+
+// At returns the weight for (sensor, class).
+func (m *Matrix) At(sensor, class int) float64 { return m.w[sensor][class] }
+
+// Set programs the weight for (sensor, class) — how the host device is
+// initialised from held-out test cases before deployment.
+func (m *Matrix) Set(sensor, class int, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("ensemble: negative weight %v", weight))
+	}
+	m.w[sensor][class] = weight
+}
+
+// Clone returns an independent copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.sensors, m.classes)
+	c.Alpha = m.Alpha
+	c.RecallDiscount = m.RecallDiscount
+	c.RecallDecayPerSlot = m.RecallDecayPerSlot
+	c.UseInstantFresh = m.UseInstantFresh
+	for s := range m.w {
+		copy(c.w[s], m.w[s])
+	}
+	return c
+}
+
+// Update folds one observed confidence score into the matrix with the
+// moving average — the adaptation step run after every successful
+// classification (§III-C: "the sensors would send the confidence score for
+// that classifier along with the output class").
+func (m *Matrix) Update(sensor, class int, confidence float64) {
+	if sensor < 0 || sensor >= m.sensors || class < 0 || class >= m.classes {
+		panic(fmt.Sprintf("ensemble: Update(%d,%d) out of range", sensor, class))
+	}
+	if confidence < 0 {
+		confidence = 0
+	}
+	m.w[sensor][class] = (1-m.Alpha)*m.w[sensor][class] + m.Alpha*confidence
+}
+
+// WeightedVote aggregates votes with confidence-matrix weights: each vote
+// contributes weight (sensor, class) to its class's score, recalled votes
+// scaled by RecallDiscount. The matrix both weights the majority and
+// resolves would-be ties, which is where Origin's accuracy edge over naive
+// majority voting comes from (§III-D).
+func (m *Matrix) WeightedVote(votes []Vote, classes int) int {
+	if classes != m.classes {
+		panic(fmt.Sprintf("ensemble: WeightedVote classes %d != matrix %d", classes, m.classes))
+	}
+	if len(votes) == 0 {
+		return -1
+	}
+	scores := make([]float64, classes)
+	seen := make([]bool, classes)
+	for _, v := range votes {
+		if v.Sensor < 0 || v.Sensor >= m.sensors || v.Class < 0 || v.Class >= classes {
+			panic(fmt.Sprintf("ensemble: vote %+v out of range", v))
+		}
+		w := m.w[v.Sensor][v.Class]
+		if v.Fresh {
+			if m.UseInstantFresh && v.Confidence > 0 {
+				w = v.Confidence
+			}
+		} else {
+			w *= m.RecallDiscount
+			if m.RecallDecayPerSlot > 0 && m.RecallDecayPerSlot < 1 && v.Age > 0 {
+				w *= math.Pow(m.RecallDecayPerSlot, float64(v.Age))
+			}
+		}
+		scores[v.Class] += w
+		seen[v.Class] = true
+	}
+	winner := -1
+	for c := 0; c < classes; c++ {
+		if !seen[c] {
+			continue
+		}
+		if winner == -1 || scores[c] > scores[winner] {
+			winner = c
+		}
+	}
+	return winner
+}
+
+// AccuracyWeightedVote aggregates votes using a static per-(sensor, class)
+// accuracy table as weights — the "simple solution" §III-C considers and
+// rejects in favour of softmax-variance confidence. Provided for the
+// weighting ablation bench.
+func AccuracyWeightedVote(votes []Vote, acc [][]float64, classes int) int {
+	if len(votes) == 0 {
+		return -1
+	}
+	scores := make([]float64, classes)
+	seen := make([]bool, classes)
+	for _, v := range votes {
+		scores[v.Class] += acc[v.Sensor][v.Class]
+		seen[v.Class] = true
+	}
+	winner := -1
+	for c := 0; c < classes; c++ {
+		if !seen[c] {
+			continue
+		}
+		if winner == -1 || scores[c] > scores[winner] {
+			winner = c
+		}
+	}
+	return winner
+}

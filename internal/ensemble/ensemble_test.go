@@ -1,0 +1,381 @@
+package ensemble
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"origin/internal/dnn"
+	"origin/internal/tensor"
+)
+
+func TestConfidenceMeasure(t *testing.T) {
+	oneHot := tensor.FromSlice([]float64{1, 0, 0, 0}, 4)
+	uniform := tensor.FromSlice([]float64{0.25, 0.25, 0.25, 0.25}, 4)
+	mid := tensor.FromSlice([]float64{0.8, 0.05, 0.08, 0.07}, 4)
+	if Confidence(uniform) != 0 {
+		t.Fatalf("uniform confidence = %v, want 0", Confidence(uniform))
+	}
+	if !(Confidence(oneHot) > Confidence(mid) && Confidence(mid) > Confidence(uniform)) {
+		t.Fatal("confidence should order one-hot > partial > uniform (paper's C1/C2 example)")
+	}
+}
+
+func TestMajorityVoteBasics(t *testing.T) {
+	votes := []Vote{
+		{Sensor: 0, Class: 2, Confidence: 0.1},
+		{Sensor: 1, Class: 2, Confidence: 0.1},
+		{Sensor: 2, Class: 1, Confidence: 0.9},
+	}
+	if got := MajorityVote(votes, 3); got != 2 {
+		t.Fatalf("majority = %d, want 2", got)
+	}
+}
+
+func TestMajorityVoteTieBreaksNaively(t *testing.T) {
+	// The baseline tie-break is deliberately naive (lowest class wins):
+	// intelligent tie resolution is the confidence matrix's job (§III-D).
+	votes := []Vote{
+		{Sensor: 0, Class: 1, Confidence: 0.2},
+		{Sensor: 1, Class: 0, Confidence: 0.8},
+	}
+	if got := MajorityVote(votes, 2); got != 0 {
+		t.Fatalf("naive tie-break = %d, want 0 (lowest class)", got)
+	}
+}
+
+func TestMajorityVoteEmpty(t *testing.T) {
+	if got := MajorityVote(nil, 3); got != -1 {
+		t.Fatalf("empty vote = %d, want -1", got)
+	}
+}
+
+func TestMajorityVoteInvalidClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vote did not panic")
+		}
+	}()
+	MajorityVote([]Vote{{Class: 5}}, 3)
+}
+
+func TestMatrixUpdateMovingAverage(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Alpha = 0.5
+	m.Set(0, 1, 0.2)
+	m.Update(0, 1, 0.6)
+	if got := m.At(0, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("updated weight = %v, want 0.4", got)
+	}
+	// Negative confidences are clamped.
+	m.Update(0, 1, -5)
+	if got := m.At(0, 1); got != 0.2 {
+		t.Fatalf("weight after clamped update = %v, want 0.2", got)
+	}
+}
+
+func TestMatrixUpdateConvergesToObservation(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Alpha = 0.1
+	for i := 0; i < 400; i++ {
+		m.Update(0, 0, 0.07)
+	}
+	if math.Abs(m.At(0, 0)-0.07) > 1e-6 {
+		t.Fatalf("matrix did not converge: %v", m.At(0, 0))
+	}
+}
+
+func TestWeightedVoteUsesPerClassWeights(t *testing.T) {
+	// Ankle is generally stronger, but the chest is the climbing expert:
+	// a lone confident chest vote for climbing must beat two votes for
+	// walking when the walking voters are weak on walking.
+	m := NewMatrix(3, 2) // classes: 0=walking, 1=climbing
+	m.Set(0, 1, 0.20)    // chest trusted on climbing
+	m.Set(0, 0, 0.02)
+	m.Set(1, 0, 0.05) // ankle mediocre on walking
+	m.Set(1, 1, 0.04)
+	m.Set(2, 0, 0.04) // wrist weak on walking
+	m.Set(2, 1, 0.03)
+	votes := []Vote{
+		{Sensor: 0, Class: 1, Fresh: true},
+		{Sensor: 1, Class: 0, Fresh: false},
+		{Sensor: 2, Class: 0, Fresh: false},
+	}
+	if got := m.WeightedVote(votes, 2); got != 1 {
+		t.Fatalf("weighted vote = %d, want 1 (chest expertise should win)", got)
+	}
+	// Plain majority disagrees — that disagreement is Origin's edge.
+	if got := MajorityVote(votes, 2); got != 0 {
+		t.Fatalf("majority = %d, want 0", got)
+	}
+}
+
+func TestWeightedVoteRecallDiscount(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0.10)
+	m.Set(1, 1, 0.12)
+	m.RecallDiscount = 0.5
+	votes := []Vote{
+		{Sensor: 0, Class: 0, Fresh: true},
+		{Sensor: 1, Class: 1, Fresh: false}, // discounted: 0.06 < 0.10
+	}
+	if got := m.WeightedVote(votes, 2); got != 0 {
+		t.Fatalf("discounted recall should lose, got %d", got)
+	}
+	m.RecallDiscount = 1
+	if got := m.WeightedVote(votes, 2); got != 1 {
+		t.Fatalf("undiscounted recall should win, got %d", got)
+	}
+}
+
+func TestWeightedVoteEmptyAndMismatch(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if got := m.WeightedVote(nil, 2); got != -1 {
+		t.Fatalf("empty weighted vote = %d, want -1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("class-count mismatch did not panic")
+		}
+	}()
+	m.WeightedVote([]Vote{{Class: 0}}, 3)
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0.5)
+	c := m.Clone()
+	c.Set(0, 0, 0.9)
+	if m.At(0, 0) != 0.5 {
+		t.Fatal("clone shares storage")
+	}
+	if c.Alpha != m.Alpha || c.RecallDiscount != m.RecallDiscount {
+		t.Fatal("clone lost configuration")
+	}
+}
+
+func TestAccuracyWeightedVote(t *testing.T) {
+	acc := [][]float64{{0.9, 0.3}, {0.4, 0.8}}
+	votes := []Vote{
+		{Sensor: 0, Class: 0},
+		{Sensor: 1, Class: 1},
+	}
+	if got := AccuracyWeightedVote(votes, acc, 2); got != 0 {
+		t.Fatalf("accuracy-weighted vote = %d, want 0", got)
+	}
+	if got := AccuracyWeightedVote(nil, acc, 2); got != -1 {
+		t.Fatalf("empty = %d, want -1", got)
+	}
+}
+
+// trainedPair returns a small trained net and a test set for BuildMatrix
+// integration tests.
+func trainedPair(t *testing.T, seed int64) (*dnn.Network, []dnn.Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int) []dnn.Sample {
+		samples := make([]dnn.Sample, 0, n)
+		for i := 0; i < n; i++ {
+			label := i % 3
+			x := tensor.New(2, 16)
+			x.RandNormal(rng, float64(label)*1.2, 0.5)
+			samples = append(samples, dnn.Sample{X: x, Label: label})
+		}
+		return samples
+	}
+	net := dnn.NewHARNetwork(rng, dnn.HARConfig{
+		Channels: 2, Window: 16, Classes: 3,
+		Conv1Out: 3, Conv2Out: 4, Kernel: 3, Pool: 2, Hidden: 6,
+	})
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 10
+	dnn.Train(net, mk(90), cfg)
+	return net, mk(45)
+}
+
+func TestBuildMatrixFromNetworks(t *testing.T) {
+	net, test := trainedPair(t, 21)
+	m := BuildMatrix([]*dnn.Network{net}, [][]dnn.Sample{test}, 3)
+	for c := 0; c < 3; c++ {
+		if m.At(0, c) <= 0 {
+			t.Fatalf("matrix entry (0,%d) = %v, want > 0", c, m.At(0, c))
+		}
+	}
+}
+
+func TestBuildAccuracyTable(t *testing.T) {
+	net, test := trainedPair(t, 22)
+	acc := BuildAccuracyTable([]*dnn.Network{net}, [][]dnn.Sample{test}, 3)
+	if len(acc) != 1 || len(acc[0]) != 3 {
+		t.Fatalf("table shape = %dx%d", len(acc), len(acc[0]))
+	}
+	for c, a := range acc[0] {
+		if a < 0 || a > 1 {
+			t.Fatalf("accuracy[0][%d] = %v out of [0,1]", c, a)
+		}
+	}
+}
+
+func TestBuildMatrixMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched BuildMatrix input did not panic")
+		}
+	}()
+	BuildMatrix([]*dnn.Network{nil}, nil, 3)
+}
+
+// prop: with a unanimous vote, every aggregation method returns that class.
+func TestUnanimityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		classes := 2 + rng.Intn(5)
+		sensors := 1 + rng.Intn(4)
+		class := rng.Intn(classes)
+		m := NewMatrix(sensors, classes)
+		votes := make([]Vote, sensors)
+		acc := make([][]float64, sensors)
+		for s := 0; s < sensors; s++ {
+			votes[s] = Vote{Sensor: s, Class: class, Confidence: rng.Float64(), Fresh: rng.Intn(2) == 0}
+			acc[s] = make([]float64, classes)
+			for c := range acc[s] {
+				acc[s][c] = rng.Float64()
+			}
+			for c := 0; c < classes; c++ {
+				m.Set(s, c, rng.Float64())
+			}
+		}
+		return MajorityVote(votes, classes) == class &&
+			m.WeightedVote(votes, classes) == class &&
+			AccuracyWeightedVote(votes, acc, classes) == class
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prop: matrix weights stay non-negative and bounded by the max of the
+// initial weight and all observations.
+func TestMatrixBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(2, 3)
+		maxObs := 1e-3 // initial prior
+		for i := 0; i < 200; i++ {
+			obs := rng.Float64() * 0.25
+			if obs > maxObs {
+				maxObs = obs
+			}
+			m.Update(rng.Intn(2), rng.Intn(3), obs)
+		}
+		for s := 0; s < 2; s++ {
+			for c := 0; c < 3; c++ {
+				w := m.At(s, c)
+				if w < 0 || w > maxObs+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWeightedVote(b *testing.B) {
+	m := NewMatrix(3, 6)
+	votes := []Vote{
+		{Sensor: 0, Class: 1, Fresh: true},
+		{Sensor: 1, Class: 1},
+		{Sensor: 2, Class: 4},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WeightedVote(votes, 6)
+	}
+}
+
+func TestMatrixSaveLoadRoundTrip(t *testing.T) {
+	m := NewMatrix(3, 6)
+	rng := rand.New(rand.NewSource(51))
+	for s := 0; s < 3; s++ {
+		for c := 0; c < 6; c++ {
+			m.Set(s, c, rng.Float64()*0.2)
+		}
+	}
+	m.Alpha = 0.07
+	m.RecallDiscount = 0.9
+	m.RecallDecayPerSlot = 0.99
+	m.UseInstantFresh = false
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := LoadMatrix(&buf)
+	if err != nil {
+		t.Fatalf("LoadMatrix: %v", err)
+	}
+	if back.Alpha != m.Alpha || back.RecallDiscount != m.RecallDiscount ||
+		back.RecallDecayPerSlot != m.RecallDecayPerSlot || back.UseInstantFresh != m.UseInstantFresh {
+		t.Fatal("tuning fields did not round-trip")
+	}
+	for s := 0; s < 3; s++ {
+		for c := 0; c < 6; c++ {
+			if back.At(s, c) != m.At(s, c) {
+				t.Fatalf("weight (%d,%d) %v != %v", s, c, back.At(s, c), m.At(s, c))
+			}
+		}
+	}
+}
+
+func TestMatrixFileRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 1, 0.123456789)
+	path := t.TempDir() + "/matrix.txt"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadMatrixFile(path)
+	if err != nil {
+		t.Fatalf("LoadMatrixFile: %v", err)
+	}
+	if back.At(1, 1) != 0.123456789 {
+		t.Fatalf("weight = %v", back.At(1, 1))
+	}
+}
+
+func TestLoadMatrixRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"WRONGMAGIC\n1 1 0.05 1 1 true\n0.1\n",
+		"ORGNCMX1\n1 1 0.05 1\n0.1\n",             // short header
+		"ORGNCMX1\n2 2 0.05 1 1 true\n0.1 0.2\n",  // truncated rows
+		"ORGNCMX1\n1 2 0.05 1 1 true\n0.1 x\n",    // non-numeric cell
+		"ORGNCMX1\n1 2 0.05 1 1 true\n0.1 -0.2\n", // negative weight
+		"ORGNCMX1\n0 2 0.05 1 1 true\n",           // bad geometry
+	}
+	for i, c := range cases {
+		if _, err := LoadMatrix(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+// prop: LoadMatrix never panics on arbitrary input.
+func TestLoadMatrixNeverPanicsQuick(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = LoadMatrix(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

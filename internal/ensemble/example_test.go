@@ -1,0 +1,45 @@
+package ensemble_test
+
+import (
+	"fmt"
+
+	"origin/internal/ensemble"
+)
+
+func ExampleMajorityVote() {
+	votes := []ensemble.Vote{
+		{Sensor: 0, Class: 2},
+		{Sensor: 1, Class: 2},
+		{Sensor: 2, Class: 0},
+	}
+	fmt.Println(ensemble.MajorityVote(votes, 3))
+	// Output: 2
+}
+
+func ExampleMatrix_WeightedVote() {
+	// The chest is the climbing expert (class 1): its lone confident vote
+	// overrules two weak walking votes — the flip naive majority cannot do.
+	m := ensemble.NewMatrix(3, 2)
+	m.UseInstantFresh = false
+	m.Set(0, 1, 0.20)
+	m.Set(1, 0, 0.05)
+	m.Set(2, 0, 0.04)
+	votes := []ensemble.Vote{
+		{Sensor: 0, Class: 1, Fresh: true},
+		{Sensor: 1, Class: 0},
+		{Sensor: 2, Class: 0},
+	}
+	fmt.Println(m.WeightedVote(votes, 2), ensemble.MajorityVote(votes, 2))
+	// Output: 1 0
+}
+
+func ExampleMatrix_Update() {
+	// The moving average folds each transmitted confidence score into the
+	// per-(sensor, class) weight — the Fig. 6 personalisation step.
+	m := ensemble.NewMatrix(1, 2)
+	m.Alpha = 0.5
+	m.Set(0, 1, 0.10)
+	m.Update(0, 1, 0.30)
+	fmt.Printf("%.2f\n", m.At(0, 1))
+	// Output: 0.20
+}

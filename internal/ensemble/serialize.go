@@ -1,0 +1,119 @@
+package ensemble
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Matrix persistence. The adapted confidence matrix is the host's learned
+// personalisation (Fig. 6); persisting it means a device reboot or app
+// restart resumes with the user's weights instead of the factory ones.
+// The format is line-oriented text: a magic line, a header with geometry
+// and tuning, then one row of weights per sensor.
+
+const matrixMagic = "ORGNCMX1"
+
+// Save writes the matrix to w.
+func (m *Matrix) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, matrixMagic)
+	fmt.Fprintf(bw, "%d %d %.17g %.17g %.17g %t\n",
+		m.sensors, m.classes, m.Alpha, m.RecallDiscount, m.RecallDecayPerSlot, m.UseInstantFresh)
+	for s := 0; s < m.sensors; s++ {
+		for c := 0; c < m.classes; c++ {
+			if c > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%.17g", m.w[s][c])
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ensemble: save matrix: %w", err)
+	}
+	return nil
+}
+
+// LoadMatrix reads a matrix written by Save.
+func LoadMatrix(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != matrixMagic {
+		return nil, fmt.Errorf("ensemble: bad matrix magic")
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("ensemble: missing matrix header")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 6 {
+		return nil, fmt.Errorf("ensemble: matrix header has %d fields, want 6", len(fields))
+	}
+	sensors, err1 := strconv.Atoi(fields[0])
+	classes, err2 := strconv.Atoi(fields[1])
+	alpha, err3 := strconv.ParseFloat(fields[2], 64)
+	discount, err4 := strconv.ParseFloat(fields[3], 64)
+	decay, err5 := strconv.ParseFloat(fields[4], 64)
+	instant, err6 := strconv.ParseBool(fields[5])
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: matrix header: %w", err)
+		}
+	}
+	if sensors <= 0 || classes <= 0 {
+		return nil, fmt.Errorf("ensemble: invalid matrix geometry %d×%d", sensors, classes)
+	}
+	m := NewMatrix(sensors, classes)
+	m.Alpha = alpha
+	m.RecallDiscount = discount
+	m.RecallDecayPerSlot = decay
+	m.UseInstantFresh = instant
+	for s := 0; s < sensors; s++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("ensemble: matrix truncated at row %d", s)
+		}
+		cells := strings.Fields(sc.Text())
+		if len(cells) != classes {
+			return nil, fmt.Errorf("ensemble: matrix row %d has %d cells, want %d", s, len(cells), classes)
+		}
+		for c, cell := range cells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ensemble: matrix row %d col %d: %w", s, c, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("ensemble: matrix row %d col %d negative", s, c)
+			}
+			m.w[s][c] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ensemble: matrix scan: %w", err)
+	}
+	return m, nil
+}
+
+// SaveFile writes the matrix to path.
+func (m *Matrix) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ensemble: save %s: %w", path, err)
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMatrixFile reads a matrix from path.
+func LoadMatrixFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadMatrix(f)
+}

@@ -1,0 +1,165 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation, the calibration constants that make the Fig. 1 completion
+// statistics land near the published numbers, and the trained-system
+// builder shared by all of them.
+//
+// Every driver is deterministic for fixed seeds and returns a typed result
+// with a String() renderer that prints the same rows/series the paper
+// reports. The absolute numbers come from our simulator and synthetic
+// substrates, so they are compared to the paper by *shape* (who wins, by
+// roughly what factor, where crossovers fall) — see EXPERIMENTS.md.
+package experiments
+
+import (
+	"origin/internal/dnn"
+	"origin/internal/energy"
+	"origin/internal/sensor"
+	"origin/internal/sim"
+	"origin/internal/synth"
+)
+
+// Window is the IMU samples per classification window (1.28 s at 50 Hz).
+const Window = 64
+
+// Calibrated energy/trace constants. All figures share these; they were
+// chosen so that (a) a Baseline-1 inference cannot complete on the average
+// per-slot harvest (driving Fig. 1's failures), (b) the Baseline-2 MAC
+// budget equals the average harvested power over one slot (the paper's
+// pruning rule), and (c) RR12 gives Baseline-2 nets essentially full
+// completion (driving Fig. 5's RR-width trend).
+const (
+	// TraceMeanTargetW is the average harvested power the WiFi trace is
+	// generated to deliver (the realised mean of the calibrated generator
+	// is ≈121 µW; dead periods pull it below the burst arithmetic).
+	TraceMeanTargetW = 121e-6
+	// OverheadMACs is the fixed per-inference cost (IMU capture, control)
+	// in MAC-equivalents: 5 µJ at 2 nJ/MAC.
+	OverheadMACs = 2500
+	// MACsPerSecond is the NVP throughput (active power 1 mW).
+	MACsPerSecond = 500e3
+	// IdleW is the node's continuous draw (IMU sampling at 50 Hz plus the
+	// sleep controller). Harvest below this level never accumulates, which
+	// is what makes narrow ER-r widths energy-scarce for Baseline-2 nets
+	// (the paper's "below RR-12 might lead to energy scarcity at times").
+	IdleW = 40e-6
+)
+
+// HarvestScale returns the per-location harvesting multiplier: sensors at
+// different body locations harvest different amounts (antenna orientation,
+// body shadowing) — one of the scheduling asymmetries §I calls out.
+func HarvestScale(loc synth.Location) float64 {
+	switch loc {
+	case synth.Chest:
+		return 1.10
+	case synth.LeftAnkle:
+		return 0.85
+	case synth.RightWrist:
+		return 1.00
+	default:
+		return 1.0
+	}
+}
+
+// B1Config returns the Baseline-1 per-sensor architecture: the "original
+// DNNs built along the lines of [11], [14] (without any pruning)".
+func B1Config(classes int) dnn.HARConfig {
+	return dnn.HARConfig{
+		Channels: synth.Channels,
+		Window:   Window,
+		Classes:  classes,
+		Conv1Out: 16,
+		Conv2Out: 24,
+		Kernel:   5,
+		Pool:     2,
+		Hidden:   48,
+	}
+}
+
+// B2BudgetMACs derives the Baseline-2 pruning budget from an actual trace
+// mean: the energy one slot of average harvesting delivers, minus the fixed
+// overhead, converted to MACs — "pruned ... to fit the average harvested
+// power budget from our harvesting trace" (§IV-C).
+// The budget is the average energy *surplus* (harvest minus idle draw) a
+// sensor accumulates over one RR12 inference period (4 slots — the duty the
+// paper settles on as "the best fit for HAR"), minus the fixed
+// per-inference overhead. This matches the abstract's
+// framing: Baseline-2 runs continuously at the same average power the
+// harvester delivers.
+func B2BudgetMACs(traceMeanW float64, proc float64) int {
+	energyPerMAC := 2e-9
+	period := 4 * sim.SlotSeconds
+	budgetJ := (traceMeanW-IdleW)*period - float64(OverheadMACs)*energyPerMAC
+	if budgetJ <= 0 {
+		return 1
+	}
+	return int(budgetJ / energyPerMAC)
+}
+
+// ExperimentTrace generates the shared office WiFi harvesting trace used by
+// all EH runs, calibrated to TraceMeanTargetW with short, tall traffic
+// bursts: the peakiness is what lets a naive always-on node occasionally
+// complete a Baseline-1 inference within one slot (Fig. 1a ≈ 10%) while a
+// 3-slot round-robin accumulation window succeeds only when a burst lands
+// in it (Fig. 1b ≈ 28%).
+func ExperimentTrace(durationS float64, seed int64) *energy.Trace {
+	cfg := energy.DefaultWiFiTraceConfig(durationS, seed)
+	cfg.BasePower = 55e-6
+	cfg.BurstPower = 700e-6
+	cfg.BurstOnMean = 0.7
+	cfg.BurstOffMean = 4.2
+	return energy.GenerateWiFiTrace(cfg)
+}
+
+// B2ConfigFor returns the Baseline-2 architecture: the B1 architecture
+// scaled down until one inference fits budgetMACs. This mirrors what the
+// paper's energy-aware optimisations (NetAdapt, ECCV'18; energy-aware
+// pruning, CVPR'17) produce — a structurally smaller network adapted to a
+// platform energy budget — and trains far better than zeroing 85% of a
+// large net's weights.
+// The Baseline-2 architecture is *shallow* (single conv stage,
+// dnn.NewShallowHARNetwork): aggressive energy-aware pruning removes
+// structure, not just width, and the missing second feature stage is what
+// costs Baseline-2 its accuracy relative to Baseline-1 even when the MAC
+// budget would allow a wide single stage.
+func B2ConfigFor(budgetMACs, classes int) dnn.HARConfig {
+	base := B1Config(classes)
+	for scale := 1.0; scale > 0.02; scale *= 0.92 {
+		cfg := base
+		cfg.Conv1Out = maxInt(3, int(float64(base.Conv1Out)*scale))
+		cfg.Hidden = maxInt(8, int(float64(base.Hidden)*scale))
+		if shallowMACs(cfg) <= budgetMACs {
+			return cfg
+		}
+	}
+	cfg := base
+	cfg.Conv1Out, cfg.Hidden = 3, 8
+	return cfg
+}
+
+// shallowMACs analytically counts the dense per-inference MACs of the
+// shallow Baseline-2 network (conv–pool–dense–dense).
+func shallowMACs(cfg dnn.HARConfig) int {
+	w1 := cfg.Window - cfg.Kernel + 1
+	p1 := w1 / cfg.Pool
+	conv1 := cfg.Conv1Out * cfg.Channels * cfg.Kernel * w1
+	dense1 := p1 * cfg.Conv1Out * cfg.Hidden
+	dense2 := cfg.Hidden * cfg.Classes
+	return conv1 + dense1 + dense2
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewNode builds one calibrated sensor node around net, with the node's
+// location-scaled view of the shared trace.
+func NewNode(id int, loc synth.Location, net *dnn.Network, trace *energy.Trace) *sensor.Node {
+	cfg := sensor.DefaultConfig(id, loc, net, trace.Scale(HarvestScale(loc)))
+	cfg.Proc.MACsPerSecond = MACsPerSecond
+	cfg.OverheadMACs = OverheadMACs
+	cfg.IdleW = IdleW
+	return sensor.New(cfg)
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"origin/internal/dnn"
+	"origin/internal/synth"
+	"origin/internal/tensor"
+)
+
+// The paper's Discussion contrasts Origin's distributed ensemble with "a
+// larger and unpruned centralized DNN that is more failure-prone and power
+// hungry": one network consuming all three sensors' raw data at a central
+// point. This file builds that comparator — an 18-channel CNN over the
+// concatenated chest/ankle/wrist windows — and the failure study that goes
+// with it: when one sensor dies, the centralized model loses a third of its
+// input everywhere, while Origin merely loses one voter.
+
+// CentralChannels is the stacked input depth: 3 sensors × 6 IMU channels.
+const CentralChannels = 3 * synth.Channels
+
+// CentralConfig returns the centralized architecture: the Baseline-1 stage
+// widths over the triple-depth input.
+func CentralConfig(classes int) dnn.HARConfig {
+	cfg := B1Config(classes)
+	cfg.Channels = CentralChannels
+	cfg.Conv1Out = 24
+	return cfg
+}
+
+// makeCentralSamples synthesises aligned 18-channel windows: all three
+// locations observe the same body state, exactly as a fusion point would
+// receive them.
+func makeCentralSamples(p *synth.Profile, users []*synth.User, perClass int, seed int64) []dnn.Sample {
+	gens := make([][]*synth.Generator, len(users))
+	for ui, u := range users {
+		gens[ui] = make([]*synth.Generator, synth.NumLocations)
+		for _, loc := range synth.Locations() {
+			gens[ui][loc] = synth.NewGenerator(p, u, Window, seed+int64(ui)*977+int64(loc)*31)
+		}
+	}
+	bodyRng := newRand(seed + 555)
+	classes := p.NumClasses()
+	samples := make([]dnn.Sample, 0, classes*perClass)
+	for i := 0; i < perClass; i++ {
+		ui := i % len(users)
+		for c := 0; c < classes; c++ {
+			st := synth.DrawBodyState(bodyRng)
+			x := tensor.New(CentralChannels, Window)
+			for _, loc := range synth.Locations() {
+				w := gens[ui][loc].WindowWithState(c, loc, st)
+				copy(x.Data()[int(loc)*synth.Channels*Window:], w.Data())
+			}
+			samples = append(samples, dnn.Sample{X: x, Label: c})
+		}
+	}
+	return samples
+}
+
+// BuildCentralized trains (or loads from cache) the centralized fusion
+// network for sys's profile.
+func BuildCentralized(sys *System) *dnn.Network {
+	path := netPath(cacheDir(), sys.Profile.Name, "central", 0)
+	if n, err := dnn.LoadFile(path); err == nil {
+		return n
+	}
+	samples := makeCentralSamples(sys.Profile, TrainingPopulation(), 140, 700)
+	train, test := splitCentral(samples)
+	net := bestOfSeeds(train, test, func(seed int64) *dnn.Network {
+		n := dnn.NewHARNetwork(rand.New(rand.NewSource(seed)), CentralConfig(sys.Profile.NumClasses()))
+		cfg := dnn.DefaultTrainConfig()
+		cfg.Epochs = 45
+		cfg.Seed = seed
+		dnn.Train(n, train, cfg)
+		return n
+	}, 2100, 2200)
+	if err := os.MkdirAll(cacheDir(), 0o755); err == nil {
+		_ = dnn.SaveFile(path, net)
+	}
+	return net
+}
+
+func splitCentral(samples []dnn.Sample) (train, test []dnn.Sample) {
+	// Deterministic 3:1 interleaved split keeps classes balanced.
+	for i, s := range samples {
+		if i%4 == 3 {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, test
+}
+
+// CentralizedResult compares the centralized fusion DNN with Origin's
+// distributed ensemble, healthy and under a sensor failure.
+type CentralizedResult struct {
+	// CentralMACs is the fusion net's per-inference cost; DistributedMACs
+	// the sum of the three Baseline-2 nets (the "power hungry" contrast).
+	CentralMACs, DistributedMACs int
+	// CentralHealthy and OriginHealthy are accuracies with all sensors up.
+	CentralHealthy, OriginHealthy float64
+	// CentralFailed and OriginFailed are accuracies with the failed sensor
+	// (its input zeroed / its node dead).
+	CentralFailed, OriginFailed float64
+	// FailedSensor names the disabled location.
+	FailedSensor string
+}
+
+// RunCentralized evaluates the Discussion's comparison. The failed sensor
+// is the left ankle — the strongest individual classifier, i.e. the worst
+// case for both systems.
+func RunCentralized(sys *System, slots int, seed int64) *CentralizedResult {
+	if slots == 0 {
+		slots = 6000
+	}
+	central := BuildCentralized(sys)
+	res := &CentralizedResult{
+		CentralMACs:  central.MACs(),
+		FailedSensor: synth.LeftAnkle.String(),
+	}
+	for _, n := range sys.NetsB2 {
+		res.DistributedMACs += n.MACs()
+	}
+
+	// Centralized accuracy over aligned evaluation windows, healthy and
+	// with the ankle's channel block zeroed (sensor dead ⇒ no data).
+	eval := makeCentralSamples(sys.Profile, []*synth.User{synth.NewUser(0)}, 200, seed+40_000)
+	correctH, correctF := 0, 0
+	for _, s := range eval {
+		if c, _ := central.Predict(s.X); c == s.Label {
+			correctH++
+		}
+		dead := s.X.Clone()
+		base := int(synth.LeftAnkle) * synth.Channels * Window
+		for i := 0; i < synth.Channels*Window; i++ {
+			dead.Data()[base+i] = 0
+		}
+		if c, _ := central.Predict(dead); c == s.Label {
+			correctF++
+		}
+	}
+	res.CentralHealthy = float64(correctH) / float64(len(eval))
+	res.CentralFailed = float64(correctF) / float64(len(eval))
+
+	// Origin healthy vs Origin with a dead ankle node.
+	healthy := RunPolicy(sys, RunOpts{Width: 12, Kind: PolicyOrigin, Slots: slots, Seed: seed})
+	res.OriginHealthy = healthy.RoundAccuracy()
+	failed := RunPolicy(sys, RunOpts{
+		Width: 12, Kind: PolicyOrigin, Slots: slots, Seed: seed,
+		DeadSensor: int(synth.LeftAnkle) + 1, // 1-based to keep zero value = none
+	})
+	res.OriginFailed = failed.RoundAccuracy()
+	return res
+}
+
+// String renders the comparison.
+func (r *CentralizedResult) String() string {
+	return fmt.Sprintf(
+		"Discussion — centralized fusion DNN vs Origin's distributed ensemble:\n"+
+			"  per-inference cost: centralized %d MACs vs distributed 3×B2 = %d MACs\n"+
+			"  healthy:            centralized %s vs Origin %s\n"+
+			"  %s dead:    centralized %s vs Origin %s\n"+
+			"  (the centralized model loses a third of its input everywhere; Origin loses one voter)\n",
+		r.CentralMACs, r.DistributedMACs,
+		pct(r.CentralHealthy), pct(r.OriginHealthy),
+		r.FailedSensor, pct(r.CentralFailed), pct(r.OriginFailed))
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"origin/internal/ensemble"
+	"origin/internal/host"
+	"origin/internal/schedule"
+	"origin/internal/sensor"
+	"origin/internal/sim"
+	"origin/internal/synth"
+)
+
+// The paper's footnote 1: "This can also be extended to larger numbers of
+// sensors and modalities". This file implements that extension: a five-node
+// body-area network that adds a right-ankle and a left-wrist unit (the
+// mirrored limbs share the contralateral limb's motion signature — gait is
+// symmetric up to phase, and the ensemble never sees phase). Every Origin
+// mechanism generalises unchanged: the rank table and confidence matrix
+// gain rows, ER-r widths scale as multiples of the node count, and the
+// width is chosen to hold the per-inference stride at four slots so the
+// 3-sensor (RR12) and 5-sensor (RR20) systems see identical duty.
+
+// ExtendedCell is one network size's outcome.
+type ExtendedCell struct {
+	// Sensors is the node count; Width the ER-r width used.
+	Sensors, Width int
+	// Accuracy is round-level top-1; Completion the attempt completion rate.
+	Accuracy, Completion float64
+}
+
+// ExtendedResult compares network sizes.
+type ExtendedResult struct {
+	// Cells holds one row per network size.
+	Cells []ExtendedCell
+}
+
+// String renders the comparison.
+func (r *ExtendedResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — scaling the body-area network (footnote 1):\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %d sensors (RR%d, 4-slot stride)   acc=%s complete=%s\n",
+			c.Sensors, c.Width, pct(c.Accuracy), pct(c.Completion))
+	}
+	return b.String()
+}
+
+// extendedLocations maps node ids to the signature location each extra node
+// reuses (mirrored limbs).
+var extendedLocations = []synth.Location{
+	synth.Chest,
+	synth.LeftAnkle,
+	synth.RightWrist,
+	synth.LeftAnkle,  // right ankle — mirrored
+	synth.RightWrist, // left wrist — mirrored
+}
+
+// RunExtendedNetwork runs RR12-Origin with 3 sensors and RR20-Origin with 5
+// sensors on the same timeline and compares them.
+func RunExtendedNetwork(sys *System, slots int, seed int64) *ExtendedResult {
+	if slots == 0 {
+		slots = 6000
+	}
+	res := &ExtendedResult{}
+	three := RunPolicy(sys, RunOpts{Width: 12, Kind: PolicyOrigin, Slots: slots, Seed: seed})
+	_, atLeast3, _ := three.Completion.Rates()
+	res.Cells = append(res.Cells, ExtendedCell{
+		Sensors: 3, Width: 12, Accuracy: three.RoundAccuracy(), Completion: atLeast3,
+	})
+
+	five := runFiveSensorOrigin(sys, slots, seed)
+	_, atLeast5, _ := five.Completion.Rates()
+	res.Cells = append(res.Cells, ExtendedCell{
+		Sensors: 5, Width: 20, Accuracy: five.RoundAccuracy(), Completion: atLeast5,
+	})
+	return res
+}
+
+func runFiveSensorOrigin(sys *System, slots int, seed int64) *sim.Result {
+	p := sys.Profile
+	classes := p.NumClasses()
+	n := len(extendedLocations)
+
+	tl := synth.GenerateTimeline(p, synth.DefaultTimelineConfig(slots, seed))
+	trace := ExperimentTrace(float64(slots)*sim.SlotSeconds+10, seed+13)
+
+	nodes := make([]*sensor.Node, n)
+	for id, loc := range extendedLocations {
+		nodes[id] = NewNode(id, loc, sys.NetsB2[loc].Clone(), trace)
+	}
+
+	// Extend the confidence matrix and accuracy table by duplicating the
+	// mirrored limbs' rows — the same classifier sees statistically
+	// identical data on the contralateral limb.
+	matrix := ensemble.NewMatrix(n, classes)
+	matrix.Alpha = sys.Matrix.Alpha
+	acc := make([][]float64, n)
+	for id, loc := range extendedLocations {
+		acc[id] = append([]float64(nil), sys.AccTable[loc]...)
+		for c := 0; c < classes; c++ {
+			matrix.Set(id, c, sys.Matrix.At(int(loc), c))
+		}
+	}
+	ranks := schedule.NewRankTable(acc)
+
+	const width = 20 // 5 sensors × 4-slot stride, matching RR12's duty
+	h := host.New(host.Config{
+		Sensors: n, Classes: classes,
+		Recall: true, StaleLimit: 2 * width,
+		Agg: host.AggWeighted, Matrix: matrix, Adaptive: true,
+	})
+	return sim.Run(sim.Config{
+		Profile: p, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: schedule.NewAAS(width, n, ranks), Host: h,
+		Window: Window, Seed: seed + 29, WarmupSlots: 2 * width,
+	})
+}

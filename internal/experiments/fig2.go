@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"origin/internal/ensemble"
+	"origin/internal/synth"
+)
+
+// Fig2Result reproduces Fig. 2: accuracy of the individual per-location
+// DNNs and of their majority-voting ensemble, per activity, fully powered.
+type Fig2Result struct {
+	// Activities holds the class labels (row order of the columns below).
+	Activities []string
+	// PerSensor[loc][class] is the per-activity accuracy of the sensor at
+	// that location.
+	PerSensor [][]float64
+	// Majority[class] is the per-activity accuracy of 3-sensor naive
+	// majority voting over aligned windows.
+	Majority []float64
+	// Windows is the number of evaluation windows per class.
+	Windows int
+}
+
+// Fig2Config controls the run; zero values take defaults.
+type Fig2Config struct {
+	// WindowsPerClass is the number of aligned evaluation rounds per class
+	// (default 150).
+	WindowsPerClass int
+	// Seed drives window synthesis.
+	Seed int64
+}
+
+// RunFig2 evaluates the deployed (Baseline-2) nets on aligned windows: for
+// each round, the three locations sense the same body state, each net
+// classifies its own view, and the ensemble majority-votes — exactly the
+// fully-powered ensemble the paper's Fig. 2 reports.
+func RunFig2(sys *System, cfg Fig2Config) *Fig2Result {
+	if cfg.WindowsPerClass == 0 {
+		cfg.WindowsPerClass = 150
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	p := sys.Profile
+	classes := p.NumClasses()
+	res := &Fig2Result{
+		Activities: append([]string(nil), p.Activities...),
+		Majority:   make([]float64, classes),
+		Windows:    cfg.WindowsPerClass,
+	}
+	res.PerSensor = make([][]float64, synth.NumLocations)
+	for i := range res.PerSensor {
+		res.PerSensor[i] = make([]float64, classes)
+	}
+
+	gens := make([]*synth.Generator, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		gens[loc] = synth.NewGenerator(p, synth.NewUser(0), Window, cfg.Seed+int64(loc)*7919)
+	}
+	bodyRng := newRand(cfg.Seed + 555)
+
+	for c := 0; c < classes; c++ {
+		majCorrect := 0
+		correct := make([]int, synth.NumLocations)
+		for i := 0; i < cfg.WindowsPerClass; i++ {
+			st := synth.DrawBodyState(bodyRng)
+			votes := make([]ensemble.Vote, 0, synth.NumLocations)
+			for _, loc := range synth.Locations() {
+				w := gens[loc].WindowWithState(c, loc, st)
+				pred, probs := sys.NetsB2[loc].Predict(w)
+				if pred == c {
+					correct[loc]++
+				}
+				votes = append(votes, ensemble.Vote{
+					Sensor: int(loc), Class: pred,
+					Confidence: probs.Variance(), Fresh: true,
+				})
+			}
+			if ensemble.MajorityVote(votes, classes) == c {
+				majCorrect++
+			}
+		}
+		for _, loc := range synth.Locations() {
+			res.PerSensor[loc][c] = float64(correct[loc]) / float64(cfg.WindowsPerClass)
+		}
+		res.Majority[c] = float64(majCorrect) / float64(cfg.WindowsPerClass)
+	}
+	return res
+}
+
+// String renders the figure as a table: one row per activity, columns for
+// each sensor and the majority ensemble.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — per-sensor DNN accuracy and majority-voting ensemble (%d windows/class):\n", r.Windows)
+	fmt.Fprintf(&b, "  %-10s %10s %12s %12s %10s\n", "Activity", "Chest", "Left Ankle", "Right Wrist", "Majority")
+	for c, act := range r.Activities {
+		fmt.Fprintf(&b, "  %-10s %10s %12s %12s %10s\n", act,
+			pct(r.PerSensor[synth.Chest][c]),
+			pct(r.PerSensor[synth.LeftAnkle][c]),
+			pct(r.PerSensor[synth.RightWrist][c]),
+			pct(r.Majority[c]))
+	}
+	return b.String()
+}

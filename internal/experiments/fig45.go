@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"origin/internal/metrics"
+	"origin/internal/sim"
+)
+
+// PolicyCell is one (width, policy) accuracy measurement.
+type PolicyCell struct {
+	// Width is the ER-r width; Kind the system variant.
+	Width int
+	Kind  PolicyKind
+	// PerClass is per-activity round accuracy; Overall the top-1 accuracy.
+	PerClass []float64
+	Overall  float64
+	// Completion is the fraction of attempts that finished.
+	Completion float64
+}
+
+// Fig4Result reproduces Fig. 4: ER-r alone vs ER-r + AAS, per activity, for
+// every round-robin width.
+type Fig4Result struct {
+	// Activities holds class labels.
+	Activities []string
+	// Cells holds one entry per (width × {ER-r, AAS}) pair.
+	Cells []PolicyCell
+}
+
+// SweepConfig controls the Fig. 4/5 sweeps.
+type SweepConfig struct {
+	// Widths lists the ER-r widths (default 3, 6, 9, 12).
+	Widths []int
+	// Slots per run (default 6000) and Seeds to average over (default 3).
+	Slots int
+	Seeds []int64
+}
+
+func (c *SweepConfig) fill() {
+	if len(c.Widths) == 0 {
+		c.Widths = []int{3, 6, 9, 12}
+	}
+	if c.Slots == 0 {
+		c.Slots = 6000
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{3, 17, 91}
+	}
+}
+
+// averagedRun runs one (width, kind) cell over all seeds — concurrently,
+// since every run is self-contained and deterministic — and averages.
+func averagedRun(sys *System, width int, kind PolicyKind, cfg SweepConfig) PolicyCell {
+	classes := sys.Profile.NumClasses()
+	cell := PolicyCell{Width: width, Kind: kind, PerClass: make([]float64, classes)}
+	results := make([]*sim.Result, len(cfg.Seeds))
+	var wg sync.WaitGroup
+	for i, seed := range cfg.Seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			results[i] = RunPolicy(sys, RunOpts{Width: width, Kind: kind, Slots: cfg.Slots, Seed: seed})
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, r := range results {
+		per := r.RoundPerClass()
+		for c := range per {
+			cell.PerClass[c] += per[c]
+		}
+		cell.Overall += r.RoundAccuracy()
+		_, atLeast, _ := r.Completion.Rates()
+		cell.Completion += atLeast
+	}
+	n := float64(len(cfg.Seeds))
+	for c := range cell.PerClass {
+		cell.PerClass[c] /= n
+	}
+	cell.Overall /= n
+	cell.Completion /= n
+	return cell
+}
+
+// RunFig4 sweeps ER-r and AAS across widths on harvested energy. Cells run
+// concurrently (each cell's seeds also run concurrently inside
+// averagedRun).
+func RunFig4(sys *System, cfg SweepConfig) *Fig4Result {
+	cfg.fill()
+	res := &Fig4Result{Activities: append([]string(nil), sys.Profile.Activities...)}
+	kinds := []PolicyKind{PolicyERr, PolicyAAS}
+	res.Cells = sweepCells(sys, cfg, kinds)
+	return res
+}
+
+// sweepCells evaluates every (width × kind) combination concurrently, in
+// deterministic output order.
+func sweepCells(sys *System, cfg SweepConfig, kinds []PolicyKind) []PolicyCell {
+	cells := make([]PolicyCell, len(cfg.Widths)*len(kinds))
+	var wg sync.WaitGroup
+	for wi, w := range cfg.Widths {
+		for ki, k := range kinds {
+			wg.Add(1)
+			go func(idx, width int, kind PolicyKind) {
+				defer wg.Done()
+				cells[idx] = averagedRun(sys, width, kind, cfg)
+			}(wi*len(kinds)+ki, w, k)
+		}
+	}
+	wg.Wait()
+	return cells
+}
+
+// String renders Fig. 4 as one row per (width, policy).
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — accuracy of ER-r alone vs ER-r + AAS (harvested energy):\n")
+	fmt.Fprintf(&b, "  %-12s", "Policy")
+	for _, a := range r.Activities {
+		fmt.Fprintf(&b, " %9s", a)
+	}
+	fmt.Fprintf(&b, " %9s %9s\n", "Overall", "Complete")
+	for _, c := range r.Cells {
+		name := fmt.Sprintf("RR%d", c.Width)
+		if c.Kind == PolicyAAS {
+			name += " AAS"
+		}
+		fmt.Fprintf(&b, "  %-12s", name)
+		for _, v := range c.PerClass {
+			fmt.Fprintf(&b, " %9s", pct(v))
+		}
+		fmt.Fprintf(&b, " %9s %9s\n", pct(c.Overall), pct(c.Completion))
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces Fig. 5 (panel a = MHEALTH, panel b = PAMAP2): the
+// full policy sweep (AAS, AASR, Origin per width) plus the two
+// fully-powered baselines.
+type Fig5Result struct {
+	// Dataset names the profile.
+	Dataset string
+	// Activities holds class labels.
+	Activities []string
+	// Cells holds one entry per (width × {AAS, AASR, Origin}).
+	Cells []PolicyCell
+	// B1PerClass/B2PerClass and B1Overall/B2Overall are the fully-powered
+	// baselines (majority voting).
+	B1PerClass, B2PerClass []float64
+	B1Overall, B2Overall   float64
+}
+
+// RunFig5 executes the full sweep for one profile.
+func RunFig5(sys *System, cfg SweepConfig) *Fig5Result {
+	cfg.fill()
+	res := &Fig5Result{
+		Dataset:    sys.Profile.Name,
+		Activities: append([]string(nil), sys.Profile.Activities...),
+	}
+	res.Cells = sweepCells(sys, cfg, []PolicyKind{PolicyAAS, PolicyAASR, PolicyOrigin})
+	classes := sys.Profile.NumClasses()
+	res.B1PerClass = make([]float64, classes)
+	res.B2PerClass = make([]float64, classes)
+	for _, seed := range cfg.Seeds {
+		b1 := RunBaselineSystem(sys, "B1", cfg.Slots, seed, nil, 0)
+		b2 := RunBaselineSystem(sys, "B2", cfg.Slots, seed, nil, 0)
+		for c, v := range b1.RoundPerClass() {
+			res.B1PerClass[c] += v
+		}
+		for c, v := range b2.RoundPerClass() {
+			res.B2PerClass[c] += v
+		}
+		res.B1Overall += b1.RoundAccuracy()
+		res.B2Overall += b2.RoundAccuracy()
+	}
+	n := float64(len(cfg.Seeds))
+	for c := 0; c < classes; c++ {
+		res.B1PerClass[c] /= n
+		res.B2PerClass[c] /= n
+	}
+	res.B1Overall /= n
+	res.B2Overall /= n
+	return res
+}
+
+// Cell returns the sweep cell for (width, kind), or nil.
+func (r *Fig5Result) Cell(width int, kind PolicyKind) *PolicyCell {
+	for i := range r.Cells {
+		if r.Cells[i].Width == width && r.Cells[i].Kind == kind {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// String renders the panel like the paper's grouped bars, one row per
+// configuration.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 (%s) — policy sweep vs fully-powered baselines:\n", r.Dataset)
+	fmt.Fprintf(&b, "  %-14s", "Policy")
+	for _, a := range r.Activities {
+		fmt.Fprintf(&b, " %9s", a)
+	}
+	fmt.Fprintf(&b, " %9s\n", "Overall")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %-14s", fmt.Sprintf("RR%d %s", c.Width, c.Kind))
+		for _, v := range c.PerClass {
+			fmt.Fprintf(&b, " %9s", pct(v))
+		}
+		fmt.Fprintf(&b, " %9s\n", pct(c.Overall))
+	}
+	fmt.Fprintf(&b, "  %-14s", "Baseline-2")
+	for _, v := range r.B2PerClass {
+		fmt.Fprintf(&b, " %9s", pct(v))
+	}
+	fmt.Fprintf(&b, " %9s\n", pct(r.B2Overall))
+	fmt.Fprintf(&b, "  %-14s", "Baseline-1")
+	for _, v := range r.B1PerClass {
+		fmt.Fprintf(&b, " %9s", pct(v))
+	}
+	fmt.Fprintf(&b, " %9s\n", pct(r.B1Overall))
+	return b.String()
+}
+
+// MeanOverall returns the mean overall accuracy across a kind's widths —
+// used to verify the monotone width trend without pinning exact values.
+func (r *Fig5Result) MeanOverall(kind PolicyKind) float64 {
+	var vals []float64
+	for _, c := range r.Cells {
+		if c.Kind == kind {
+			vals = append(vals, c.Overall)
+		}
+	}
+	return metrics.Mean(vals)
+}

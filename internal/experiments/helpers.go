@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"origin/internal/dnn"
+	"origin/internal/energy"
+	"origin/internal/nvp"
+	"origin/internal/sensor"
+	"origin/internal/synth"
+)
+
+// buildNodes assembles the three calibrated sensor nodes around the given
+// nets (one per location) and the shared harvesting trace.
+func buildNodes(nets []*dnn.Network, trace *energy.Trace) []*sensor.Node {
+	nodes := make([]*sensor.Node, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		nodes[loc] = NewNode(int(loc), loc, nets[loc], trace)
+	}
+	return nodes
+}
+
+// buildVolatileNodes is buildNodes with conventional (volatile) processors
+// instead of NVPs: every power emergency discards inference progress.
+// Used by the NVP ablation bench.
+func buildVolatileNodes(nets []*dnn.Network, trace *energy.Trace) []*sensor.Node {
+	nodes := make([]*sensor.Node, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		cfg := sensor.DefaultConfig(int(loc), loc, nets[loc], trace.Scale(HarvestScale(loc)))
+		cfg.Proc.MACsPerSecond = MACsPerSecond
+		cfg.OverheadMACs = OverheadMACs
+		cfg.IdleW = IdleW
+		cfg.Proc.Volatile = true
+		nodes[loc] = sensor.New(cfg)
+	}
+	return nodes
+}
+
+// buildLayerCheckpointNodes is buildNodes with layer-boundary checkpoint
+// granularity and turn-on hysteresis (half the Baseline-2 inference
+// energy): the SONIC/TAILS-style intermittent-inference model.
+func buildLayerCheckpointNodes(nets []*dnn.Network, trace *energy.Trace) []*sensor.Node {
+	nodes := make([]*sensor.Node, synth.NumLocations)
+	for _, loc := range synth.Locations() {
+		cfg := sensor.DefaultConfig(int(loc), loc, nets[loc], trace.Scale(HarvestScale(loc)))
+		cfg.Proc.MACsPerSecond = MACsPerSecond
+		cfg.OverheadMACs = OverheadMACs
+		cfg.IdleW = IdleW
+		cfg.Proc.Granularity = nvp.GranularityLayer
+		cfg.Proc.ResumeThresholdJ = float64(nets[loc].MACs()) * cfg.Proc.EnergyPerMAC / 2
+		nodes[loc] = sensor.New(cfg)
+	}
+	return nodes
+}
+
+// newRand returns a deterministic RNG for the given seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"origin/internal/ensemble"
+	"origin/internal/host"
+	"origin/internal/schedule"
+	"origin/internal/sensor"
+	"origin/internal/sim"
+	"origin/internal/synth"
+)
+
+// PolicyKind enumerates the system variants the paper's Figs. 4–5 sweep.
+type PolicyKind int
+
+const (
+	// PolicyERr is plain extended round-robin: blind rotation, no ensemble
+	// (the system's opinion is the most recent fresh classification).
+	PolicyERr PolicyKind = iota
+	// PolicyAAS adds activity-aware sensor selection, still no ensemble.
+	PolicyAAS
+	// PolicyAASR adds host-side recall + naive majority voting (§III-B).
+	PolicyAASR
+	// PolicyOrigin is AASR plus the adaptive confidence matrix (§III-D).
+	PolicyOrigin
+)
+
+// String names the variant as the paper's legends do.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyERr:
+		return "ER-r"
+	case PolicyAAS:
+		return "AAS"
+	case PolicyAASR:
+		return "AASR"
+	case PolicyOrigin:
+		return "Origin"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// RunOpts bundles the common knobs of one EH policy run.
+type RunOpts struct {
+	// Width is the ER-r width (3, 6, 9, 12, ...).
+	Width int
+	// Kind selects the system variant.
+	Kind PolicyKind
+	// Slots is the timeline length (default 6000 ≈ 25 min).
+	Slots int
+	// Seed drives all randomness.
+	Seed int64
+	// User overrides the subject (default: the seen training user 0).
+	User *synth.User
+	// NoiseSNRdB optionally corrupts the sensed windows (Fig. 6).
+	NoiseSNRdB float64
+	// Volatile swaps the NVP for a conventional volatile processor
+	// (ablation).
+	Volatile bool
+	// Adaptive override: by default Origin adapts and others do not; set
+	// AdaptiveOff to freeze Origin's matrix (ablation).
+	AdaptiveOff bool
+	// Comm, if non-nil, models the wireless links with latency and loss
+	// (the communication ablation); nil is a perfect network.
+	Comm *sim.CommConfig
+	// DeadSensor, if non-zero, disables node (DeadSensor−1): its harvester
+	// delivers nothing and its store starts empty, so it never completes an
+	// inference — the sensor-failure study of the paper's Discussion.
+	DeadSensor int
+	// BatteryTrickleW, if positive, adds a constant battery contribution to
+	// every node's supply — the Discussion's hybrid battery+EH mode.
+	BatteryTrickleW float64
+	// LayerCheckpoint switches the NVPs to layer-boundary checkpoint
+	// granularity (SONIC/TAILS-style) with turn-on hysteresis, instead of
+	// the idealised continuous progress model.
+	LayerCheckpoint bool
+	// MarkovTimeline draws the activity stream from the structured
+	// daily-routine transition matrix instead of uniform switches.
+	MarkovTimeline bool
+	// Matrix, if non-nil, seeds Origin's confidence matrix (e.g. one
+	// persisted from a previous session) instead of the factory matrix.
+	Matrix *ensemble.Matrix
+}
+
+// RunPolicy executes one EH run of the given variant over the Baseline-2
+// nets (the nets Origin deploys, §IV-C) and returns the simulation result.
+func RunPolicy(sys *System, o RunOpts) *sim.Result {
+	r, _ := RunPolicyFull(sys, o)
+	return r
+}
+
+// RunPolicyFull is RunPolicy returning the host device as well, so callers
+// can inspect or persist the (possibly adapted) confidence matrix.
+func RunPolicyFull(sys *System, o RunOpts) (*sim.Result, *host.Device) {
+	if o.Slots == 0 {
+		o.Slots = 6000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.User == nil {
+		o.User = synth.NewUser(0)
+	}
+	p := sys.Profile
+	var tl *synth.Timeline
+	if o.MarkovTimeline {
+		base := synth.DefaultTimelineConfig(o.Slots, o.Seed)
+		tl = synth.GenerateMarkovTimeline(p, synth.MarkovTimelineConfig{
+			Slots: base.Slots, MeanSegment: base.MeanSegment, MinSegment: base.MinSegment,
+			Seed: base.Seed, Transitions: synth.DailyRoutineTransitions(p),
+		})
+	} else {
+		tl = synth.GenerateTimeline(p, synth.DefaultTimelineConfig(o.Slots, o.Seed))
+	}
+	trace := ExperimentTrace(float64(o.Slots)*sim.SlotSeconds+10, o.Seed+13)
+	if o.BatteryTrickleW > 0 {
+		trace = trace.Offset(o.BatteryTrickleW)
+	}
+	var nodes []*sensor.Node
+	switch {
+	case o.Volatile:
+		nodes = buildVolatileNodes(sys.CloneNetsB2(), trace)
+	case o.LayerCheckpoint:
+		nodes = buildLayerCheckpointNodes(sys.CloneNetsB2(), trace)
+	default:
+		nodes = buildNodes(sys.CloneNetsB2(), trace)
+	}
+	if o.DeadSensor > 0 {
+		idx := o.DeadSensor - 1
+		if idx < 0 || idx >= len(nodes) {
+			panic(fmt.Sprintf("experiments: DeadSensor %d out of range", o.DeadSensor))
+		}
+		loc := synth.Location(idx)
+		cfg := sensor.DefaultConfig(idx, loc, sys.NetsB2[loc].Clone(), trace.Scale(0))
+		cfg.Proc.MACsPerSecond = MACsPerSecond
+		cfg.OverheadMACs = OverheadMACs
+		cfg.IdleW = IdleW
+		cfg.InitialJ = 0
+		nodes[idx] = sensor.New(cfg)
+	}
+
+	var pol schedule.Policy
+	hc := host.Config{Sensors: synth.NumLocations, Classes: p.NumClasses()}
+	switch o.Kind {
+	case PolicyERr:
+		pol = schedule.NewExtendedRoundRobin(o.Width, synth.NumLocations)
+		hc.Agg = host.AggLatest
+	case PolicyAAS:
+		aas := schedule.NewAAS(o.Width, synth.NumLocations, sys.Ranks)
+		// Without recall there are no remembered votes to keep fresh, so the
+		// only constraint on re-signalling a sensor is its harvesting window:
+		// a two-stride cooldown lets the top-ranked sensor for the
+		// anticipated activity perform every other inference.
+		aas.Cooldown = 2 * aas.RR.Stride()
+		pol = aas
+		hc.Agg = host.AggLatest
+	case PolicyAASR:
+		pol = schedule.NewAAS(o.Width, synth.NumLocations, sys.Ranks)
+		hc.Agg = host.AggMajority
+		hc.Recall = true
+		hc.StaleLimit = 2 * o.Width
+	case PolicyOrigin:
+		pol = schedule.NewAAS(o.Width, synth.NumLocations, sys.Ranks)
+		hc.Agg = host.AggWeighted
+		hc.Recall = true
+		hc.StaleLimit = 2 * o.Width
+		if o.Matrix != nil {
+			hc.Matrix = o.Matrix.Clone()
+		} else {
+			hc.Matrix = sys.Matrix.Clone()
+		}
+		hc.Adaptive = !o.AdaptiveOff
+	default:
+		panic(fmt.Sprintf("experiments: unknown policy kind %d", o.Kind))
+	}
+	// Recalled votes older than two full rotation periods are dropped:
+	// within normal operation every sensor refreshes inside one width, so
+	// the limit only fires after long outages (dead harvesting periods),
+	// where a pre-outage opinion is no longer representative.
+	h := host.New(hc)
+	res := sim.Run(sim.Config{
+		Profile: p, User: o.User, Timeline: tl,
+		Nodes: nodes, Policy: pol, Host: h,
+		Window: Window, Seed: o.Seed + 29,
+		WarmupSlots: 2 * o.Width,
+		NoiseSNRdB:  o.NoiseSNRdB,
+		Comm:        o.Comm,
+	})
+	return res, h
+}
+
+// RunBaselineSystem evaluates a fully-powered baseline (kind "B1" or "B2")
+// with naive majority voting over the same timeline construction as
+// RunPolicy.
+func RunBaselineSystem(sys *System, kind string, slots int, seed int64, user *synth.User, noiseSNR float64) *sim.Result {
+	if slots == 0 {
+		slots = 6000
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if user == nil {
+		user = synth.NewUser(0)
+	}
+	var nets = sys.CloneNetsB2()
+	if kind == "B1" {
+		nets = sys.CloneNetsB1()
+	} else if kind != "B2" {
+		panic(fmt.Sprintf("experiments: unknown baseline kind %q", kind))
+	}
+	p := sys.Profile
+	tl := synth.GenerateTimeline(p, synth.DefaultTimelineConfig(slots, seed))
+	h := host.New(host.Config{
+		Sensors: synth.NumLocations, Classes: p.NumClasses(),
+		Recall: true, Agg: host.AggMajority,
+	})
+	return sim.RunBaseline(sim.BaselineConfig{
+		Profile: p, User: user, Timeline: tl,
+		Window: Window, Seed: seed + 29, Nets: nets, Host: h,
+		NoiseSNRdB: noiseSNR,
+	})
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Result reproduces Table I: per-activity accuracy of RR12-Origin vs
+// the two fully-powered baselines, with the deltas the paper reports.
+type Table1Result struct {
+	// Activities holds class labels.
+	Activities []string
+	// Origin, BL2, BL1 are per-activity accuracies.
+	Origin, BL2, BL1 []float64
+	// OriginOverall, BL2Overall, BL1Overall are top-1 accuracies.
+	OriginOverall, BL2Overall, BL1Overall float64
+}
+
+// RunTable1 runs RR12-Origin against both baselines, averaged over the
+// sweep seeds.
+func RunTable1(sys *System, cfg SweepConfig) *Table1Result {
+	cfg.fill()
+	classes := sys.Profile.NumClasses()
+	res := &Table1Result{
+		Activities: append([]string(nil), sys.Profile.Activities...),
+		Origin:     make([]float64, classes),
+		BL2:        make([]float64, classes),
+		BL1:        make([]float64, classes),
+	}
+	for _, seed := range cfg.Seeds {
+		o := RunPolicy(sys, RunOpts{Width: 12, Kind: PolicyOrigin, Slots: cfg.Slots, Seed: seed})
+		b2 := RunBaselineSystem(sys, "B2", cfg.Slots, seed, nil, 0)
+		b1 := RunBaselineSystem(sys, "B1", cfg.Slots, seed, nil, 0)
+		for c := 0; c < classes; c++ {
+			res.Origin[c] += o.RoundPerClass()[c]
+			res.BL2[c] += b2.RoundPerClass()[c]
+			res.BL1[c] += b1.RoundPerClass()[c]
+		}
+		res.OriginOverall += o.RoundAccuracy()
+		res.BL2Overall += b2.RoundAccuracy()
+		res.BL1Overall += b1.RoundAccuracy()
+	}
+	n := float64(len(cfg.Seeds))
+	for c := 0; c < classes; c++ {
+		res.Origin[c] /= n
+		res.BL2[c] /= n
+		res.BL1[c] /= n
+	}
+	res.OriginOverall /= n
+	res.BL2Overall /= n
+	res.BL1Overall /= n
+	return res
+}
+
+// String renders the table with the paper's columns: policy accuracies and
+// the "vs BL-2" / "vs BL-1" deltas in percentage points.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — RR12-Origin vs both baselines (%s layout):\n", "paper")
+	fmt.Fprintf(&b, "  %-10s %12s %9s %9s %9s %9s\n", "Activity", "RR12 Origin", "BL-2", "BL-1", "vs BL-2", "vs BL-1")
+	for c, act := range r.Activities {
+		fmt.Fprintf(&b, "  %-10s %12s %9s %9s %+8.2f %+8.2f\n", act,
+			pct(r.Origin[c]), pct(r.BL2[c]), pct(r.BL1[c]),
+			100*(r.Origin[c]-r.BL2[c]), 100*(r.Origin[c]-r.BL1[c]))
+	}
+	fmt.Fprintf(&b, "  %-10s %12s %9s %9s %+8.2f %+8.2f\n", "Overall",
+		pct(r.OriginOverall), pct(r.BL2Overall), pct(r.BL1Overall),
+		100*(r.OriginOverall-r.BL2Overall), 100*(r.OriginOverall-r.BL1Overall))
+	return b.String()
+}
+
+// HeadlineResult is the abstract's claim: Origin on harvested energy vs the
+// fully-powered energy-aware baseline at the same average power.
+type HeadlineResult struct {
+	// OriginAccuracy and BaselineAccuracy are overall top-1 accuracies
+	// (paper: 83.88% vs 81.16%).
+	OriginAccuracy, BaselineAccuracy float64
+	// Advantage is the difference in percentage points (paper: ≥2.5).
+	Advantage float64
+}
+
+// RunHeadline computes the headline comparison, averaged over seeds.
+func RunHeadline(sys *System, cfg SweepConfig) *HeadlineResult {
+	cfg.fill()
+	res := &HeadlineResult{}
+	for _, seed := range cfg.Seeds {
+		o := RunPolicy(sys, RunOpts{Width: 12, Kind: PolicyOrigin, Slots: cfg.Slots, Seed: seed})
+		b2 := RunBaselineSystem(sys, "B2", cfg.Slots, seed, nil, 0)
+		res.OriginAccuracy += o.RoundAccuracy()
+		res.BaselineAccuracy += b2.RoundAccuracy()
+	}
+	n := float64(len(cfg.Seeds))
+	res.OriginAccuracy /= n
+	res.BaselineAccuracy /= n
+	res.Advantage = 100 * (res.OriginAccuracy - res.BaselineAccuracy)
+	return res
+}
+
+// String renders the headline comparison.
+func (r *HeadlineResult) String() string {
+	return fmt.Sprintf(
+		"Headline — RR12-Origin (harvested energy) vs Baseline-2 (fully powered):\n"+
+			"  Origin    %s   (paper 83.88%%)\n"+
+			"  Baseline  %s   (paper 81.16%%)\n"+
+			"  Advantage %+.2f points (paper ≥ +2.5)\n",
+		pct(r.OriginAccuracy), pct(r.BaselineAccuracy), r.Advantage)
+}

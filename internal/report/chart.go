@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ASCII charts for terminal output: horizontal bar charts (the paper's
+// grouped-bar figures) and sparklines (harvest traces, adaptation curves).
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	// Label is rendered left of the bar.
+	Label string
+	// Value is the bar length; Max of the chart scales it.
+	Value float64
+}
+
+// BarChart renders labelled horizontal bars scaled to width columns.
+type BarChart struct {
+	// Title is printed above the chart.
+	Title string
+	// Bars holds the rows in render order.
+	Bars []Bar
+	// Max is the full-scale value (0 = auto: the largest bar).
+	Max float64
+	// Width is the bar area width in runes (0 = 40).
+	Width int
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// Write renders the chart.
+func (c *BarChart) Write(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := c.Max
+	if max <= 0 {
+		for _, b := range c.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+		}
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var out strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&out, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value/max*float64(width) + 0.5)
+		}
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&out, "%-*s |%s%s| %6.2f%%\n",
+			labelW, b.Label, strings.Repeat("█", n), strings.Repeat(" ", width-n), 100*b.Value)
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character graph, scaled
+// between the series minimum and maximum (a flat series renders mid-height).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces a series to at most n points by averaging equal-width
+// buckets — how a long harvest trace fits a terminal-width sparkline.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) == 0 {
+		return nil
+	}
+	if len(values) <= n {
+		return append([]float64(nil), values...)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi == lo {
+			hi = lo + 1
+		}
+		s := 0.0
+		for _, v := range values[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}

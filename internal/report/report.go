@@ -1,0 +1,150 @@
+// Package report renders experiment results as aligned text, GitHub
+// Markdown or CSV, so the evaluation artefacts (EXPERIMENTS.md, spreadsheet
+// imports) are generated rather than hand-copied.
+//
+// The central abstraction is Table: a header plus rows of cells. The
+// experiment drivers expose typed results; this package turns them into
+// tables with explicit formatting rules (percentages to two decimals,
+// deltas signed) and serialises tables to any of the three formats.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rectangular result: a title, a header row and data rows.
+type Table struct {
+	// Title is rendered above the table (Markdown: as a heading).
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data; every row must have len(Header) cells.
+	Rows [][]string
+}
+
+// NewTable builds an empty table with the given title and columns.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row, validating its width.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("report: row has %d cells, header has %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, append([]string(nil), cells...))
+}
+
+// Percent formats a fraction as "12.34%".
+func Percent(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// Delta formats a difference in percentage points as "+1.23" / "−1.23".
+func Delta(x float64) string { return fmt.Sprintf("%+.2f", 100*x) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		escaped := make([]string, len(row))
+		for i, c := range row {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(escaped, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-style CSV (header first; the title
+// is emitted as a comment line).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		b.WriteString(strings.Join(quoted, ",") + "\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Format selects a rendering.
+type Format int
+
+// Supported renderings.
+const (
+	Text Format = iota
+	Markdown
+	CSV
+)
+
+// Write renders the table in the requested format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case Text:
+		return t.WriteText(w)
+	case Markdown:
+		return t.WriteMarkdown(w)
+	case CSV:
+		return t.WriteCSV(w)
+	default:
+		return fmt.Errorf("report: unknown format %d", f)
+	}
+}

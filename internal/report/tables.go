@@ -1,0 +1,132 @@
+package report
+
+import (
+	"origin/internal/experiments"
+	"origin/internal/synth"
+)
+
+// Adapters from the typed experiment results to Tables.
+
+// Fig1Table renders the Fig. 1 completion breakdowns.
+func Fig1Table(r *experiments.Fig1Result) *Table {
+	t := NewTable("Fig. 1 — inference completion under naive scheduling",
+		"Scenario", "Outcome", "Measured", "Paper")
+	t.AddRow("Naive concurrent", "all succeed", Percent(r.NaiveAll), "≈1%")
+	t.AddRow("Naive concurrent", "≥1 succeeds", Percent(r.NaiveAtLeastOne), "≈10%")
+	t.AddRow("Naive concurrent", "failed", Percent(r.NaiveFailed), "≈90%")
+	t.AddRow("Round-robin RR3", "succeeded", Percent(r.RR3Succeeded), "≈28%")
+	t.AddRow("Round-robin RR3", "failed", Percent(r.RR3Failed), "≈72%")
+	return t
+}
+
+// Fig2Table renders the per-sensor / majority accuracy matrix.
+func Fig2Table(r *experiments.Fig2Result) *Table {
+	t := NewTable("Fig. 2 — per-sensor DNN accuracy and majority-voting ensemble",
+		"Activity", "Chest", "Left Ankle", "Right Wrist", "Majority")
+	for c, act := range r.Activities {
+		t.AddRow(act,
+			Percent(r.PerSensor[synth.Chest][c]),
+			Percent(r.PerSensor[synth.LeftAnkle][c]),
+			Percent(r.PerSensor[synth.RightWrist][c]),
+			Percent(r.Majority[c]))
+	}
+	return t
+}
+
+// Fig5Table renders one Fig. 5 panel.
+func Fig5Table(r *experiments.Fig5Result) *Table {
+	header := append([]string{"Policy"}, r.Activities...)
+	header = append(header, "Overall")
+	t := NewTable("Fig. 5 ("+r.Dataset+") — policy sweep vs fully-powered baselines", header...)
+	for _, c := range r.Cells {
+		row := []string{cellName(c)}
+		for _, v := range c.PerClass {
+			row = append(row, Percent(v))
+		}
+		row = append(row, Percent(c.Overall))
+		t.AddRow(row...)
+	}
+	b2 := []string{"Baseline-2"}
+	for _, v := range r.B2PerClass {
+		b2 = append(b2, Percent(v))
+	}
+	t.AddRow(append(b2, Percent(r.B2Overall))...)
+	b1 := []string{"Baseline-1"}
+	for _, v := range r.B1PerClass {
+		b1 = append(b1, Percent(v))
+	}
+	t.AddRow(append(b1, Percent(r.B1Overall))...)
+	return t
+}
+
+func cellName(c experiments.PolicyCell) string {
+	return "RR" + itoa(c.Width) + " " + c.Kind.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Table1Table renders the paper's Table I with deltas.
+func Table1Table(r *experiments.Table1Result) *Table {
+	t := NewTable("Table I — RR12-Origin vs both baselines",
+		"Activity", "RR12 Origin", "BL-2", "BL-1", "vs BL-2", "vs BL-1")
+	for c, act := range r.Activities {
+		t.AddRow(act,
+			Percent(r.Origin[c]), Percent(r.BL2[c]), Percent(r.BL1[c]),
+			Delta(r.Origin[c]-r.BL2[c]), Delta(r.Origin[c]-r.BL1[c]))
+	}
+	t.AddRow("Overall",
+		Percent(r.OriginOverall), Percent(r.BL2Overall), Percent(r.BL1Overall),
+		Delta(r.OriginOverall-r.BL2Overall), Delta(r.OriginOverall-r.BL1Overall))
+	return t
+}
+
+// Fig6Table renders the adaptation checkpoints.
+func Fig6Table(r *experiments.Fig6Result) *Table {
+	header := []string{"User"}
+	for _, m := range experiments.Fig6Checkpoints {
+		header = append(header, "Iter "+itoa(m))
+	}
+	t := NewTable("Fig. 6 — adaptive confidence matrix on unseen noisy users", header...)
+	for u, name := range r.Users {
+		row := []string{name}
+		for _, v := range r.Curves[u] {
+			row = append(row, Percent(v))
+		}
+		t.AddRow(row...)
+	}
+	base := []string{"Base model"}
+	for range experiments.Fig6Checkpoints {
+		base = append(base, Percent(r.Base))
+	}
+	t.AddRow(base...)
+	return t
+}
+
+// AblationTable renders an ablation set.
+func AblationTable(a *experiments.AblationSet) *Table {
+	t := NewTable(a.Title, "Variant", "Accuracy", "Completion")
+	for _, row := range a.Rows {
+		t.AddRow(row.Name, Percent(row.Accuracy), Percent(row.Completion))
+	}
+	return t
+}

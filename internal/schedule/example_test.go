@@ -1,0 +1,46 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"origin/internal/schedule"
+)
+
+func ExampleExtendedRoundRobin() {
+	// RR6 over three sensors: sensor k at phase 2k, no-ops between
+	// (the paper's Fig. 3).
+	rr := schedule.NewExtendedRoundRobin(6, 3)
+	for slot := 0; slot < 6; slot++ {
+		fmt.Print(rr.Decide(&schedule.Context{Slot: slot}), " ")
+	}
+	fmt.Println()
+	// Output: [0] [] [1] [] [2] []
+}
+
+func ExampleAAS() {
+	// The rank table says sensor 1 is best for activity 1; AAS activates it
+	// for the anticipated activity, falling back on energy.
+	ranks := schedule.NewRankTable([][]float64{
+		{0.9, 0.2},
+		{0.5, 0.8},
+		{0.7, 0.6},
+	})
+	aas := schedule.NewAAS(6, 3, ranks)
+	pick := aas.Decide(&schedule.Context{
+		Slot:        0,
+		Anticipated: 1,
+		CanAfford:   func(int) bool { return true },
+	})
+	fmt.Println(pick)
+	// Output: [1]
+}
+
+func ExampleRankTable() {
+	ranks := schedule.NewRankTable([][]float64{
+		{0.61, 0.73},
+		{0.53, 0.93},
+		{0.73, 0.53},
+	})
+	fmt.Println(ranks.Ordered(0), ranks.Ordered(1))
+	// Output: [2 0 1] [1 0 2]
+}

@@ -1,0 +1,367 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNaiveAllActivatesEveryone(t *testing.T) {
+	p := NaiveAll{N: 3}
+	got := p.Decide(&Context{Slot: 5, NumSensors: 3})
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("NaiveAll = %v", got)
+	}
+	if p.Name() != "NaiveAll" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+// TestExtendedRoundRobinPatternRR3 and friends validate the Fig. 3
+// schedules slot by slot.
+func TestExtendedRoundRobinPatternRR3(t *testing.T) {
+	p := NewExtendedRoundRobin(3, 3)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for slot, sensor := range want {
+		got := p.Decide(&Context{Slot: slot})
+		if len(got) != 1 || got[0] != sensor {
+			t.Fatalf("RR3 slot %d = %v, want [%d]", slot, got, sensor)
+		}
+	}
+}
+
+func TestExtendedRoundRobinPatternRR6(t *testing.T) {
+	p := NewExtendedRoundRobin(6, 3)
+	// C,·,W,·,A,· — sensor k at phase 2k.
+	wantActive := map[int]int{0: 0, 2: 1, 4: 2}
+	for slot := 0; slot < 12; slot++ {
+		got := p.Decide(&Context{Slot: slot})
+		if sensor, ok := wantActive[slot%6]; ok {
+			if len(got) != 1 || got[0] != sensor {
+				t.Fatalf("RR6 slot %d = %v, want [%d]", slot, got, sensor)
+			}
+		} else if len(got) != 0 {
+			t.Fatalf("RR6 slot %d = %v, want no-op", slot, got)
+		}
+	}
+}
+
+func TestExtendedRoundRobinPatternRR12(t *testing.T) {
+	p := NewExtendedRoundRobin(12, 3)
+	if p.Stride() != 4 {
+		t.Fatalf("RR12 stride = %d, want 4", p.Stride())
+	}
+	activeSlots := 0
+	for slot := 0; slot < 12; slot++ {
+		got := p.Decide(&Context{Slot: slot})
+		if len(got) > 0 {
+			activeSlots++
+			if slot%4 != 0 {
+				t.Fatalf("RR12 activation at slot %d, want multiples of 4", slot)
+			}
+			if got[0] != slot/4 {
+				t.Fatalf("RR12 slot %d sensor = %d, want %d", slot, got[0], slot/4)
+			}
+		}
+	}
+	if activeSlots != 3 {
+		t.Fatalf("RR12 activates %d times per cycle, want 3", activeSlots)
+	}
+}
+
+func TestExtendedRoundRobinNames(t *testing.T) {
+	for _, w := range []int{3, 6, 9, 12} {
+		p := NewExtendedRoundRobin(w, 3)
+		want := map[int]string{3: "RR3", 6: "RR6", 9: "RR9", 12: "RR12"}[w]
+		if p.Name() != want {
+			t.Fatalf("name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestExtendedRoundRobinValidation(t *testing.T) {
+	for _, bad := range [][2]int{{2, 3}, {7, 3}, {0, 3}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width=%d n=%d did not panic", bad[0], bad[1])
+				}
+			}()
+			NewExtendedRoundRobin(bad[0], bad[1])
+		}()
+	}
+}
+
+func testRanks() *RankTable {
+	// acc[sensor][class]; 3 sensors × 2 classes.
+	return NewRankTable([][]float64{
+		{0.9, 0.2}, // sensor 0: best for class 0
+		{0.5, 0.8}, // sensor 1: best for class 1
+		{0.7, 0.6},
+	})
+}
+
+func TestRankTableOrdering(t *testing.T) {
+	r := testRanks()
+	if r.Best(0) != 0 || r.Best(1) != 1 {
+		t.Fatalf("Best = %d,%d", r.Best(0), r.Best(1))
+	}
+	if got := r.Ordered(0); !reflect.DeepEqual(got, []int{0, 2, 1}) {
+		t.Fatalf("Ordered(0) = %v", got)
+	}
+	if got := r.Ordered(1); !reflect.DeepEqual(got, []int{1, 2, 0}) {
+		t.Fatalf("Ordered(1) = %v", got)
+	}
+	if r.Classes() != 2 || r.Sensors() != 3 {
+		t.Fatalf("geometry = %d×%d", r.Classes(), r.Sensors())
+	}
+}
+
+func TestRankTableTieDeterminism(t *testing.T) {
+	r := NewRankTable([][]float64{{0.5}, {0.5}, {0.5}})
+	if got := r.Ordered(0); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("tied ranks = %v, want stable order", got)
+	}
+}
+
+// TestRankTableAgreesWithAccuracyTable is the §III-B storage-argument
+// check: ranking preserves exactly the ordering of the float accuracy
+// table it came from.
+func TestRankTableAgreesWithAccuracyTable(t *testing.T) {
+	acc := [][]float64{
+		{0.61, 0.73, 0.93, 0.73, 0.60, 0.87},
+		{0.53, 0.67, 0.93, 0.93, 0.73, 1.00},
+		{0.73, 0.53, 0.80, 0.80, 0.67, 1.00},
+	}
+	r := NewRankTable(acc)
+	for c := 0; c < 6; c++ {
+		order := r.Ordered(c)
+		for i := 1; i < len(order); i++ {
+			if acc[order[i-1]][c] < acc[order[i]][c] {
+				t.Fatalf("class %d: rank order %v violates accuracy table", c, order)
+			}
+		}
+	}
+}
+
+func TestAASColdStartFallsBackToRR(t *testing.T) {
+	p := NewAAS(6, 3, testRanks())
+	ctx := &Context{Slot: 0, Anticipated: -1}
+	if got := p.Decide(ctx); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("cold start slot 0 = %v", got)
+	}
+	ctx.Slot = 2
+	if got := p.Decide(ctx); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("cold start slot 2 = %v", got)
+	}
+}
+
+func TestAASPicksBestForAnticipatedActivity(t *testing.T) {
+	p := NewAAS(6, 3, testRanks())
+	afford := func(int) bool { return true }
+	got := p.Decide(&Context{Slot: 0, Anticipated: 1, CanAfford: afford})
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("AAS = %v, want [1] (best for class 1)", got)
+	}
+}
+
+func TestAASFallsBackToNextBestOnEnergy(t *testing.T) {
+	p := NewAAS(6, 3, testRanks())
+	// Best for class 0 is sensor 0, but it cannot afford; next is 2.
+	afford := func(s int) bool { return s != 0 }
+	got := p.Decide(&Context{Slot: 0, Anticipated: 0, CanAfford: afford})
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("AAS fallback = %v, want [2]", got)
+	}
+	// Nobody can afford: attempt the best anyway.
+	none := func(int) bool { return false }
+	got = p.Decide(&Context{Slot: 0, Anticipated: 0, CanAfford: none})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("AAS no-energy = %v, want [0]", got)
+	}
+}
+
+func TestAASHonoursCadence(t *testing.T) {
+	p := NewAAS(12, 3, testRanks())
+	afford := func(int) bool { return true }
+	for slot := 0; slot < 24; slot++ {
+		got := p.Decide(&Context{Slot: slot, Anticipated: 0, CanAfford: afford})
+		if slot%4 == 0 && len(got) != 1 {
+			t.Fatalf("slot %d: no activation on cadence", slot)
+		}
+		if slot%4 != 0 && len(got) != 0 {
+			t.Fatalf("slot %d: activation off cadence: %v", slot, got)
+		}
+	}
+}
+
+func TestAASName(t *testing.T) {
+	p := NewAAS(9, 3, testRanks())
+	if p.Name() != "RR9 AAS" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+// prop: over any full cycle, ER-r activates each sensor exactly once and
+// the number of no-op slots is Width − N.
+func TestERrCycleInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := []int{3, 6, 9, 12, 15}[int(uint64(seed)%5)]
+		p := NewExtendedRoundRobin(w, 3)
+		counts := make([]int, 3)
+		noops := 0
+		start := int(uint64(seed) % 97)
+		for slot := start; slot < start+w; slot++ {
+			got := p.Decide(&Context{Slot: slot})
+			switch len(got) {
+			case 0:
+				noops++
+			case 1:
+				counts[got[0]]++
+			default:
+				return false
+			}
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return noops == w-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prop: AAS always returns a sensor that can afford the inference when at
+// least one can.
+func TestAASAffordabilityQuick(t *testing.T) {
+	ranks := testRanks()
+	f := func(seed int64, mask uint8) bool {
+		p := NewAAS(6, 3, ranks)
+		affordable := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		any := affordable[0] || affordable[1] || affordable[2]
+		got := p.Decide(&Context{
+			Slot:        0,
+			Anticipated: int(uint64(seed) % 2),
+			CanAfford:   func(s int) bool { return affordable[s] },
+		})
+		if len(got) != 1 {
+			return false
+		}
+		if any {
+			return affordable[got[0]]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPolicyHonoursCadence(t *testing.T) {
+	p := NewRandom(12, 3, 7)
+	picks := map[int]int{}
+	for slot := 0; slot < 1200; slot++ {
+		got := p.Decide(&Context{Slot: slot})
+		if slot%4 != 0 {
+			if len(got) != 0 {
+				t.Fatalf("slot %d: activation off cadence", slot)
+			}
+			continue
+		}
+		if len(got) != 1 || got[0] < 0 || got[0] > 2 {
+			t.Fatalf("slot %d: pick = %v", slot, got)
+		}
+		picks[got[0]]++
+	}
+	// Roughly uniform across sensors.
+	for s, n := range picks {
+		if n < 60 || n > 140 {
+			t.Fatalf("sensor %d picked %d of 300 times — not uniform", s, n)
+		}
+	}
+	if p.Name() != "RR12 Random" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestOracleUsesTrueActivity(t *testing.T) {
+	p := NewOracle(6, 3, testRanks())
+	afford := func(int) bool { return true }
+	// Anticipated says class 0 (best sensor 0) but the oracle truth is
+	// class 1 (best sensor 1): the oracle must follow the truth.
+	got := p.Decide(&Context{Slot: 0, Anticipated: 0, OracleActivity: 1, CanAfford: afford})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("oracle pick = %v, want [1]", got)
+	}
+	if p.Name() != "RR6 Oracle" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestAdaptiveWidthPacesByEnergy(t *testing.T) {
+	ranks := testRanks()
+	p := NewAdaptiveWidth(3, 1, 8, ranks)
+	afford := func(int) bool { return true }
+	run := func(frac float64) int {
+		q := NewAdaptiveWidth(3, 1, 8, ranks)
+		decisions := 0
+		for slot := 0; slot < 240; slot++ {
+			got := q.Decide(&Context{
+				Slot: slot, Anticipated: 0, CanAfford: afford,
+				StoreFraction: func(int) float64 { return frac },
+			})
+			decisions += len(got)
+		}
+		return decisions
+	}
+	rich := run(1.0)
+	poor := run(0.05)
+	if rich <= poor {
+		t.Fatalf("rich supply (%d decisions) should pace faster than poor (%d)", rich, poor)
+	}
+	// Rich supply reaches the minimum stride: one inference per slot.
+	if rich < 200 {
+		t.Fatalf("rich pace = %d decisions in 240 slots, want ≈240", rich)
+	}
+	if p.Name() != "Adaptive(RR3..RR24)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestAdaptiveWidthValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAdaptiveWidth(3, 0, 8, testRanks()) },
+		func() { NewAdaptiveWidth(3, 4, 2, testRanks()) },
+		func() { NewAdaptiveWidth(3, 1, 8, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdaptiveWidthRotatesUnderCooldown(t *testing.T) {
+	p := NewAdaptiveWidth(3, 2, 2, testRanks())
+	afford := func(int) bool { return true }
+	counts := make([]int, 3)
+	for slot := 0; slot < 120; slot++ {
+		got := p.Decide(&Context{Slot: slot, Anticipated: 0, CanAfford: afford,
+			StoreFraction: func(int) float64 { return 0.5 }})
+		for _, s := range got {
+			counts[s]++
+		}
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("sensor %d never ran under cooldown rotation", s)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"origin/internal/dnn"
+	"origin/internal/energy"
+	"origin/internal/synth"
+	"origin/internal/tensor"
+)
+
+func tinyNet(seed int64) *dnn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return dnn.NewHARNetwork(rng, dnn.HARConfig{
+		Channels: synth.Channels, Window: 16, Classes: 3,
+		Conv1Out: 3, Conv2Out: 4, Kernel: 3, Pool: 2, Hidden: 6,
+	})
+}
+
+func flatTrace(powerW float64, n int) *energy.Trace {
+	tr := &energy.Trace{Tick: 0.01, Power: make([]float64, n)}
+	for i := range tr.Power {
+		tr.Power[i] = powerW
+	}
+	return tr
+}
+
+func testWindow(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(synth.Channels, 16)
+	x.RandNormal(rng, 0, 1)
+	return x
+}
+
+func TestRadioMessageEnergy(t *testing.T) {
+	r := DefaultRadioConfig()
+	e := r.MessageEnergy(ResultMessageBytes)
+	want := 0.3e-6 + 6*0.15e-6
+	if math.Abs(e-want) > 1e-15 {
+		t.Fatalf("message energy = %v, want %v", e, want)
+	}
+	// The paper's "negligible" assumption: a result message must cost well
+	// under 5% of an inference of a production-sized per-sensor net.
+	rng := rand.New(rand.NewSource(1))
+	full := dnn.NewHARNetwork(rng, dnn.DefaultHARConfig(synth.Channels, 64, 6))
+	n := New(DefaultConfig(0, synth.Chest, full, flatTrace(100e-6, 10)))
+	if e > 0.05*n.InferenceEnergy() {
+		t.Fatalf("radio cost %v is not negligible vs inference %v", e, n.InferenceEnergy())
+	}
+}
+
+func TestInferenceEnergyIncludesOverhead(t *testing.T) {
+	net := tinyNet(2)
+	cfg := DefaultConfig(0, synth.Chest, net, flatTrace(100e-6, 10))
+	n := New(cfg)
+	wantMACs := float64(net.MACs()) + cfg.OverheadMACs
+	if n.InferenceMACs() != wantMACs {
+		t.Fatalf("task MACs = %v, want %v", n.InferenceMACs(), wantMACs)
+	}
+	if math.Abs(n.InferenceEnergy()-wantMACs*cfg.Proc.EnergyPerMAC) > 1e-18 {
+		t.Fatalf("inference energy inconsistent")
+	}
+}
+
+func TestInferenceCompletesWithAmplePower(t *testing.T) {
+	// 10 mW flat supply: the inference must finish within one 250 ms slot.
+	n := New(DefaultConfig(0, synth.LeftAnkle, tinyNet(3), flatTrace(10e-3, 1000)))
+	n.StartInference(testWindow(4), 7, 2)
+	if !n.Busy() {
+		t.Fatal("node should be busy after StartInference")
+	}
+	var res *Result
+	for i := 0; i < 25 && res == nil; i++ {
+		res = n.Tick(i, 0.01)
+	}
+	if res == nil {
+		t.Fatal("inference did not complete with ample power")
+	}
+	if res.Sensor != 0 || res.Slot != 7 || res.TrueClass != 2 {
+		t.Fatalf("result metadata = %+v", res)
+	}
+	if res.Class < 0 || res.Class >= 3 {
+		t.Fatalf("result class = %d", res.Class)
+	}
+	if res.Confidence < 0 {
+		t.Fatalf("confidence = %v", res.Confidence)
+	}
+	st := n.Stats()
+	if st.Started != 1 || st.Completed != 1 || st.RadioMsgs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInferenceStallsWithoutPower(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(5), flatTrace(0, 1000))
+	cfg.InitialJ = 2e-6 // below brown-out + anything useful
+	n := New(cfg)
+	n.StartInference(testWindow(6), 0, 0)
+	for i := 0; i < 100; i++ {
+		if res := n.Tick(i, 0.01); res != nil {
+			t.Fatal("inference completed without energy")
+		}
+	}
+	if n.Stats().Completed != 0 {
+		t.Fatal("completed count should be 0")
+	}
+}
+
+func TestDeterministicClassification(t *testing.T) {
+	mk := func() *Result {
+		n := New(DefaultConfig(0, synth.Chest, tinyNet(7), flatTrace(10e-3, 1000)))
+		w := testWindow(8)
+		n.StartInference(w, 0, 1)
+		for i := 0; i < 100; i++ {
+			if r := n.Tick(i, 0.01); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	a, b := mk(), mk()
+	if a == nil || b == nil {
+		t.Fatal("inference did not complete")
+	}
+	if a.Class != b.Class || a.Confidence != b.Confidence {
+		t.Fatal("same window should classify identically")
+	}
+}
+
+func TestAbortCountsDeadlineMiss(t *testing.T) {
+	n := New(DefaultConfig(0, synth.Chest, tinyNet(9), flatTrace(0, 10)))
+	n.StartInference(testWindow(10), 0, 0)
+	n.AbortInference()
+	if n.Busy() {
+		t.Fatal("busy after abort")
+	}
+	if n.Stats().DeadlineMiss != 1 {
+		t.Fatalf("deadline misses = %d, want 1", n.Stats().DeadlineMiss)
+	}
+	// Restarting over a pending inference also counts.
+	n.StartInference(testWindow(11), 1, 0)
+	n.StartInference(testWindow(12), 2, 0)
+	if n.Stats().DeadlineMiss != 2 {
+		t.Fatalf("deadline misses = %d, want 2", n.Stats().DeadlineMiss)
+	}
+}
+
+func TestCanAffordTracksStore(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(13), flatTrace(0, 10))
+	cfg.InitialJ = cfg.CapacityJ // full
+	n := New(cfg)
+	if !n.CanAfford() {
+		t.Fatal("full store should afford an inference")
+	}
+	cfg.InitialJ = 1e-6
+	n2 := New(cfg)
+	if n2.CanAfford() {
+		t.Fatal("nearly-empty store should not afford an inference")
+	}
+}
+
+func TestHarvestScalesWithTrace(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(14), flatTrace(200e-6, 100))
+	cfg.InitialJ = 0
+	cfg.LeakW = 0
+	n := New(cfg)
+	for i := 0; i < 100; i++ {
+		n.Tick(i, 0.01)
+	}
+	// 200 µW × 1 s = 200 µJ stored.
+	if got := n.Capacitor().Stored(); math.Abs(got-200e-6) > 1e-9 {
+		t.Fatalf("stored = %v, want 200 µJ", got)
+	}
+}
+
+func TestNodeStatsString(t *testing.T) {
+	n := New(DefaultConfig(0, synth.Chest, tinyNet(15), flatTrace(0, 10)))
+	if s := n.Stats().String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestStatsIncludeEnergyTelemetry(t *testing.T) {
+	n := New(DefaultConfig(0, synth.LeftAnkle, tinyNet(20), flatTrace(10e-3, 1000)))
+	n.StartInference(testWindow(21), 0, 0)
+	for i := 0; i < 50; i++ {
+		n.Tick(i, 0.01)
+	}
+	st := n.Stats()
+	if st.HarvestedJ <= 0 {
+		t.Fatal("harvested energy not recorded")
+	}
+	if st.ConsumedJ <= 0 {
+		t.Fatal("consumed energy not recorded")
+	}
+	// Conservation: consumed cannot exceed harvested + initial charge.
+	cfg := DefaultConfig(0, synth.LeftAnkle, tinyNet(20), flatTrace(10e-3, 1000))
+	if st.ConsumedJ > st.HarvestedJ+cfg.InitialJ {
+		t.Fatalf("consumed %v exceeds harvested %v + initial %v", st.ConsumedJ, st.HarvestedJ, cfg.InitialJ)
+	}
+}
+
+func TestHybridBatteryAssist(t *testing.T) {
+	// Zero harvest: a pure EH node starves, a hybrid node keeps inferring
+	// from its battery.
+	mk := func(bat *energy.Battery) *Node {
+		cfg := DefaultConfig(0, synth.Chest, tinyNet(30), flatTrace(0, 2000))
+		cfg.InitialJ = 0
+		cfg.Battery = bat
+		cfg.BatteryAssistJ = 50e-6
+		return New(cfg)
+	}
+	pure := mk(nil)
+	hybrid := mk(energy.NewBattery(1.0, 5e-3))
+	for _, n := range []*Node{pure, hybrid} {
+		n.StartInference(testWindow(31), 0, 0)
+		for i := 0; i < 200; i++ {
+			if n.Tick(i, 0.01) != nil {
+				break
+			}
+		}
+	}
+	if pure.Stats().Completed != 0 {
+		t.Fatal("pure EH node completed without harvest")
+	}
+	if hybrid.Stats().Completed != 1 {
+		t.Fatal("hybrid node should complete from battery assist")
+	}
+	if hybrid.cfg.Battery.Drawn() <= 0 {
+		t.Fatal("battery drain not recorded")
+	}
+}

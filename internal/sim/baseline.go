@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math/rand"
+
+	"origin/internal/dnn"
+	"origin/internal/host"
+	"origin/internal/metrics"
+	"origin/internal/sensor"
+	"origin/internal/synth"
+)
+
+// prng wraps math/rand for per-node noise streams.
+type prng struct{ r *rand.Rand }
+
+func newPrng(seed int64) *prng { return &prng{r: rand.New(rand.NewSource(seed))} }
+
+// BaselineConfig describes a fully-powered reference run: every sensor
+// classifies every slot (steady power source, no energy constraints) and
+// the host fuses the three fresh votes. This is how the paper's Baseline-1
+// (unpruned nets) and Baseline-2 (pruned nets) are evaluated.
+type BaselineConfig struct {
+	// Profile, User, Timeline, Window and Seed have the same meaning as in
+	// Config.
+	Profile  *synth.Profile
+	User     *synth.User
+	Timeline *synth.Timeline
+	Window   int
+	Seed     int64
+	// Nets holds one classifier per location, indexed by synth.Location.
+	Nets []*dnn.Network
+	// Host aggregates the per-slot votes (typically AggMajority; the
+	// ablations also run AggWeighted baselines).
+	Host *host.Device
+	// NoiseSNRdB optionally corrupts the sensed windows (Fig. 6 protocol).
+	NoiseSNRdB float64
+	// WarmupSlots excludes the prefix from accounting (kept for symmetry
+	// with Run; baselines have no cold start).
+	WarmupSlots int
+}
+
+// RunBaseline evaluates a fully-powered system over the timeline.
+func RunBaseline(cfg BaselineConfig) *Result {
+	if cfg.Profile == nil || cfg.User == nil || cfg.Timeline == nil || cfg.Host == nil {
+		panic("sim: incomplete BaselineConfig")
+	}
+	if len(cfg.Nets) != synth.NumLocations {
+		panic("sim: BaselineConfig.Nets must hold one net per location")
+	}
+	classes := cfg.Profile.NumClasses()
+	res := &Result{
+		Confusion:      metrics.NewConfusion(classes),
+		RoundConfusion: metrics.NewConfusion(classes),
+		Slots:          cfg.Timeline.Len(),
+	}
+	gens := make([]*synth.Generator, synth.NumLocations)
+	noise := make([]*prng, synth.NumLocations)
+	for i := range gens {
+		gens[i] = synth.NewGenerator(cfg.Profile, cfg.User, cfg.Window, cfg.Seed+int64(i)*7919)
+		noise[i] = newPrng(cfg.Seed + 1_000_003 + int64(i))
+	}
+	bodyRng := newPrng(cfg.Seed + 555).r
+	for slot := 0; slot < cfg.Timeline.Len(); slot++ {
+		trueAct := cfg.Timeline.PerSlot[slot]
+		body := synth.DrawBodyState(bodyRng)
+		for _, loc := range synth.Locations() {
+			w := gens[loc].WindowWithState(trueAct, loc, body)
+			if cfg.NoiseSNRdB != 0 {
+				synth.AddNoiseSNR(w, cfg.NoiseSNRdB, noise[loc].r)
+			}
+			class, probs := cfg.Nets[loc].Predict(w)
+			cfg.Host.Observe(&sensor.Result{
+				Sensor:     int(loc),
+				Class:      class,
+				Confidence: probs.Variance(),
+				Slot:       slot,
+				TrueClass:  trueAct,
+			})
+		}
+		final := cfg.Host.Classify(slot)
+		cfg.Host.Adapt(slot, final)
+		if slot >= cfg.WarmupSlots {
+			res.Confusion.Add(trueAct, final)
+			res.RoundConfusion.Add(trueAct, final)
+			res.Truth = append(res.Truth, trueAct)
+			res.Predicted = append(res.Predicted, final)
+			res.FreshMask = append(res.FreshMask, true)
+			res.FreshSlots++
+		}
+		res.Completion.Record(synth.NumLocations, synth.NumLocations)
+	}
+	return res
+}

@@ -1,0 +1,301 @@
+// Package sim is the discrete-time simulator that binds everything
+// together: an activity timeline drives what the IMUs sense, a harvesting
+// trace drives what the capacitors store, a scheduling policy decides which
+// node infers in each slot, the NVP model executes those inferences
+// intermittently, and the host aggregates results into the system's per-slot
+// classification.
+//
+// Time is organised in scheduler slots of SlotSeconds, subdivided into the
+// harvesting trace's tick (10 ms): within every tick each node harvests and
+// (if busy) computes. A node's in-flight inference survives slot boundaries
+// — it is aborted only when the policy re-activates that node (its natural
+// deadline), so completion statistics emerge from energy availability
+// rather than from an arbitrary cutoff.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"origin/internal/comm"
+
+	"origin/internal/host"
+	"origin/internal/metrics"
+	"origin/internal/schedule"
+	"origin/internal/sensor"
+	"origin/internal/synth"
+)
+
+// SlotSeconds is the scheduler slot length: 250 ms, i.e. four inference
+// opportunities per second, comfortably inside the hundreds-of-milliseconds
+// activity granularity the paper leverages.
+const SlotSeconds = 0.25
+
+// Config describes one simulation run.
+type Config struct {
+	// Profile is the dataset profile (activities + signatures).
+	Profile *synth.Profile
+	// User supplies the subject's gait parameters.
+	User *synth.User
+	// Timeline is the slot-by-slot ground-truth activity stream.
+	Timeline *synth.Timeline
+	// Nodes are the EH sensor nodes, indexed by id.
+	Nodes []*sensor.Node
+	// Policy schedules inferences.
+	Policy schedule.Policy
+	// Host aggregates results.
+	Host *host.Device
+	// Window is the IMU samples per classification window.
+	Window int
+	// Seed drives window synthesis during the run.
+	Seed int64
+	// WarmupSlots excludes the cold-start prefix from accuracy accounting.
+	WarmupSlots int
+	// NoiseSNRdB, if non-zero, adds white Gaussian noise at this SNR to
+	// every sensed window (the Fig. 6 unseen-user protocol).
+	NoiseSNRdB float64
+	// Comm, if non-nil, models the wireless links explicitly: activation
+	// signals travel the downlink and results travel the uplink, both with
+	// latency and loss. nil means a perfect, instantaneous network.
+	Comm *CommConfig
+}
+
+// CommConfig bundles the two link models of the body-area network.
+type CommConfig struct {
+	// Uplink carries sensor results to the host.
+	Uplink comm.Config
+	// Downlink carries activation signals to the sensors.
+	Downlink comm.Config
+}
+
+// Result collects everything a run produces.
+type Result struct {
+	// Confusion is slot-level: every post-warmup slot contributes one
+	// (true, predicted) observation of the system output.
+	Confusion *metrics.Confusion
+	// RoundConfusion scores only ensemble rounds — post-warmup slots in
+	// which at least one fresh classification arrived and the host
+	// (re-)ran its aggregation. This is the paper's accuracy notion: a
+	// classifier is scored on the classifications it performs, not on
+	// wall-clock slots where an energy-starved system stays silent.
+	RoundConfusion *metrics.Confusion
+	// Completion is the per-attempt breakdown grouped by activation round
+	// (the Fig. 1 statistic).
+	Completion metrics.Completion
+	// NodeStats is final telemetry per node.
+	NodeStats []sensor.NodeStats
+	// Slots is the number of simulated slots.
+	Slots int
+	// FreshSlots counts post-warmup slots in which at least one fresh
+	// result arrived.
+	FreshSlots int
+	// Truth and Predicted record per-slot ground truth and system output
+	// (-1 = no output) for every post-warmup slot, and FreshMask marks the
+	// ensemble rounds, enabling downstream analyses (transition splits,
+	// adaptation curves) without re-running the simulation.
+	Truth, Predicted []int
+	FreshMask        []bool
+}
+
+// Accuracy is shorthand for Result.Confusion.Accuracy().
+func (r *Result) Accuracy() float64 { return r.Confusion.Accuracy() }
+
+// PerClass is shorthand for Result.Confusion.PerClass().
+func (r *Result) PerClass() []float64 { return r.Confusion.PerClass() }
+
+// RoundAccuracy is shorthand for Result.RoundConfusion.Accuracy().
+func (r *Result) RoundAccuracy() float64 { return r.RoundConfusion.Accuracy() }
+
+// RoundPerClass is shorthand for Result.RoundConfusion.PerClass().
+func (r *Result) RoundPerClass() []float64 { return r.RoundConfusion.PerClass() }
+
+type attempt struct {
+	activated int
+	completed int
+}
+
+// Run executes the simulation described by cfg.
+func Run(cfg Config) *Result {
+	validate(&cfg)
+	classes := cfg.Profile.NumClasses()
+	res := &Result{
+		Confusion:      metrics.NewConfusion(classes),
+		RoundConfusion: metrics.NewConfusion(classes),
+		Slots:          cfg.Timeline.Len(),
+	}
+
+	// One window generator per location so signals differ per node but are
+	// deterministic given cfg.Seed.
+	gens := make([]*synth.Generator, len(cfg.Nodes))
+	noiseRngs := make([]*prng, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		gens[i] = synth.NewGenerator(cfg.Profile, cfg.User, cfg.Window, cfg.Seed+int64(i)*7919)
+		noiseRngs[i] = newPrng(cfg.Seed + 1_000_003 + int64(i))
+	}
+
+	traceTick := 0.01
+	ticksPerSlot := int(math.Round(SlotSeconds / traceTick))
+
+	// attempts[round key = start slot] tracks Fig. 1 completion grouping.
+	attempts := map[int]*attempt{}
+	// inflightStart[node] is the slot the node's pending inference started.
+	inflightStart := make([]int, len(cfg.Nodes))
+	for i := range inflightStart {
+		inflightStart[i] = -1
+	}
+
+	// bodyRng drives the per-slot whole-body motion state shared by all
+	// sensors: one body, one cadence, one effort (see synth.BodyState).
+	bodyRng := newPrng(cfg.Seed + 555).r
+
+	// Optional explicit wireless links.
+	var uplink *comm.Link[*sensor.Result]
+	var downlink *comm.Link[comm.Activation]
+	if cfg.Comm != nil {
+		up, down := cfg.Comm.Uplink, cfg.Comm.Downlink
+		if up.Seed == 0 {
+			up.Seed = cfg.Seed + 17011
+		}
+		if down.Seed == 0 {
+			down.Seed = cfg.Seed + 17021
+		}
+		uplink = comm.NewLink[*sensor.Result](up)
+		downlink = comm.NewLink[comm.Activation](down)
+	}
+
+	globalTick := 0
+	for slot := 0; slot < cfg.Timeline.Len(); slot++ {
+		trueAct := cfg.Timeline.PerSlot[slot]
+		body := synth.DrawBodyState(bodyRng)
+
+		// Policy decision at slot start.
+		ctx := &schedule.Context{
+			Slot:        slot,
+			NumSensors:  len(cfg.Nodes),
+			Anticipated: cfg.Host.Anticipated(),
+			CanAfford: func(s int) bool {
+				return cfg.Nodes[s].CanAfford()
+			},
+			OracleActivity: trueAct,
+			StoreFraction: func(s int) float64 {
+				return cfg.Nodes[s].Capacitor().Stored() / cfg.Nodes[s].Capacitor().CapacityJ
+			},
+		}
+		startNode := func(id, startSlot, act int, st synth.BodyState) {
+			n := cfg.Nodes[id]
+			// Starting a new inference aborts an unfinished one (its round
+			// stays marked incomplete).
+			w := gens[id].WindowWithState(act, n.Location(), st)
+			if cfg.NoiseSNRdB != 0 {
+				synth.AddNoiseSNR(w, cfg.NoiseSNRdB, noiseRngs[id].r)
+			}
+			n.StartInference(w, startSlot, act)
+			inflightStart[id] = startSlot
+		}
+		for _, id := range cfg.Policy.Decide(ctx) {
+			a := attempts[slot]
+			if a == nil {
+				a = &attempt{}
+				attempts[slot] = a
+			}
+			a.activated++
+			if downlink != nil {
+				// The activation signal rides the lossy downlink; a dropped
+				// signal is one of the paper's coordination failures — the
+				// sensor simply never starts.
+				downlink.Send(globalTick, comm.Activation{Sensor: id, Slot: slot})
+				continue
+			}
+			startNode(id, slot, trueAct, body)
+		}
+
+		// Sub-tick integration.
+		freshThisSlot := false
+		for t := 0; t < ticksPerSlot; t++ {
+			if downlink != nil {
+				for _, act := range downlink.Deliver(globalTick) {
+					// The activation arrives a little late: the sensor
+					// samples the activity as it is *now*.
+					startNode(act.Sensor, slot, trueAct, body)
+				}
+			}
+			for id, n := range cfg.Nodes {
+				r := n.Tick(globalTick, traceTick)
+				if r == nil {
+					continue
+				}
+				if a := attempts[r.Slot]; a != nil {
+					a.completed++
+				}
+				inflightStart[id] = -1
+				if uplink != nil {
+					uplink.Send(globalTick, r)
+					continue
+				}
+				deliverResult(cfg.Host, r, slot)
+				freshThisSlot = true
+			}
+			if uplink != nil {
+				for _, r := range uplink.Deliver(globalTick) {
+					deliverResult(cfg.Host, r, slot)
+					freshThisSlot = true
+				}
+			}
+			globalTick++
+		}
+
+		// System output for this slot. Anticipation stays sensor-driven
+		// (each received result moves it, §III-B); the fused output is what
+		// the application sees.
+		final := cfg.Host.Classify(slot)
+		if freshThisSlot {
+			cfg.Host.Adapt(slot, final)
+		}
+		if slot >= cfg.WarmupSlots {
+			res.Confusion.Add(trueAct, final)
+			res.Truth = append(res.Truth, trueAct)
+			res.Predicted = append(res.Predicted, final)
+			res.FreshMask = append(res.FreshMask, freshThisSlot)
+			if freshThisSlot {
+				res.RoundConfusion.Add(trueAct, final)
+				res.FreshSlots++
+			}
+		}
+	}
+
+	for _, a := range attempts {
+		res.Completion.Record(a.activated, a.completed)
+	}
+	for _, n := range cfg.Nodes {
+		res.NodeStats = append(res.NodeStats, n.Stats())
+	}
+	return res
+}
+
+// deliverResult hands a sensor result to the host stamped with its arrival
+// slot: freshness and recall ageing are relative to arrival, not to the
+// window the inference classified.
+func deliverResult(h *host.Device, r *sensor.Result, arrivalSlot int) {
+	hr := *r
+	hr.Slot = arrivalSlot
+	h.Observe(&hr)
+}
+
+func validate(cfg *Config) {
+	switch {
+	case cfg.Profile == nil:
+		panic("sim: Config.Profile is required")
+	case cfg.User == nil:
+		panic("sim: Config.User is required")
+	case cfg.Timeline == nil || cfg.Timeline.Len() == 0:
+		panic("sim: Config.Timeline is required")
+	case len(cfg.Nodes) == 0:
+		panic("sim: Config.Nodes is required")
+	case cfg.Policy == nil:
+		panic("sim: Config.Policy is required")
+	case cfg.Host == nil:
+		panic("sim: Config.Host is required")
+	case cfg.Window <= 0:
+		panic(fmt.Sprintf("sim: invalid window %d", cfg.Window))
+	}
+}

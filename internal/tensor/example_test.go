@@ -1,0 +1,40 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"origin/internal/tensor"
+)
+
+func ExampleMatMul() {
+	a := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := tensor.FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := tensor.MatMul(a, b)
+	fmt.Println(c.Data())
+	// Output: [19 22 43 50]
+}
+
+func ExampleSoftmax() {
+	logits := tensor.FromSlice([]float64{2, 1, 0}, 3)
+	p := tensor.Softmax(logits)
+	fmt.Printf("argmax=%d sum=%.2f\n", p.ArgMax(), p.Sum())
+	// Output: argmax=0 sum=1.00
+}
+
+func ExampleIm2Col1D() {
+	// A single-channel signal lowered for a kernel-3 convolution:
+	// each row is one receptive field.
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)
+	cols := tensor.Im2Col1D(x, 3, 1)
+	fmt.Println(cols.Shape(), cols.Data())
+	// Output: [2 3] [1 2 3 2 3 4]
+}
+
+func ExampleTensor_Variance() {
+	// The Origin confidence measure: one-hot softmax outputs have maximal
+	// variance, uniform ones zero.
+	confident := tensor.FromSlice([]float64{1, 0, 0, 0}, 4)
+	confused := tensor.FromSlice([]float64{0.25, 0.25, 0.25, 0.25}, 4)
+	fmt.Printf("%.4f %.4f\n", confident.Variance(), confused.Variance())
+	// Output: 0.1875 0.0000
+}

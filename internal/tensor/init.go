@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Softmax returns the softmax of a 1-D tensor as a new tensor.
+// It is numerically stabilised by subtracting the max before
+// exponentiation.
+func Softmax(x *Tensor) *Tensor {
+	out := x.Clone()
+	SoftmaxInPlace(out)
+	return out
+}
+
+// SoftmaxInPlace replaces x with softmax(x).
+func SoftmaxInPlace(x *Tensor) {
+	if x.Len() == 0 {
+		return
+	}
+	m := x.Max()
+	s := 0.0
+	for i, v := range x.data {
+		e := math.Exp(v - m)
+		x.data[i] = e
+		s += e
+	}
+	if s == 0 {
+		// Degenerate case: fall back to the uniform distribution.
+		u := 1.0 / float64(len(x.data))
+		for i := range x.data {
+			x.data[i] = u
+		}
+		return
+	}
+	inv := 1.0 / s
+	for i := range x.data {
+		x.data[i] *= inv
+	}
+}
+
+// RandNormal fills t with N(mean, std²) samples drawn from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+}
+
+// RandUniform fills t with uniform samples from [lo, hi).
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+}
+
+// GlorotUniform fills t with the Glorot/Xavier uniform initialisation
+// for a layer with the given fan-in and fan-out.
+func (t *Tensor) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	t.RandUniform(rng, -limit, limit)
+}
+
+// HeNormal fills t with the He (Kaiming) normal initialisation for a layer
+// with the given fan-in, the standard choice ahead of ReLU activations.
+func (t *Tensor) HeNormal(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.RandNormal(rng, 0, std)
+}

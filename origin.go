@@ -1,0 +1,158 @@
+// Package origin is a from-scratch reproduction of "Origin: Enabling
+// On-Device Intelligence for Human Activity Recognition Using Energy
+// Harvesting Wireless Sensor Networks" (Mishra, Sampson, Kandemir,
+// Narayanan — DATE 2021).
+//
+// Origin coordinates a body-area network of three energy-harvesting IMU
+// sensor nodes (chest, left ankle, right wrist), each running its own small
+// per-location DNN classifier, through four mechanisms:
+//
+//   - extended round-robin scheduling (ER-r) that inserts harvesting slots
+//     between inferences,
+//   - activity-aware scheduling (AAS) that activates the sensor best ranked
+//     for the anticipated activity, with an energy fallback to the next
+//     best,
+//   - host-side recall of each sensor's most recent classification so every
+//     sensor participates in the ensemble without being activated (AASR),
+//   - an adaptive confidence matrix (average softmax-output variance per
+//     sensor and class) used as weights for majority voting and updated
+//     online to personalise to the wearer.
+//
+// This package is the public facade. Everything underneath — a tensor/DNN
+// stack with training and pruning, a synthetic multi-subject IMU generator,
+// a WiFi harvesting-trace model, a capacitor store, a non-volatile
+// intermittent processor, the scheduling policies, the ensemble, the
+// discrete-time simulator, and one driver per paper table/figure — lives in
+// internal/ packages and is re-exported here by alias.
+//
+// Quick start:
+//
+//	sys := origin.BuildSystem("MHEALTH")
+//	res := origin.RunPolicy(sys, origin.RunOpts{Width: 12, Kind: origin.PolicyOrigin})
+//	fmt.Printf("top-1 accuracy: %.2f%%\n", 100*res.RoundAccuracy())
+//
+// Every run is deterministic for fixed seeds; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for measured-vs-paper numbers.
+package origin
+
+import (
+	"origin/internal/energy"
+	"origin/internal/experiments"
+	"origin/internal/sim"
+	"origin/internal/synth"
+)
+
+// System is a fully-trained deployment for one dataset profile: Baseline-1
+// and Baseline-2 nets per location plus the derived confidence matrix,
+// accuracy table and AAS rank table.
+type System = experiments.System
+
+// RunOpts bundles the knobs of one energy-harvesting policy run.
+type RunOpts = experiments.RunOpts
+
+// PolicyKind selects the system variant (ER-r, AAS, AASR, Origin).
+type PolicyKind = experiments.PolicyKind
+
+// The system variants the paper's Figs. 4–5 sweep.
+const (
+	PolicyERr    = experiments.PolicyERr
+	PolicyAAS    = experiments.PolicyAAS
+	PolicyAASR   = experiments.PolicyAASR
+	PolicyOrigin = experiments.PolicyOrigin
+)
+
+// Result is one simulation outcome: slot- and round-level confusion
+// matrices, completion breakdowns and node telemetry.
+type Result = sim.Result
+
+// SweepConfig controls the Fig. 4/5/Table I sweeps.
+type SweepConfig = experiments.SweepConfig
+
+// User identifies a synthetic subject; NewUser derives one deterministically.
+type User = synth.User
+
+// NewUser derives a subject from an id (0 = population average; other ids
+// perturb gait and sensor mounting).
+func NewUser(id int64) *User { return synth.NewUser(id) }
+
+// BuildSystem trains (or loads from the on-disk cache) the full system for
+// "MHEALTH" or "PAMAP2".
+func BuildSystem(profile string) *System { return experiments.BuildSystem(profile) }
+
+// RunPolicy executes one energy-harvesting run of the given variant over
+// the Baseline-2 nets.
+func RunPolicy(sys *System, o RunOpts) *Result { return experiments.RunPolicy(sys, o) }
+
+// RunBaseline evaluates a fully-powered baseline ("B1" or "B2") with naive
+// majority voting.
+func RunBaseline(sys *System, kind string, slots int, seed int64) *Result {
+	return experiments.RunBaselineSystem(sys, kind, slots, seed, nil, 0)
+}
+
+// Experiment drivers — one per table/figure in the paper's evaluation.
+// Each returns a typed result whose String() prints the same rows/series
+// the paper reports.
+var (
+	// RunFig1 reproduces the Fig. 1 completion breakdowns.
+	RunFig1 = experiments.RunFig1
+	// RunFig2 reproduces the per-sensor/ensemble accuracy table.
+	RunFig2 = experiments.RunFig2
+	// RunFig4 sweeps ER-r vs ER-r+AAS.
+	RunFig4 = experiments.RunFig4
+	// RunFig5 sweeps AAS/AASR/Origin against both baselines.
+	RunFig5 = experiments.RunFig5
+	// RunFig6 runs the unseen-user adaptation study.
+	RunFig6 = experiments.RunFig6
+	// RunTable1 compares RR12-Origin with both baselines per activity.
+	RunTable1 = experiments.RunTable1
+	// RunHeadline computes the abstract's Origin-vs-baseline claim.
+	RunHeadline = experiments.RunHeadline
+)
+
+// Ablation drivers for the design choices DESIGN.md calls out.
+var (
+	// RunAblationNVP compares NVP against a volatile processor.
+	RunAblationNVP = experiments.RunAblationNVP
+	// RunAblationRecall isolates recall and aggregation contributions.
+	RunAblationRecall = experiments.RunAblationRecall
+	// RunAblationAdaptive freezes the confidence matrix for an unseen user.
+	RunAblationAdaptive = experiments.RunAblationAdaptive
+	// RunAblationWeighting compares the §III-C aggregation rules.
+	RunAblationWeighting = experiments.RunAblationWeighting
+	// RunAblationRRWidth sweeps Origin beyond RR12.
+	RunAblationRRWidth = experiments.RunAblationRRWidth
+	// RunAblationRecallDecay explores age-decayed recall weights.
+	RunAblationRecallDecay = experiments.RunAblationRecallDecay
+	// RunAblationComm stresses the wireless links with latency and loss.
+	RunAblationComm = experiments.RunAblationComm
+	// RunAblationPower compares EH-only, hybrid and battery-class supplies.
+	RunAblationPower = experiments.RunAblationPower
+	// RunAblationQuantization quantizes the deployed weights to a few bits.
+	RunAblationQuantization = experiments.RunAblationQuantization
+	// RunCentralized compares Origin with a centralized fusion DNN,
+	// healthy and under sensor failure (the paper's Discussion).
+	RunCentralized = experiments.RunCentralized
+	// RunAblationCheckpoint compares NVP checkpoint granularities.
+	RunAblationCheckpoint = experiments.RunAblationCheckpoint
+	// RunAblationScheduling brackets AAS between Random and Oracle.
+	RunAblationScheduling = experiments.RunAblationScheduling
+	// RunExtendedNetwork scales the network to five sensors (footnote 1).
+	RunExtendedNetwork = experiments.RunExtendedNetwork
+	// RunBatteryLife quantifies battery-lifetime extension on hybrid nodes.
+	RunBatteryLife = experiments.RunBatteryLife
+	// RunAblationAdaptiveWidth compares fixed vs energy-adaptive pacing.
+	RunAblationAdaptiveWidth = experiments.RunAblationAdaptiveWidth
+)
+
+// Trace is a harvested-power time series (watts at a fixed tick).
+type Trace = energy.Trace
+
+// GenerateTrace synthesises the calibrated office-WiFi harvesting trace
+// used by all experiments: durationS seconds at 10 ms resolution.
+func GenerateTrace(durationS float64, seed int64) *Trace {
+	return experiments.ExperimentTrace(durationS, seed)
+}
+
+// LoadTraceCSV reads a "time_s,power_w" trace file, so recorded traces can
+// replace the synthetic one.
+func LoadTraceCSV(path string) (*Trace, error) { return energy.LoadCSVFile(path) }
