@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench verify-obs
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Focused verification for the telemetry/concurrency layers: vet everything,
+# then race-test the packages the run telemetry and worker pool touch.
+verify-obs:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs ./internal/sim ./internal/host

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"origin/internal/experiments"
+	"origin/internal/obs"
 	"origin/internal/report"
 )
 
@@ -31,6 +33,7 @@ func main() {
 		iters   = flag.Int("iterations", 1000, "Fig. 6 iterations (10 classifications each)")
 		cache   = flag.String("cache", "", "model cache directory (default: $ORIGIN_CACHE or system temp)")
 		outDir  = flag.String("out", "", "also write each table to <out>/<name>.{md|csv|txt}")
+		teleOut = flag.String("telemetry-json", "", `write per-cell sweep telemetry (fig4/fig5) as JSON to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -76,6 +79,24 @@ func main() {
 		}
 	}
 
+	// Sweep cells carry merged run telemetry; -telemetry-json collects
+	// every cell the invocation produced and writes them at the end.
+	type cellTelemetry struct {
+		Experiment string        `json:"experiment"`
+		Policy     string        `json:"policy"`
+		Width      int           `json:"width"`
+		Telemetry  obs.Telemetry `json:"telemetry"`
+	}
+	teleCells := []cellTelemetry{} // non-nil: zero cells encode as [], not null
+	collect := func(exp string, cells []experiments.PolicyCell) {
+		if *teleOut == "" {
+			return
+		}
+		for _, c := range cells {
+			teleCells = append(teleCells, cellTelemetry{exp, c.Kind.String(), c.Width, c.Telemetry})
+		}
+	}
+
 	if want("fig1") {
 		emit(report.Fig1Table(experiments.RunFig1(sys, experiments.Fig1Config{Slots: *slots, Seed: sweep.Seeds[0]})))
 	}
@@ -83,12 +104,18 @@ func main() {
 		emit(report.Fig2Table(experiments.RunFig2(sys, experiments.Fig2Config{WindowsPerClass: 200, Seed: 1})))
 	}
 	if want("fig4") {
-		fmt.Println(experiments.RunFig4(sys, sweep))
+		r := experiments.RunFig4(sys, sweep)
+		fmt.Println(r)
+		collect("fig4", r.Cells)
 	}
 	if want("fig5") {
-		emit(report.Fig5Table(experiments.RunFig5(sys, sweep)))
+		r := experiments.RunFig5(sys, sweep)
+		emit(report.Fig5Table(r))
+		collect("fig5-"+r.Dataset, r.Cells)
 		if *run == "all" && *profile == "MHEALTH" {
-			emit(report.Fig5Table(experiments.RunFig5(experiments.BuildSystem("PAMAP2"), sweep)))
+			r2 := experiments.RunFig5(experiments.BuildSystem("PAMAP2"), sweep)
+			emit(report.Fig5Table(r2))
+			collect("fig5-"+r2.Dataset, r2.Cells)
 		}
 	}
 	if want("table1") {
@@ -126,6 +153,28 @@ func main() {
 		fmt.Println(experiments.RunCentralized(sys, *slots, seed))
 		fmt.Println(experiments.RunExtendedNetwork(sys, *slots, seed))
 		fmt.Println(experiments.RunBatteryLife(sys, *slots, seed))
+	}
+
+	if *teleOut != "" {
+		w := os.Stdout
+		if *teleOut != "-" {
+			f, err := os.Create(*teleOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "origin-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(teleCells); err != nil {
+			fmt.Fprintf(os.Stderr, "origin-experiments: write telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		if *teleOut != "-" {
+			fmt.Printf("sweep telemetry (%d cells) written to %s\n", len(teleCells), *teleOut)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"origin/internal/ensemble"
+	"origin/internal/obs"
 	"origin/internal/report"
 
 	"origin/internal/experiments"
@@ -34,6 +35,7 @@ func main() {
 		matrixIn  = flag.String("matrix-in", "", "seed Origin's confidence matrix from this file (a previous -matrix-out)")
 		matrixOut = flag.String("matrix-out", "", "persist the adapted confidence matrix to this file")
 		cache     = flag.String("cache", "", "model cache directory")
+		teleOut   = flag.String("telemetry-json", "", `write run telemetry as JSON to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -56,6 +58,7 @@ func main() {
 		fmt.Printf("%s (fully powered, majority voting) on %s:\n", *policy, *profile)
 		fmt.Printf("  top-1 accuracy %.2f%% over %d slots\n", 100*r.RoundAccuracy(), r.Slots)
 		printPerClass(sys, r.RoundPerClass())
+		writeTelemetry(r.Telemetry, *teleOut)
 		return
 	}
 	kind, ok := kinds[*policy]
@@ -86,6 +89,7 @@ func main() {
 	for i, st := range r.NodeStats {
 		fmt.Printf("    %-12s %s\n", synth.Location(i), st)
 	}
+	writeTelemetry(r.Telemetry, *teleOut)
 	if *matrixOut != "" && h.Matrix() != nil {
 		if err := h.Matrix().SaveFile(*matrixOut); err != nil {
 			fmt.Fprintf(os.Stderr, "origin-sim: %v\n", err)
@@ -93,6 +97,33 @@ func main() {
 		}
 		fmt.Printf("  adapted confidence matrix saved to %s\n", *matrixOut)
 	}
+}
+
+// writeTelemetry emits the run telemetry as JSON to the given path
+// ("" = disabled, "-" = stdout).
+func writeTelemetry(t *obs.Telemetry, path string) {
+	if path == "" {
+		return
+	}
+	if path == "-" {
+		if err := t.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "origin-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = t.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "origin-sim: write telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  telemetry written to %s\n", path)
 }
 
 func printPerClass(sys *experiments.System, per []float64) {

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"origin/internal/obs"
 )
 
 // Config describes one unidirectional link.
@@ -47,6 +49,9 @@ type Link[T any] struct {
 	queue []envelope[T]
 	seq   int
 	stats Stats
+
+	tele *obs.Telemetry
+	dir  obs.LinkDir
 }
 
 type envelope[T any] struct {
@@ -66,6 +71,12 @@ func NewLink[T any](cfg Config) *Link[T] {
 	return &Link[T]{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
+// Attach routes this link's send/drop/delivery events into the given
+// run telemetry under the given direction. A nil telemetry detaches.
+func (l *Link[T]) Attach(t *obs.Telemetry, dir obs.LinkDir) {
+	l.tele, l.dir = t, dir
+}
+
 // Send enqueues a message at tick now. It returns false if the message was
 // lost in flight (the sender does not know — the return value is for
 // telemetry and tests, not protocol feedback).
@@ -73,8 +84,10 @@ func (l *Link[T]) Send(now int, payload T) bool {
 	l.stats.Sent++
 	if l.cfg.DropRate > 0 && l.rng.Float64() < l.cfg.DropRate {
 		l.stats.Dropped++
+		l.tele.NoteSend(l.dir, true)
 		return false
 	}
+	l.tele.NoteSend(l.dir, false)
 	l.queue = append(l.queue, envelope[T]{
 		deliverAt: now + l.cfg.LatencyTicks,
 		seq:       l.seq,
@@ -106,6 +119,7 @@ func (l *Link[T]) Deliver(now int) []T {
 		out[i] = e.payload
 	}
 	l.stats.Delivered += len(out)
+	l.tele.NoteDelivered(l.dir, len(out))
 	return out
 }
 

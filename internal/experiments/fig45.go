@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"origin/internal/metrics"
+	"origin/internal/obs"
 	"origin/internal/sim"
 )
 
@@ -19,6 +19,9 @@ type PolicyCell struct {
 	Overall  float64
 	// Completion is the fraction of attempts that finished.
 	Completion float64
+	// Telemetry sums the run telemetry of the averaged seeds (per-slot
+	// tallies dropped).
+	Telemetry obs.Telemetry
 }
 
 // Fig4Result reproduces Fig. 4: ER-r alone vs ER-r + AAS, per activity, for
@@ -37,6 +40,17 @@ type SweepConfig struct {
 	// Slots per run (default 6000) and Seeds to average over (default 3).
 	Slots int
 	Seeds []int64
+	// Workers bounds the sweep's concurrency (0 = GOMAXPROCS). Every run
+	// is self-contained and deterministic, so the worker count changes
+	// wall-clock time only, never the results.
+	Workers int
+}
+
+func (c SweepConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return obs.DefaultWorkers()
 }
 
 func (c *SweepConfig) fill() {
@@ -51,21 +65,22 @@ func (c *SweepConfig) fill() {
 	}
 }
 
-// averagedRun runs one (width, kind) cell over all seeds — concurrently,
-// since every run is self-contained and deterministic — and averages.
+// averagedRun runs one (width, kind) cell over all seeds — through the
+// bounded worker pool, since every run is self-contained and
+// deterministic — and averages.
 func averagedRun(sys *System, width int, kind PolicyKind, cfg SweepConfig) PolicyCell {
+	results := make([]*sim.Result, len(cfg.Seeds))
+	obs.ForEach(len(results), cfg.workers(), func(i int) {
+		results[i] = RunPolicy(sys, RunOpts{Width: width, Kind: kind, Slots: cfg.Slots, Seed: cfg.Seeds[i]})
+	})
+	return averageCell(sys, width, kind, results)
+}
+
+// averageCell folds the per-seed results of one (width, kind) cell into
+// its averaged PolicyCell.
+func averageCell(sys *System, width int, kind PolicyKind, results []*sim.Result) PolicyCell {
 	classes := sys.Profile.NumClasses()
 	cell := PolicyCell{Width: width, Kind: kind, PerClass: make([]float64, classes)}
-	results := make([]*sim.Result, len(cfg.Seeds))
-	var wg sync.WaitGroup
-	for i, seed := range cfg.Seeds {
-		wg.Add(1)
-		go func(i int, seed int64) {
-			defer wg.Done()
-			results[i] = RunPolicy(sys, RunOpts{Width: width, Kind: kind, Slots: cfg.Slots, Seed: seed})
-		}(i, seed)
-	}
-	wg.Wait()
 	for _, r := range results {
 		per := r.RoundPerClass()
 		for c := range per {
@@ -74,8 +89,10 @@ func averagedRun(sys *System, width int, kind PolicyKind, cfg SweepConfig) Polic
 		cell.Overall += r.RoundAccuracy()
 		_, atLeast, _ := r.Completion.Rates()
 		cell.Completion += atLeast
+		totals := r.Telemetry.Totals()
+		cell.Telemetry.Merge(&totals)
 	}
-	n := float64(len(cfg.Seeds))
+	n := float64(len(results))
 	for c := range cell.PerClass {
 		cell.PerClass[c] /= n
 	}
@@ -84,9 +101,8 @@ func averagedRun(sys *System, width int, kind PolicyKind, cfg SweepConfig) Polic
 	return cell
 }
 
-// RunFig4 sweeps ER-r and AAS across widths on harvested energy. Cells run
-// concurrently (each cell's seeds also run concurrently inside
-// averagedRun).
+// RunFig4 sweeps ER-r and AAS across widths on harvested energy. All
+// (width × policy × seed) runs go through one bounded worker pool.
 func RunFig4(sys *System, cfg SweepConfig) *Fig4Result {
 	cfg.fill()
 	res := &Fig4Result{Activities: append([]string(nil), sys.Profile.Activities...)}
@@ -95,21 +111,43 @@ func RunFig4(sys *System, cfg SweepConfig) *Fig4Result {
 	return res
 }
 
-// sweepCells evaluates every (width × kind) combination concurrently, in
-// deterministic output order.
+// sweepCells evaluates every (width × kind) combination in deterministic
+// output order. The full (width × kind × seed) job list is flattened and
+// run through one bounded worker pool, so a sweep never spawns more
+// concurrent simulations than the pool width — previously every cell and
+// every seed got its own goroutine, ~36+ unbounded concurrent full runs.
 func sweepCells(sys *System, cfg SweepConfig, kinds []PolicyKind) []PolicyCell {
-	cells := make([]PolicyCell, len(cfg.Widths)*len(kinds))
-	var wg sync.WaitGroup
+	type job struct {
+		cell  int
+		width int
+		kind  PolicyKind
+		seed  int64
+	}
+	nCells := len(cfg.Widths) * len(kinds)
+	jobs := make([]job, 0, nCells*len(cfg.Seeds))
 	for wi, w := range cfg.Widths {
 		for ki, k := range kinds {
-			wg.Add(1)
-			go func(idx, width int, kind PolicyKind) {
-				defer wg.Done()
-				cells[idx] = averagedRun(sys, width, kind, cfg)
-			}(wi*len(kinds)+ki, w, k)
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, job{cell: wi*len(kinds) + ki, width: w, kind: k, seed: seed})
+			}
 		}
 	}
-	wg.Wait()
+	results := make([]*sim.Result, len(jobs))
+	obs.ForEach(len(jobs), cfg.workers(), func(i int) {
+		j := jobs[i]
+		results[i] = RunPolicy(sys, RunOpts{Width: j.width, Kind: j.kind, Slots: cfg.Slots, Seed: j.seed})
+	})
+
+	cells := make([]PolicyCell, nCells)
+	perCell := make([][]*sim.Result, nCells)
+	for i, j := range jobs {
+		perCell[j.cell] = append(perCell[j.cell], results[i])
+	}
+	for idx, rs := range perCell {
+		w := cfg.Widths[idx/len(kinds)]
+		k := kinds[idx%len(kinds)]
+		cells[idx] = averageCell(sys, w, k, rs)
+	}
 	return cells
 }
 

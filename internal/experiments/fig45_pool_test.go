@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPooledSweepMatchesSerial pins the worker-pool determinism contract:
+// routing the flattened (width × kind × seed) job list through a bounded
+// pool must produce cells identical to strictly serial execution.
+func TestPooledSweepMatchesSerial(t *testing.T) {
+	s := mhealth(t)
+	base := SweepConfig{Widths: []int{3, 6}, Slots: 600, Seeds: []int64{3, 17}}
+	kinds := []PolicyKind{PolicyERr, PolicyAAS}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial := sweepCells(s, serialCfg, kinds)
+
+	pooledCfg := base
+	pooledCfg.Workers = 8
+	pooled := sweepCells(s, pooledCfg, kinds)
+
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("pooled sweep diverged from serial:\nserial: %+v\npooled: %+v", serial, pooled)
+	}
+
+	// averagedRun (the single-cell path) obeys the same contract.
+	a := averagedRun(s, 6, PolicyERr, serialCfg)
+	b := averagedRun(s, 6, PolicyERr, pooledCfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("averagedRun diverged: %+v vs %+v", a, b)
+	}
+}

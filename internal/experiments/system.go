@@ -10,6 +10,7 @@ import (
 	"origin/internal/dataset"
 	"origin/internal/dnn"
 	"origin/internal/ensemble"
+	"origin/internal/obs"
 	"origin/internal/schedule"
 	"origin/internal/synth"
 )
@@ -145,11 +146,16 @@ func TrainingPopulation() []*synth.User {
 	return users
 }
 
+// trainNets trains the per-location B1 and B2 nets. Locations are
+// independent (deterministic per-location seeds, disjoint output slots),
+// so they train through the bounded worker pool.
 func trainNets(p *synth.Profile, s *System) [][]dnn.Sample {
 	testSets := make([][]dnn.Sample, synth.NumLocations)
 	s.NetsB1 = make([]*dnn.Network, synth.NumLocations)
 	s.NetsB2 = make([]*dnn.Network, synth.NumLocations)
-	for _, loc := range synth.Locations() {
+	locs := synth.Locations()
+	obs.ForEach(len(locs), obs.DefaultWorkers(), func(i int) {
+		loc := locs[i]
 		train, test := trainTestFor(p, loc)
 		testSets[loc] = test
 
@@ -181,7 +187,7 @@ func trainNets(p *synth.Profile, s *System) [][]dnn.Sample {
 			}
 			return b2
 		}, 1300+int64(loc), 1400+int64(loc))
-	}
+	})
 	return testSets
 }
 
@@ -204,12 +210,25 @@ func netPath(dir, profile, kind string, loc synth.Location) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-%s-%d.dnn", profile, kind, int(loc)))
 }
 
+// loadCachedNets loads the per-location nets from the on-disk cache and
+// validates each against the profile's class count and (for B2) the
+// harvest-derived MAC pruning budget. A stale ORIGIN_CACHE — nets saved
+// for a different profile geometry or pruned for a different energy
+// budget — fails validation and forces a retrain instead of silently
+// yielding a wrong-architecture System.
 func loadCachedNets(dir, profile string, s *System) bool {
+	classes := s.Profile.NumClasses()
 	var b1, b2 []*dnn.Network
 	for _, loc := range synth.Locations() {
 		n1, err1 := dnn.LoadFile(netPath(dir, profile, "b1", loc))
 		n2, err2 := dnn.LoadFile(netPath(dir, profile, "b2", loc))
 		if err1 != nil || err2 != nil {
+			return false
+		}
+		if n1.Classes != classes || n2.Classes != classes {
+			return false
+		}
+		if n2.MACs() > s.B2BudgetMACs {
 			return false
 		}
 		b1 = append(b1, n1)

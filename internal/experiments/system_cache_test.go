@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"origin/internal/dnn"
+	"origin/internal/synth"
+)
+
+// writeFakeCache populates dir with per-location b1/b2 nets of the given
+// class count, returning the B2 MAC cost.
+func writeFakeCache(t *testing.T, dir, profile string, classes int) int {
+	t.Helper()
+	b1cfg := B1Config(classes)
+	b2cfg := B2ConfigFor(40000, classes)
+	macs := 0
+	for _, loc := range synth.Locations() {
+		rng := rand.New(rand.NewSource(int64(loc)))
+		b1 := dnn.NewHARNetwork(rng, b1cfg)
+		b2 := dnn.NewShallowHARNetwork(rng, b2cfg)
+		macs = b2.MACs()
+		if err := dnn.SaveFile(netPath(dir, profile, "b1", loc), b1); err != nil {
+			t.Fatalf("save b1: %v", err)
+		}
+		if err := dnn.SaveFile(netPath(dir, profile, "b2", loc), b2); err != nil {
+			t.Fatalf("save b2: %v", err)
+		}
+	}
+	return macs
+}
+
+func TestLoadCachedNetsValidation(t *testing.T) {
+	p := synth.MHEALTHProfile()
+	classes := p.NumClasses()
+
+	t.Run("missing files", func(t *testing.T) {
+		s := &System{Profile: p, B2BudgetMACs: 1 << 30}
+		if loadCachedNets(t.TempDir(), "MHEALTH", s) {
+			t.Fatal("empty cache dir should not load")
+		}
+	})
+
+	t.Run("valid cache loads", func(t *testing.T) {
+		dir := t.TempDir()
+		macs := writeFakeCache(t, dir, "MHEALTH", classes)
+		s := &System{Profile: p, B2BudgetMACs: macs}
+		if !loadCachedNets(dir, "MHEALTH", s) {
+			t.Fatal("matching cache should load")
+		}
+		if len(s.NetsB1) != synth.NumLocations || len(s.NetsB2) != synth.NumLocations {
+			t.Fatalf("loaded %d/%d nets", len(s.NetsB1), len(s.NetsB2))
+		}
+	})
+
+	t.Run("class count mismatch forces retrain", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFakeCache(t, dir, "MHEALTH", classes-1)
+		s := &System{Profile: p, B2BudgetMACs: 1 << 30}
+		if loadCachedNets(dir, "MHEALTH", s) {
+			t.Fatal("cache with wrong class count should be rejected")
+		}
+		if s.NetsB1 != nil || s.NetsB2 != nil {
+			t.Fatal("rejected cache must not leave partial nets behind")
+		}
+	})
+
+	t.Run("over-budget B2 forces retrain", func(t *testing.T) {
+		dir := t.TempDir()
+		macs := writeFakeCache(t, dir, "MHEALTH", classes)
+		s := &System{Profile: p, B2BudgetMACs: macs - 1}
+		if loadCachedNets(dir, "MHEALTH", s) {
+			t.Fatal("cache pruned for a larger energy budget should be rejected")
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"origin/internal/ensemble"
+	"origin/internal/obs"
 	"origin/internal/sensor"
 )
 
@@ -89,6 +90,7 @@ type Device struct {
 	lastFresh     recallEntry
 	received      int
 	adaptsApplied int
+	obs           *obs.Telemetry
 }
 
 // New builds a host device from cfg, validating aggregation requirements.
@@ -108,6 +110,10 @@ func New(cfg Config) *Device {
 		anticipated: -1,
 	}
 }
+
+// Attach routes the host's vote and adaptation events into the given
+// run telemetry. A nil telemetry detaches.
+func (d *Device) Attach(t *obs.Telemetry) { d.obs = t }
 
 // Anticipated returns the host's anticipated activity: the class of the
 // most recent received classification, or -1 before any exists.
@@ -166,6 +172,7 @@ func (d *Device) Adapt(slot, final int) {
 	if !d.cfg.Adaptive || d.cfg.Matrix == nil || final < 0 {
 		return
 	}
+	before := d.adaptsApplied
 	for _, v := range d.votes(slot) {
 		if v.Class == final {
 			d.cfg.Matrix.Update(v.Sensor, v.Class, v.Confidence)
@@ -174,6 +181,7 @@ func (d *Device) Adapt(slot, final int) {
 		}
 		d.adaptsApplied++
 	}
+	d.obs.NoteAdaptations(d.adaptsApplied - before)
 }
 
 // votes assembles the ensemble inputs for the given slot: every sensor's
@@ -205,21 +213,37 @@ func (d *Device) votes(slot int) []ensemble.Vote {
 // Classify produces the system's final classification for a slot, or -1 if
 // no opinion is available yet.
 func (d *Device) Classify(slot int) int {
-	switch d.cfg.Agg {
-	case AggLatest:
+	if d.cfg.Agg == AggLatest {
 		if !d.lastFresh.valid {
 			return -1
 		}
 		if d.cfg.StaleLimit > 0 && slot-d.lastFresh.slot > d.cfg.StaleLimit {
 			return -1
 		}
+		if d.lastFresh.slot == slot {
+			d.obs.NoteVotes(1, 0)
+		} else {
+			d.obs.NoteVotes(0, 1)
+		}
 		return d.lastFresh.class
+	}
+	vs := d.votes(slot)
+	if d.obs != nil {
+		fresh := 0
+		for _, v := range vs {
+			if v.Fresh {
+				fresh++
+			}
+		}
+		d.obs.NoteVotes(fresh, len(vs)-fresh)
+	}
+	switch d.cfg.Agg {
 	case AggMajority:
-		return ensemble.MajorityVote(d.votes(slot), d.cfg.Classes)
+		return ensemble.MajorityVote(vs, d.cfg.Classes)
 	case AggWeighted:
-		return d.cfg.Matrix.WeightedVote(d.votes(slot), d.cfg.Classes)
+		return d.cfg.Matrix.WeightedVote(vs, d.cfg.Classes)
 	case AggAccuracy:
-		return ensemble.AccuracyWeightedVote(d.votes(slot), d.cfg.AccTable, d.cfg.Classes)
+		return ensemble.AccuracyWeightedVote(vs, d.cfg.AccTable, d.cfg.Classes)
 	default:
 		panic(fmt.Sprintf("host: unknown aggregation %d", d.cfg.Agg))
 	}

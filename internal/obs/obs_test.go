@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestNilTelemetryIsSafe(t *testing.T) {
+	var tele *Telemetry
+	tele.BeginSlot(3)
+	tele.NoteInferenceStarted()
+	tele.NoteInferenceAborted()
+	tele.NoteInferenceCompleted()
+	tele.NoteEmergencies(2)
+	tele.NoteSend(Uplink, true)
+	tele.NoteSend(Downlink, false)
+	tele.NoteDelivered(Uplink, 1)
+	tele.NoteLate(Downlink)
+	tele.NoteVotes(1, 2)
+	tele.NoteAdaptations(3)
+	tele.NoteDiscardedResults(1)
+	tele.NoteDiscardedActivations(1)
+	tele.NoteAbandonedInference()
+	tele.Merge(NewTelemetry(2))
+	if got := tele.Totals(); !reflect.DeepEqual(got, Telemetry{}) {
+		t.Fatalf("nil Totals = %+v, want zero", got)
+	}
+	if tele.CompletionRate() != 0 {
+		t.Fatal("nil CompletionRate should be 0")
+	}
+}
+
+func TestCountersAndPerSlotTallies(t *testing.T) {
+	tele := NewTelemetry(3)
+	if len(tele.PerSlot) != 3 {
+		t.Fatalf("PerSlot len = %d", len(tele.PerSlot))
+	}
+
+	tele.BeginSlot(0)
+	tele.NoteInferenceStarted()
+	tele.NoteInferenceStarted()
+	tele.NoteInferenceCompleted()
+	tele.NoteSend(Downlink, false)
+	tele.NoteSend(Downlink, true)
+
+	tele.BeginSlot(2)
+	tele.NoteInferenceAborted()
+	tele.NoteEmergencies(4)
+	tele.NoteLate(Uplink)
+	tele.NoteVotes(2, 1)
+	tele.NoteAdaptations(3)
+
+	if tele.InferencesStarted != 2 || tele.InferencesCompleted != 1 || tele.InferencesAborted != 1 {
+		t.Fatalf("lifecycle counters = %d/%d/%d", tele.InferencesStarted, tele.InferencesCompleted, tele.InferencesAborted)
+	}
+	if tele.PowerEmergencies != 4 {
+		t.Fatalf("emergencies = %d", tele.PowerEmergencies)
+	}
+	if tele.Downlink.Sent != 2 || tele.Downlink.Dropped != 1 {
+		t.Fatalf("downlink = %+v", tele.Downlink)
+	}
+	if tele.Uplink.Late != 1 {
+		t.Fatalf("uplink late = %d", tele.Uplink.Late)
+	}
+	if tele.FreshVotes != 2 || tele.RecallVotes != 1 || tele.AdaptationUpdates != 3 {
+		t.Fatalf("votes/adapt = %d/%d/%d", tele.FreshVotes, tele.RecallVotes, tele.AdaptationUpdates)
+	}
+
+	s0, s2 := tele.PerSlot[0], tele.PerSlot[2]
+	if s0.Started != 2 || s0.Completed != 1 || s0.CommDrops != 1 {
+		t.Fatalf("slot 0 tally = %+v", s0)
+	}
+	if s2.Aborted != 1 || s2.Emergencies != 4 || s2.CommLate != 1 {
+		t.Fatalf("slot 2 tally = %+v", s2)
+	}
+	if tele.PerSlot[1] != (SlotCounts{}) {
+		t.Fatalf("slot 1 should be empty: %+v", tele.PerSlot[1])
+	}
+}
+
+func TestBeginSlotOutOfRangeDropsPerSlotOnly(t *testing.T) {
+	tele := NewTelemetry(2)
+	tele.BeginSlot(99)
+	tele.NoteInferenceStarted()
+	if tele.InferencesStarted != 1 {
+		t.Fatal("total lost")
+	}
+	for i, s := range tele.PerSlot {
+		if s != (SlotCounts{}) {
+			t.Fatalf("slot %d unexpectedly tallied: %+v", i, s)
+		}
+	}
+}
+
+func TestCompletionRate(t *testing.T) {
+	tele := NewTelemetry(1)
+	if tele.CompletionRate() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	tele.NoteInferenceStarted()
+	tele.NoteInferenceStarted()
+	tele.NoteInferenceCompleted()
+	if got := tele.CompletionRate(); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5", got)
+	}
+}
+
+func TestTotalsDropsPerSlot(t *testing.T) {
+	tele := NewTelemetry(2)
+	tele.BeginSlot(1)
+	tele.NoteInferenceStarted()
+	tot := tele.Totals()
+	if tot.PerSlot != nil {
+		t.Fatal("Totals should drop PerSlot")
+	}
+	if tot.InferencesStarted != 1 || tot.Slots != 2 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestMergeAddsCountersAndAlignsPerSlot(t *testing.T) {
+	a, b := NewTelemetry(2), NewTelemetry(2)
+	a.BeginSlot(0)
+	a.NoteInferenceStarted()
+	a.NoteSend(Uplink, true)
+	b.BeginSlot(0)
+	b.NoteInferenceStarted()
+	b.NoteDiscardedResults(3)
+
+	a.Merge(b)
+	if a.InferencesStarted != 2 || a.Uplink.Dropped != 1 || a.InFlightResultsDiscarded != 3 {
+		t.Fatalf("merged = %+v", a)
+	}
+	if a.Slots != 4 {
+		t.Fatalf("merged slots = %d", a.Slots)
+	}
+	if a.PerSlot[0].Started != 2 {
+		t.Fatalf("merged per-slot = %+v", a.PerSlot[0])
+	}
+
+	// Length mismatch drops the per-slot tallies.
+	c := NewTelemetry(5)
+	a.Merge(c)
+	if a.PerSlot != nil {
+		t.Fatal("mismatched merge should drop PerSlot")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tele := NewTelemetry(1)
+	tele.NoteInferenceStarted()
+	tele.NoteVotes(4, 2)
+	var buf bytes.Buffer
+	if err := tele.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Telemetry
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.InferencesStarted != 1 || back.FreshVotes != 4 || back.RecallVotes != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestLinkDirString(t *testing.T) {
+	if Uplink.String() != "uplink" || Downlink.String() != "downlink" {
+		t.Fatal("LinkDir names wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default pool width: GOMAXPROCS. Simulation runs
+// are CPU-bound, so more goroutines than processors only adds scheduler
+// pressure and memory for no throughput.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 selects DefaultWorkers). It returns when all
+// n calls have finished.
+//
+// Work is handed out by an atomic index, so the assignment of indices
+// to goroutines varies between runs — determinism is the caller's
+// contract: fn must derive everything from i alone and write its output
+// to the i-th element of a pre-allocated slice. Under that contract the
+// results are identical to a serial loop regardless of the worker
+// count, which is exactly what the sweep determinism tests assert.
+//
+// With workers == 1 the calls run serially, in order, on the calling
+// goroutine.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]int32, n)
+	ForEach(n, 8, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachSerialWhenOneWorker(t *testing.T) {
+	var order []int
+	ForEach(50, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if len(order) != 50 {
+		t.Fatalf("ran %d of 50", len(order))
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	ForEach(64, workers, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		for j := 0; j < 1000; j++ {
+			_ = j * j
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestForEachDeterministicOutput(t *testing.T) {
+	run := func(workers int) []int {
+		out := make([]int, 200)
+		ForEach(len(out), workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	ran := 0
+	ForEach(0, 4, func(int) { ran++ })
+	ForEach(-5, 4, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("n<=0 should be a no-op, ran %d", ran)
+	}
+	// workers > n and workers <= 0 both still cover every index.
+	var c atomic.Int64
+	ForEach(3, 100, func(int) { c.Add(1) })
+	ForEach(3, 0, func(int) { c.Add(1) })
+	if c.Load() != 6 {
+		t.Fatalf("ran %d of 6", c.Load())
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"origin/internal/dnn"
 	"origin/internal/energy"
 	"origin/internal/nvp"
+	"origin/internal/obs"
 	"origin/internal/synth"
 	"origin/internal/tensor"
 )
@@ -129,6 +130,7 @@ type Node struct {
 	deadlineMiss int
 	radioJ       float64
 	radioMsgs    int
+	obs          *obs.Telemetry
 }
 
 // New builds a node from cfg.
@@ -145,6 +147,10 @@ func New(cfg Config) *Node {
 		proc: nvp.NewProcessor(cfg.Proc),
 	}
 }
+
+// Attach routes the node's inference lifecycle and power-emergency
+// events into the given run telemetry. A nil telemetry detaches.
+func (n *Node) Attach(t *obs.Telemetry) { n.obs = t }
 
 // ID returns the node id.
 func (n *Node) ID() int { return n.cfg.ID }
@@ -188,7 +194,9 @@ func (n *Node) CanAfford() bool {
 func (n *Node) StartInference(window *tensor.Tensor, slot, trueClass int) {
 	if n.proc.Busy() {
 		n.deadlineMiss++
+		n.obs.NoteInferenceAborted()
 	}
+	n.obs.NoteInferenceStarted()
 	if n.cfg.Proc.Granularity == nvp.GranularityLayer {
 		layers := make([]float64, 0, len(n.cfg.Net.Layers))
 		for _, l := range n.cfg.Net.Layers {
@@ -208,6 +216,7 @@ func (n *Node) StartInference(window *tensor.Tensor, slot, trueClass int) {
 func (n *Node) AbortInference() {
 	if n.proc.Busy() {
 		n.deadlineMiss++
+		n.obs.NoteInferenceAborted()
 	}
 	n.proc.Abort()
 	n.window = nil
@@ -231,7 +240,10 @@ func (n *Node) Tick(tickIdx int, dt float64) *Result {
 	if !n.proc.Busy() {
 		return nil
 	}
-	if !n.proc.Step(n.cap, dt) {
+	emergencies := n.proc.Stats().Emergencies
+	done := n.proc.Step(n.cap, dt)
+	n.obs.NoteEmergencies(n.proc.Stats().Emergencies - emergencies)
+	if !done {
 		return nil
 	}
 	// Inference done: produce the classification from the real DNN.
@@ -245,6 +257,7 @@ func (n *Node) Tick(tickIdx int, dt float64) *Result {
 	}
 	n.window = nil
 	n.completed++
+	n.obs.NoteInferenceCompleted()
 	// Uplink the few-byte result; if the store cannot fund the message the
 	// node waits (in reality it would retry next tick — at these energies
 	// the difference is negligible, so the model sends best-effort).

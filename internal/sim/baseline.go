@@ -6,6 +6,7 @@ import (
 	"origin/internal/dnn"
 	"origin/internal/host"
 	"origin/internal/metrics"
+	"origin/internal/obs"
 	"origin/internal/sensor"
 	"origin/internal/synth"
 )
@@ -48,11 +49,14 @@ func RunBaseline(cfg BaselineConfig) *Result {
 		panic("sim: BaselineConfig.Nets must hold one net per location")
 	}
 	classes := cfg.Profile.NumClasses()
+	tele := obs.NewTelemetry(cfg.Timeline.Len())
 	res := &Result{
 		Confusion:      metrics.NewConfusion(classes),
 		RoundConfusion: metrics.NewConfusion(classes),
 		Slots:          cfg.Timeline.Len(),
+		Telemetry:      tele,
 	}
+	cfg.Host.Attach(tele)
 	gens := make([]*synth.Generator, synth.NumLocations)
 	noise := make([]*prng, synth.NumLocations)
 	for i := range gens {
@@ -61,6 +65,7 @@ func RunBaseline(cfg BaselineConfig) *Result {
 	}
 	bodyRng := newPrng(cfg.Seed + 555).r
 	for slot := 0; slot < cfg.Timeline.Len(); slot++ {
+		tele.BeginSlot(slot)
 		trueAct := cfg.Timeline.PerSlot[slot]
 		body := synth.DrawBodyState(bodyRng)
 		for _, loc := range synth.Locations() {
@@ -68,7 +73,9 @@ func RunBaseline(cfg BaselineConfig) *Result {
 			if cfg.NoiseSNRdB != 0 {
 				synth.AddNoiseSNR(w, cfg.NoiseSNRdB, noise[loc].r)
 			}
+			tele.NoteInferenceStarted()
 			class, probs := cfg.Nets[loc].Predict(w)
+			tele.NoteInferenceCompleted()
 			cfg.Host.Observe(&sensor.Result{
 				Sensor:     int(loc),
 				Class:      class,
@@ -78,6 +85,7 @@ func RunBaseline(cfg BaselineConfig) *Result {
 			})
 		}
 		final := cfg.Host.Classify(slot)
+		cfg.Host.NoteFinal(final)
 		cfg.Host.Adapt(slot, final)
 		if slot >= cfg.WarmupSlots {
 			res.Confusion.Add(trueAct, final)

@@ -21,6 +21,7 @@ import (
 
 	"origin/internal/host"
 	"origin/internal/metrics"
+	"origin/internal/obs"
 	"origin/internal/schedule"
 	"origin/internal/sensor"
 	"origin/internal/synth"
@@ -95,6 +96,11 @@ type Result struct {
 	// adaptation curves) without re-running the simulation.
 	Truth, Predicted []int
 	FreshMask        []bool
+	// Telemetry is the run's event record: inference lifecycle counts,
+	// power emergencies, link sends/drops/late deliveries, recall vs fresh
+	// votes, adaptation updates and end-of-run in-flight losses, with
+	// per-slot tallies.
+	Telemetry *obs.Telemetry
 }
 
 // Accuracy is shorthand for Result.Confusion.Accuracy().
@@ -118,11 +124,17 @@ type attempt struct {
 func Run(cfg Config) *Result {
 	validate(&cfg)
 	classes := cfg.Profile.NumClasses()
+	tele := obs.NewTelemetry(cfg.Timeline.Len())
 	res := &Result{
 		Confusion:      metrics.NewConfusion(classes),
 		RoundConfusion: metrics.NewConfusion(classes),
 		Slots:          cfg.Timeline.Len(),
+		Telemetry:      tele,
 	}
+	for _, n := range cfg.Nodes {
+		n.Attach(tele)
+	}
+	cfg.Host.Attach(tele)
 
 	// One window generator per location so signals differ per node but are
 	// deterministic given cfg.Seed.
@@ -148,8 +160,10 @@ func Run(cfg Config) *Result {
 	// sensors: one body, one cadence, one effort (see synth.BodyState).
 	bodyRng := newPrng(cfg.Seed + 555).r
 
-	// Optional explicit wireless links.
-	var uplink *comm.Link[*sensor.Result]
+	// Optional explicit wireless links. The uplink payload carries the
+	// slot the result was sent in, so late deliveries (arrival after a
+	// slot boundary) are visible in the telemetry.
+	var uplink *comm.Link[uplinkMsg]
 	var downlink *comm.Link[comm.Activation]
 	if cfg.Comm != nil {
 		up, down := cfg.Comm.Uplink, cfg.Comm.Downlink
@@ -159,12 +173,15 @@ func Run(cfg Config) *Result {
 		if down.Seed == 0 {
 			down.Seed = cfg.Seed + 17021
 		}
-		uplink = comm.NewLink[*sensor.Result](up)
+		uplink = comm.NewLink[uplinkMsg](up)
 		downlink = comm.NewLink[comm.Activation](down)
+		uplink.Attach(tele, obs.Uplink)
+		downlink.Attach(tele, obs.Downlink)
 	}
 
 	globalTick := 0
 	for slot := 0; slot < cfg.Timeline.Len(); slot++ {
+		tele.BeginSlot(slot)
 		trueAct := cfg.Timeline.PerSlot[slot]
 		body := synth.DrawBodyState(bodyRng)
 
@@ -215,8 +232,14 @@ func Run(cfg Config) *Result {
 			if downlink != nil {
 				for _, act := range downlink.Deliver(globalTick) {
 					// The activation arrives a little late: the sensor
-					// samples the activity as it is *now*.
-					startNode(act.Sensor, slot, trueAct, body)
+					// samples the activity as it is *now*, but the attempt
+					// stays credited to the round that decided it
+					// (act.Slot), so a delivery that slips past a slot
+					// boundary does not misattribute its completion.
+					if act.Slot < slot {
+						tele.NoteLate(obs.Downlink)
+					}
+					startNode(act.Sensor, act.Slot, trueAct, body)
 				}
 			}
 			for id, n := range cfg.Nodes {
@@ -229,25 +252,31 @@ func Run(cfg Config) *Result {
 				}
 				inflightStart[id] = -1
 				if uplink != nil {
-					uplink.Send(globalTick, r)
+					uplink.Send(globalTick, uplinkMsg{res: r, sentSlot: slot})
 					continue
 				}
 				deliverResult(cfg.Host, r, slot)
 				freshThisSlot = true
 			}
 			if uplink != nil {
-				for _, r := range uplink.Deliver(globalTick) {
-					deliverResult(cfg.Host, r, slot)
+				for _, m := range uplink.Deliver(globalTick) {
+					if m.sentSlot < slot {
+						tele.NoteLate(obs.Uplink)
+					}
+					deliverResult(cfg.Host, m.res, slot)
 					freshThisSlot = true
 				}
 			}
 			globalTick++
 		}
 
-		// System output for this slot. Anticipation stays sensor-driven
-		// (each received result moves it, §III-B); the fused output is what
-		// the application sees.
+		// System output for this slot. Each received result moves the
+		// anticipation as it arrives (§III-B), and the fused ensemble
+		// opinion then overrides it: NoteFinal breaks the self-reinforcing
+		// loop where a weak sensor keeps nominating itself for the
+		// activity it keeps (mis)detecting.
 		final := cfg.Host.Classify(slot)
+		cfg.Host.NoteFinal(final)
 		if freshThisSlot {
 			cfg.Host.Adapt(slot, final)
 		}
@@ -263,6 +292,22 @@ func Run(cfg Config) *Result {
 		}
 	}
 
+	// Account for everything still in flight when the timeline ends: these
+	// results and activations are lost (their attempt rounds stay
+	// incomplete), and the telemetry makes that loss visible instead of
+	// silently folding it into the failure rate.
+	if uplink != nil {
+		tele.NoteDiscardedResults(uplink.Pending())
+	}
+	if downlink != nil {
+		tele.NoteDiscardedActivations(downlink.Pending())
+	}
+	for _, n := range cfg.Nodes {
+		if n.Busy() {
+			tele.NoteAbandonedInference()
+		}
+	}
+
 	for _, a := range attempts {
 		res.Completion.Record(a.activated, a.completed)
 	}
@@ -270,6 +315,14 @@ func Run(cfg Config) *Result {
 		res.NodeStats = append(res.NodeStats, n.Stats())
 	}
 	return res
+}
+
+// uplinkMsg is the uplink payload: the sensor result plus the slot it
+// was sent in, so deliveries that slip past a slot boundary can be
+// counted as late.
+type uplinkMsg struct {
+	res      *sensor.Result
+	sentSlot int
 }
 
 // deliverResult hands a sensor result to the host stamped with its arrival

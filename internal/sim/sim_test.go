@@ -301,6 +301,155 @@ func TestLossyCommReducesFreshResultsButRecallCopes(t *testing.T) {
 	}
 }
 
+// anticipationSpy wraps a policy and records what the host anticipated at
+// every decision point.
+type anticipationSpy struct {
+	inner schedule.Policy
+	seen  []int
+}
+
+func (p *anticipationSpy) Name() string { return "spy(" + p.inner.Name() + ")" }
+
+func (p *anticipationSpy) Decide(ctx *schedule.Context) []int {
+	p.seen = append(p.seen, ctx.Anticipated)
+	return p.inner.Decide(ctx)
+}
+
+// TestAnticipationFollowsEnsembleFinal is the regression test for the
+// missing NoteFinal call: the anticipation the policy sees at slot s+1 must
+// be the fused ensemble decision of slot s, not whichever lone sensor
+// happened to report last.
+func TestAnticipationFollowsEnsembleFinal(t *testing.T) {
+	f := getFixture(t)
+	tl := smallTimeline(f.profile, 300, 31)
+	nodes := nodesWith(f, 10e-3)
+	h := host.New(host.Config{Sensors: 3, Classes: f.profile.NumClasses(), Recall: true, Agg: host.AggMajority})
+	spy := &anticipationSpy{inner: schedule.NaiveAll{N: 3}}
+	res := Run(Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: spy, Host: h,
+		Window: testWindow, Seed: 32,
+	})
+	if len(spy.seen) != res.Slots || len(res.Predicted) != res.Slots {
+		t.Fatalf("recorded %d decisions / %d predictions over %d slots", len(spy.seen), len(res.Predicted), res.Slots)
+	}
+	for s := 1; s < res.Slots; s++ {
+		if final := res.Predicted[s-1]; final >= 0 && spy.seen[s] != final {
+			t.Fatalf("slot %d anticipation = %d, want ensemble final %d of slot %d",
+				s, spy.seen[s], final, s-1)
+		}
+	}
+}
+
+// evenSlotPolicy activates every sensor on even slots only, so odd slots
+// have no attempt round — a completion misattributed to the arrival slot
+// of a late activation has nowhere to land.
+type evenSlotPolicy struct{ n int }
+
+func (p evenSlotPolicy) Name() string { return "even-slots" }
+
+func (p evenSlotPolicy) Decide(ctx *schedule.Context) []int {
+	if ctx.Slot%2 != 0 {
+		return nil
+	}
+	ids := make([]int, p.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// TestLateActivationCreditedToDecisionSlot is the regression test for the
+// downlink slot-attribution bug: with delivery latency longer than one slot
+// (30 ticks > 25 ticks/slot), every activation arrives in the slot after
+// the decision. Completions must still credit the round that decided them.
+func TestLateActivationCreditedToDecisionSlot(t *testing.T) {
+	f := getFixture(t)
+	tl := smallTimeline(f.profile, 100, 33)
+	nodes := nodesWith(f, 10e-3)
+	h := host.New(host.Config{Sensors: 3, Classes: f.profile.NumClasses(), Recall: true, Agg: host.AggMajority})
+	res := Run(Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: evenSlotPolicy{n: 3}, Host: h,
+		Window: testWindow, Seed: 34,
+		Comm: &CommConfig{Downlink: comm.Config{LatencyTicks: 30}},
+	})
+	_, atLeast, _ := res.Completion.Rates()
+	if atLeast < 0.9 {
+		t.Fatalf("late activations misattributed: completion ≥1 = %v, want ≈1", atLeast)
+	}
+	if res.Telemetry.Downlink.Late == 0 {
+		t.Fatal("telemetry recorded no late downlink deliveries")
+	}
+}
+
+// TestInFlightUplinkResultsCounted pins down the end-of-run accounting:
+// results still riding the uplink when the timeline ends are counted, and
+// every sent message is accounted for exactly once.
+func TestInFlightUplinkResultsCounted(t *testing.T) {
+	f := getFixture(t)
+	tl := smallTimeline(f.profile, 100, 35)
+	nodes := nodesWith(f, 10e-3)
+	h := host.New(host.Config{Sensors: 3, Classes: f.profile.NumClasses(), Recall: true, Agg: host.AggMajority})
+	res := Run(Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: schedule.NaiveAll{N: 3}, Host: h,
+		Window: testWindow, Seed: 36,
+		// Longer than the whole run (100 slots = 2500 ticks): nothing lands.
+		Comm: &CommConfig{Uplink: comm.Config{LatencyTicks: 5000}},
+	})
+	tele := res.Telemetry
+	if tele.InFlightResultsDiscarded == 0 {
+		t.Fatal("no in-flight uplink results counted at end of run")
+	}
+	if res.FreshSlots != 0 {
+		t.Fatalf("nothing should have been delivered, got %d fresh slots", res.FreshSlots)
+	}
+	if got := tele.Uplink.Delivered + tele.Uplink.Dropped + tele.InFlightResultsDiscarded; got != tele.Uplink.Sent {
+		t.Fatalf("uplink accounting: delivered %d + dropped %d + in-flight %d != sent %d",
+			tele.Uplink.Delivered, tele.Uplink.Dropped, tele.InFlightResultsDiscarded, tele.Uplink.Sent)
+	}
+}
+
+// TestTelemetryMatchesNodeStats cross-checks the run telemetry against the
+// per-node counters it mirrors.
+func TestTelemetryMatchesNodeStats(t *testing.T) {
+	f := getFixture(t)
+	tl := smallTimeline(f.profile, 200, 37)
+	nodes := nodesWith(f, 500e-6)
+	h := host.New(host.Config{Sensors: 3, Classes: f.profile.NumClasses(), Recall: true, Agg: host.AggMajority})
+	res := Run(Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: schedule.NewExtendedRoundRobin(6, 3), Host: h,
+		Window: testWindow, Seed: 38,
+	})
+	tele := res.Telemetry
+	if tele == nil {
+		t.Fatal("Result.Telemetry not populated")
+	}
+	var started, completed int
+	for _, st := range res.NodeStats {
+		started += st.Started
+		completed += st.Completed
+	}
+	if tele.InferencesStarted != started || tele.InferencesCompleted != completed {
+		t.Fatalf("telemetry %d/%d vs node stats %d/%d", tele.InferencesStarted, tele.InferencesCompleted, started, completed)
+	}
+	if tele.Slots != res.Slots || len(tele.PerSlot) != res.Slots {
+		t.Fatalf("telemetry covers %d slots (%d tallies), run had %d", tele.Slots, len(tele.PerSlot), res.Slots)
+	}
+	var perSlotStarted int
+	for _, s := range tele.PerSlot {
+		perSlotStarted += int(s.Started)
+	}
+	if perSlotStarted != started {
+		t.Fatalf("per-slot started sum %d != total %d", perSlotStarted, started)
+	}
+	if tele.FreshVotes+tele.RecallVotes == 0 {
+		t.Fatal("no votes recorded")
+	}
+}
+
 func TestCommLatencyDelaysResults(t *testing.T) {
 	f := getFixture(t)
 	tl := smallTimeline(f.profile, 100, 23)
