@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify-obs
+.PHONY: build test bench verify-obs verify-fault fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,16 @@ bench:
 verify-obs:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs ./internal/sim ./internal/host
+
+# Focused verification for the fault-injection/defense layers: vet
+# everything, then race-test every package the injectors and defenses touch.
+verify-fault:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/comm ./internal/fault ./internal/host \
+		./internal/schedule ./internal/sensor ./internal/sim ./internal/obs
+
+# Short fuzz pass over the wire codec (go test allows one -fuzz target per
+# invocation, so the two decoders run back to back).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeResult -fuzztime=5s ./internal/comm
+	$(GO) test -fuzz=FuzzDecodeActivation -fuzztime=5s ./internal/comm

@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		format  = flag.String("format", "text", "output format: text|markdown|csv (markdown/csv cover fig1, fig2, fig5, table1, fig6, ablations)")
-		run     = flag.String("run", "all", "experiment: fig1|fig2|fig4|fig5|fig6|table1|headline|ablations|extension|battery|centralized|all")
+		run     = flag.String("run", "all", "experiment: fig1|fig2|fig4|fig5|fig6|table1|headline|ablations|degradation|extension|battery|centralized|all")
 		profile = flag.String("profile", "MHEALTH", "dataset profile: MHEALTH or PAMAP2 (fig5 always runs both panels under -run all)")
 		slots   = flag.Int("slots", 8000, "simulated scheduler slots per run (250 ms each)")
 		seeds   = flag.String("seeds", "3,17,91", "comma-separated seeds to average over")
@@ -126,6 +126,11 @@ func main() {
 	}
 	if want("fig6") {
 		emit(report.Fig6Table(experiments.RunFig6(sys, experiments.Fig6Config{Iterations: *iters})))
+	}
+	if want("degradation") {
+		seed := sweep.Seeds[0]
+		emit(report.DegradationTable(experiments.RunDegradationDeath(sys, *slots/2, seed)))
+		emit(report.DegradationTable(experiments.RunDegradationBurst(sys, *slots/2, seed)))
 	}
 	if *run == "extension" {
 		fmt.Println(experiments.RunExtendedNetwork(sys, *slots, sweep.Seeds[0]))

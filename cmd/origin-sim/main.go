@@ -5,6 +5,12 @@
 //	origin-sim -policy origin -width 12 -slots 8000
 //	origin-sim -policy aasr -width 6 -user 11 -snr 20
 //	origin-sim -policy baseline2            # fully powered reference
+//
+// Fault injection and graceful degradation (all deterministic under
+// -fault-seed):
+//
+//	origin-sim -policy origin -fault-death 0.001 -quorum 2 -retry-timeout 6
+//	origin-sim -policy aasr -drop 0.1 -fault-burst-loss 0.8 -fault-corrupt 0.02
 package main
 
 import (
@@ -14,9 +20,12 @@ import (
 	"os"
 	"strings"
 
+	"origin/internal/comm"
 	"origin/internal/ensemble"
+	"origin/internal/fault"
 	"origin/internal/obs"
 	"origin/internal/report"
+	"origin/internal/sim"
 
 	"origin/internal/experiments"
 	"origin/internal/synth"
@@ -36,20 +45,108 @@ func main() {
 		matrixOut = flag.String("matrix-out", "", "persist the adapted confidence matrix to this file")
 		cache     = flag.String("cache", "", "model cache directory")
 		teleOut   = flag.String("telemetry-json", "", `write run telemetry as JSON to this file ("-" = stdout)`)
+
+		// Wireless link model (applied to both links).
+		drop         = flag.Float64("drop", 0, "iid per-message loss probability on both links [0,1)")
+		latencyTicks = flag.Int("latency-ticks", 0, "link delivery latency in 10 ms ticks")
+
+		// Fault injectors.
+		faultSeed       = flag.Int64("fault-seed", 99, "fault schedule seed (separate from -seed)")
+		faultBrownout   = flag.Float64("fault-brownout", 0, "per-node per-slot transient brownout probability [0,1)")
+		faultStall      = flag.Float64("fault-stall", 0, "per-node per-slot harvester outage probability [0,1)")
+		faultStallSlots = flag.Int("fault-stall-slots", 0, "harvester outage window in slots (0 = default)")
+		faultDeath      = flag.Float64("fault-death", 0, "per-node per-slot permanent death probability [0,1)")
+		faultReboot     = flag.Float64("fault-reboot", 0, "per-node per-slot reboot probability [0,1)")
+		faultBurstLoss  = flag.Float64("fault-burst-loss", 0, "Gilbert–Elliott bad-state loss probability on both links [0,1]")
+		faultBurstPGB   = flag.Float64("fault-burst-pgb", 0, "burst chain good→bad per-tick probability (0 = default)")
+		faultBurstPBG   = flag.Float64("fault-burst-pbg", 0, "burst chain bad→good per-tick probability (0 = default)")
+		faultCorrupt    = flag.Float64("fault-corrupt", 0, "per-message payload bit-flip probability [0,1)")
+		faultDup        = flag.Float64("fault-dup", 0, "per-message duplication probability [0,1)")
+		faultReorder    = flag.Float64("fault-reorder", 0, "per-message reorder-jitter probability [0,1)")
+
+		// Graceful-degradation defenses.
+		quorum       = flag.Int("quorum", 0, "min valid ensemble votes; fewer abstain with -1 (0 = off)")
+		retryTimeout = flag.Int("retry-timeout", 0, "activation deadline in slots before retry/fallback (0 = off)")
+		retryMax     = flag.Int("retry-max", 1, "re-activations of a silent node before falling back")
+		maskAfter    = flag.Int("mask-after", 0, "mask a node after this many consecutive silent rounds (0 = off)")
+		probeEvery   = flag.Int("probe-every", 0, "probe a masked node once per this many skips (0 = default)")
 	)
 	flag.Parse()
 	if *cache != "" {
 		os.Setenv("ORIGIN_CACHE", *cache)
 	}
 
-	sys := experiments.BuildSystem(*profile)
-	u := synth.NewUser(*user)
-
+	// All CLI-reachable configuration is validated before the (potentially
+	// minutes-long) model build, so a typo fails in milliseconds with a
+	// message instead of a panic mid-run.
 	kinds := map[string]experiments.PolicyKind{
 		"err": experiments.PolicyERr, "aas": experiments.PolicyAAS,
 		"aasr": experiments.PolicyAASR, "origin": experiments.PolicyOrigin,
 	}
-	if *policy == "baseline1" || *policy == "baseline2" {
+	baseline := *policy == "baseline1" || *policy == "baseline2"
+	kind, knownKind := kinds[*policy]
+	if !knownKind && !baseline {
+		usageError("unknown policy %q (want err|aas|aasr|origin|baseline1|baseline2)", *policy)
+	}
+	if *slots <= 0 {
+		usageError("-slots must be positive, got %d", *slots)
+	}
+	if !baseline && (*width < synth.NumLocations || *width%synth.NumLocations != 0) {
+		usageError("-width must be a positive multiple of %d sensors, got %d", synth.NumLocations, *width)
+	}
+
+	linkCfg := comm.Config{LatencyTicks: *latencyTicks, DropRate: *drop,
+		CorruptRate: *faultCorrupt, DupRate: *faultDup, ReorderRate: *faultReorder}
+	if *faultBurstLoss > 0 {
+		burst := comm.DefaultBurst(*faultBurstLoss)
+		if *faultBurstPGB > 0 {
+			burst.PGoodBad = *faultBurstPGB
+		}
+		if *faultBurstPBG > 0 {
+			burst.PBadGood = *faultBurstPBG
+		}
+		linkCfg.Burst = burst
+	}
+	if _, err := comm.NewLinkChecked[int](linkCfg); err != nil {
+		usageError("%v", err)
+	}
+	var commCfg *sim.CommConfig
+	if linkCfg != (comm.Config{}) {
+		commCfg = &sim.CommConfig{Uplink: linkCfg, Downlink: linkCfg}
+	}
+
+	faultCfg := &fault.Config{
+		BrownoutPerSlot: *faultBrownout, StallPerSlot: *faultStall, StallSlots: *faultStallSlots,
+		DeathPerSlot: *faultDeath, RebootPerSlot: *faultReboot, Seed: *faultSeed,
+	}
+	if err := faultCfg.Validate(); err != nil {
+		usageError("%v", err)
+	}
+	if !faultCfg.Enabled() {
+		faultCfg = nil
+	}
+
+	defense := &fault.DefenseConfig{
+		ActivationTimeoutSlots: *retryTimeout, MaxRetries: *retryMax,
+		MaskAfter: *maskAfter, ProbeEvery: *probeEvery, Quorum: *quorum,
+	}
+	if err := defense.Validate(); err != nil {
+		usageError("%v", err)
+	}
+	if *quorum > 1 && (baseline || kind == experiments.PolicyERr || kind == experiments.PolicyAAS) {
+		usageError("-quorum %d needs an ensemble policy (aasr or origin); %s has at most one opinion per slot", *quorum, *policy)
+	}
+	if !defense.Enabled() {
+		defense = nil
+	}
+	if baseline && (commCfg != nil || faultCfg != nil || defense != nil) {
+		usageError("fault, link and defense flags apply to EH policy runs, not %s", *policy)
+	}
+
+	sys := experiments.BuildSystem(*profile)
+	u := synth.NewUser(*user)
+
+	if baseline {
 		kind := "B2"
 		if *policy == "baseline1" {
 			kind = "B1"
@@ -61,14 +158,10 @@ func main() {
 		writeTelemetry(r.Telemetry, *teleOut)
 		return
 	}
-	kind, ok := kinds[*policy]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "origin-sim: unknown policy %q\n", *policy)
-		os.Exit(2)
-	}
 	opts := experiments.RunOpts{
 		Width: *width, Kind: kind, Slots: *slots, Seed: *seed,
 		User: u, NoiseSNRdB: *snr, MarkovTimeline: *markov,
+		Comm: commCfg, Fault: faultCfg, Defense: defense,
 	}
 	if *matrixIn != "" {
 		m, err := ensemble.LoadMatrixFile(*matrixIn)
@@ -84,6 +177,23 @@ func main() {
 	fmt.Printf("  round accuracy  %.2f%%   slot accuracy %.2f%%   macro-F1 %.2f%%\n",
 		100*r.RoundAccuracy(), 100*r.Accuracy(), 100*r.RoundConfusion.MacroF1())
 	fmt.Printf("  completion      all=%.1f%%  ≥1=%.1f%%  failed=%.1f%%\n", 100*all, 100*atLeast, 100*failed)
+	up, down := r.Telemetry.Uplink, r.Telemetry.Downlink
+	linkFaults := up.Corrupted + up.Duplicated + up.Reordered + up.Rejected + up.DupDropped +
+		down.Corrupted + down.Duplicated + down.Reordered + down.Rejected + down.DupDropped
+	if f := r.Telemetry.Faults; f != (obs.FaultCounts{}) || linkFaults > 0 ||
+		faultCfg != nil || defense != nil || commCfg != nil {
+		fmt.Printf("  availability    %.1f%% of slots produced an output\n", 100*r.Availability())
+		fmt.Printf("  faults injected brownout=%d stall=%d death=%d reboot=%d\n",
+			f.Brownouts, f.HarvesterStalls, f.NodeDeaths, f.NodeReboots)
+		if linkFaults > 0 {
+			fmt.Printf("  link faults     corrupted=%d dup=%d reordered=%d rejected=%d dup-dropped=%d\n",
+				up.Corrupted+down.Corrupted, up.Duplicated+down.Duplicated,
+				up.Reordered+down.Reordered, up.Rejected+down.Rejected,
+				up.DupDropped+down.DupDropped)
+		}
+		fmt.Printf("  defenses        retries=%d fallbacks=%d masked=%d probes=%d abstained=%d\n",
+			f.ActivationRetries, f.ActivationFallbacks, f.NodesMasked, f.MaskProbes, f.QuorumAbstentions)
+	}
 	printPerClass(sys, r.RoundPerClass())
 	fmt.Println("  node telemetry:")
 	for i, st := range r.NodeStats {
@@ -97,6 +207,14 @@ func main() {
 		}
 		fmt.Printf("  adapted confidence matrix saved to %s\n", *matrixOut)
 	}
+}
+
+// usageError reports a configuration mistake and exits with the
+// flag-misuse status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "origin-sim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run with -h for the full flag list")
+	os.Exit(2)
 }
 
 // writeTelemetry emits the run telemetry as JSON to the given path

@@ -23,14 +23,107 @@ import (
 	"origin/internal/obs"
 )
 
+// BurstConfig parameterises a Gilbert–Elliott two-state loss channel: the
+// link oscillates between a Good and a Bad state (per-tick transition
+// probabilities), and messages sent in each state are lost with that
+// state's probability. It models the correlated link outages of a
+// body-area network (occlusion, interference bursts) that iid DropRate
+// cannot: losses arrive in runs whose mean length is 1/PBadGood ticks.
+type BurstConfig struct {
+	// PGoodBad is the per-tick probability of entering the Bad state;
+	// PBadGood the per-tick probability of recovering.
+	PGoodBad, PBadGood float64
+	// LossGood and LossBad are the per-message loss probabilities in each
+	// state. The classic channel is LossGood = 0, LossBad near 1.
+	LossGood, LossBad float64
+}
+
+// DefaultBurst returns a Gilbert–Elliott channel whose bad state loses
+// messages with the given probability: mean outage 5 ticks (50 ms), duty
+// cycle ≈17% (PGoodBad 0.04, PBadGood 0.2), lossless good state.
+func DefaultBurst(lossBad float64) *BurstConfig {
+	return &BurstConfig{PGoodBad: 0.04, PBadGood: 0.2, LossGood: 0, LossBad: lossBad}
+}
+
+// validate reports the first invalid burst parameter, or nil.
+func (b *BurstConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodBad", b.PGoodBad}, {"PBadGood", b.PBadGood},
+		{"LossGood", b.LossGood}, {"LossBad", b.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("comm: burst %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
 // Config describes one unidirectional link.
 type Config struct {
 	// LatencyTicks is the delivery delay in simulator ticks (10 ms each).
 	LatencyTicks int
-	// DropRate is the per-message loss probability in [0, 1).
+	// DropRate is the per-message iid loss probability in [0, 1).
 	DropRate float64
 	// Seed drives the loss process deterministically.
 	Seed int64
+
+	// Burst, if non-nil, layers a Gilbert–Elliott two-state channel under
+	// the link (on top of the iid DropRate): correlated outage windows
+	// instead of independent losses. The chain runs on its own RNG stream,
+	// so enabling it never perturbs the iid drop schedule.
+	Burst *BurstConfig
+	// CorruptRate is the per-message probability that the payload is
+	// bit-flipped in flight (applied through the corrupter hook installed
+	// with SetCorrupter; without a hook, corruption is only counted).
+	CorruptRate float64
+	// DupRate is the per-message probability that a second copy of the
+	// message is enqueued (radio-level retransmit artefact).
+	DupRate float64
+	// ReorderRate is the per-message probability that the message receives
+	// 1..ReorderJitterTicks extra delay, letting later sends overtake it.
+	ReorderRate float64
+	// ReorderJitterTicks bounds the extra reorder delay
+	// (0 = DefaultReorderJitterTicks when ReorderRate > 0).
+	ReorderJitterTicks int
+}
+
+// DefaultReorderJitterTicks is the reorder jitter bound used when
+// ReorderJitterTicks is zero: 4 ticks (40 ms), beyond one slot fraction.
+const DefaultReorderJitterTicks = 4
+
+// faulty reports whether any in-flight fault injector is enabled.
+func (c *Config) faulty() bool {
+	return c.Burst != nil || c.CorruptRate > 0 || c.DupRate > 0 || c.ReorderRate > 0
+}
+
+// Validate reports the first invalid link parameter, or nil.
+func (c *Config) Validate() error {
+	if c.LatencyTicks < 0 {
+		return fmt.Errorf("comm: negative latency %d", c.LatencyTicks)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", c.DropRate}, {"corrupt", c.CorruptRate},
+		{"duplicate", c.DupRate}, {"reorder", c.ReorderRate},
+	} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("comm: %s rate %v outside [0,1)", r.name, r.v)
+		}
+	}
+	if c.ReorderJitterTicks < 0 {
+		return fmt.Errorf("comm: negative reorder jitter %d", c.ReorderJitterTicks)
+	}
+	if c.Burst != nil {
+		if err := c.Burst.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stats is cumulative link telemetry.
@@ -38,6 +131,9 @@ type Stats struct {
 	// Sent counts Send calls; Dropped the messages lost in flight;
 	// Delivered the messages handed out by Deliver.
 	Sent, Dropped, Delivered int
+	// Corrupted, Duplicated and Reordered count the fault injections
+	// applied to in-flight messages.
+	Corrupted, Duplicated, Reordered int
 }
 
 // Link is a unidirectional, lossy, delayed message channel carrying
@@ -50,6 +146,14 @@ type Link[T any] struct {
 	seq   int
 	stats Stats
 
+	// Fault-injection state. faultRng is a separate stream so that a link
+	// with every fault rate at zero draws exactly the variates the
+	// pre-fault model drew (byte-identical loss schedule).
+	faultRng  *rand.Rand
+	burstBad  bool
+	burstTick int
+	corrupter func(T) T
+
 	tele *obs.Telemetry
 	dir  obs.LinkDir
 }
@@ -60,21 +164,63 @@ type envelope[T any] struct {
 	payload   T
 }
 
-// NewLink builds a link from cfg.
-func NewLink[T any](cfg Config) *Link[T] {
-	if cfg.LatencyTicks < 0 {
-		panic(fmt.Sprintf("comm: negative latency %d", cfg.LatencyTicks))
+// NewLinkChecked builds a link from cfg, reporting invalid parameters as
+// an error — the constructor for CLI-reachable configuration.
+func NewLinkChecked[T any](cfg Config) (*Link[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
-		panic(fmt.Sprintf("comm: drop rate %v outside [0,1)", cfg.DropRate))
+	if cfg.ReorderRate > 0 && cfg.ReorderJitterTicks == 0 {
+		cfg.ReorderJitterTicks = DefaultReorderJitterTicks
 	}
-	return &Link[T]{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	l := &Link[T]{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.faulty() {
+		l.faultRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	}
+	return l, nil
 }
+
+// NewLink builds a link from cfg, panicking on invalid parameters (use
+// NewLinkChecked where the config comes from user input).
+func NewLink[T any](cfg Config) *Link[T] {
+	l, err := NewLinkChecked[T](cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// SetCorrupter installs the payload corruption hook: when the fault
+// injector decides a message is corrupted in flight, the hook maps the
+// payload to its damaged form (typically: encode to wire bytes, flip one
+// bit, decode). A nil hook leaves payloads intact (corruption is still
+// counted).
+func (l *Link[T]) SetCorrupter(f func(T) T) { l.corrupter = f }
 
 // Attach routes this link's send/drop/delivery events into the given
 // run telemetry under the given direction. A nil telemetry detaches.
 func (l *Link[T]) Attach(t *obs.Telemetry, dir obs.LinkDir) {
 	l.tele, l.dir = t, dir
+}
+
+// burstLost advances the Gilbert–Elliott chain to tick now (one
+// transition draw per elapsed tick) and draws the current state's loss
+// probability for this message.
+func (l *Link[T]) burstLost(now int) bool {
+	b := l.cfg.Burst
+	for l.burstTick < now {
+		l.burstTick++
+		if l.burstBad {
+			l.burstBad = l.faultRng.Float64() >= b.PBadGood
+		} else {
+			l.burstBad = l.faultRng.Float64() < b.PGoodBad
+		}
+	}
+	p := b.LossGood
+	if l.burstBad {
+		p = b.LossBad
+	}
+	return p > 0 && l.faultRng.Float64() < p
 }
 
 // Send enqueues a message at tick now. It returns false if the message was
@@ -87,13 +233,41 @@ func (l *Link[T]) Send(now int, payload T) bool {
 		l.tele.NoteSend(l.dir, true)
 		return false
 	}
+	if l.cfg.Burst != nil && l.burstLost(now) {
+		l.stats.Dropped++
+		l.tele.NoteSend(l.dir, true)
+		return false
+	}
 	l.tele.NoteSend(l.dir, false)
+	if l.cfg.CorruptRate > 0 && l.faultRng.Float64() < l.cfg.CorruptRate {
+		l.stats.Corrupted++
+		l.tele.NoteCorrupted(l.dir)
+		if l.corrupter != nil {
+			payload = l.corrupter(payload)
+		}
+	}
+	deliverAt := now + l.cfg.LatencyTicks
+	if l.cfg.ReorderRate > 0 && l.faultRng.Float64() < l.cfg.ReorderRate {
+		l.stats.Reordered++
+		l.tele.NoteReordered(l.dir)
+		deliverAt += 1 + l.faultRng.Intn(l.cfg.ReorderJitterTicks)
+	}
 	l.queue = append(l.queue, envelope[T]{
-		deliverAt: now + l.cfg.LatencyTicks,
+		deliverAt: deliverAt,
 		seq:       l.seq,
 		payload:   payload,
 	})
 	l.seq++
+	if l.cfg.DupRate > 0 && l.faultRng.Float64() < l.cfg.DupRate {
+		l.stats.Duplicated++
+		l.tele.NoteDuplicated(l.dir)
+		l.queue = append(l.queue, envelope[T]{
+			deliverAt: now + l.cfg.LatencyTicks,
+			seq:       l.seq,
+			payload:   payload,
+		})
+		l.seq++
+	}
 	return true
 }
 

@@ -1,0 +1,222 @@
+package comm
+
+import (
+	"testing"
+)
+
+// drain delivers everything still in flight well past the last send.
+func drain(l *Link[int], lastTick int) []int {
+	return l.Deliver(lastTick + 1000)
+}
+
+func TestNewLinkCheckedRejectsInvalid(t *testing.T) {
+	bad := []Config{
+		{LatencyTicks: -1},
+		{DropRate: 1.0},
+		{DropRate: -0.1},
+		{CorruptRate: 1.5},
+		{DupRate: -0.5},
+		{ReorderRate: 1},
+		{ReorderJitterTicks: -2},
+		{Burst: &BurstConfig{PGoodBad: 1.5}},
+		{Burst: &BurstConfig{LossBad: -0.1}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLinkChecked[int](cfg); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := NewLinkChecked[int](Config{LatencyTicks: 3, DropRate: 0.2, Burst: DefaultBurst(0.8)}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestBurstLossClusters verifies the Gilbert–Elliott channel loses
+// messages in runs: with a lossless good state and a lossy bad state, the
+// loss rate must track the chain's bad-state duty cycle, and consecutive
+// losses must be far likelier than under iid loss at the same rate.
+func TestBurstLossClusters(t *testing.T) {
+	l := NewLink[int](Config{Seed: 5, Burst: &BurstConfig{
+		PGoodBad: 0.05, PBadGood: 0.2, LossGood: 0, LossBad: 1,
+	}})
+	const n = 20000
+	lost := make([]bool, n)
+	losses := 0
+	for i := 0; i < n; i++ {
+		if !l.Send(i, i) { // one message per tick
+			lost[i] = true
+			losses++
+		}
+	}
+	// Stationary bad-state probability = pgb/(pgb+pbg) = 0.2.
+	rate := float64(losses) / n
+	if rate < 0.1 || rate > 0.3 {
+		t.Fatalf("burst loss rate %.3f, want near 0.2", rate)
+	}
+	// Clustering: P(lost | previous lost) should be near 1-PBadGood = 0.8,
+	// far above the marginal rate. iid loss would give ≈rate.
+	both, prev := 0, 0
+	for i := 1; i < n; i++ {
+		if lost[i-1] {
+			prev++
+			if lost[i] {
+				both++
+			}
+		}
+	}
+	if cond := float64(both) / float64(prev); cond < rate*2 {
+		t.Fatalf("conditional loss %.3f not clustered vs marginal %.3f", cond, rate)
+	}
+}
+
+func TestZeroFaultConfigDrawsIdenticalDropSchedule(t *testing.T) {
+	// The drop schedule of a plain lossy link must be bit-identical whether
+	// or not the fault extensions exist in the struct: same seed, same
+	// outcome sequence.
+	a := NewLink[int](Config{DropRate: 0.3, Seed: 99})
+	b := NewLink[int](Config{DropRate: 0.3, Seed: 99})
+	for i := 0; i < 2000; i++ {
+		if a.Send(i, i) != b.Send(i, i) {
+			t.Fatalf("drop schedules diverged at message %d", i)
+		}
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	l := NewLink[int](Config{DupRate: 0.5, Seed: 3})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Send(i, i)
+	}
+	got := drain(l, n)
+	st := l.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates at rate 0.5")
+	}
+	if len(got) != n+st.Duplicated {
+		t.Fatalf("delivered %d, want %d sent + %d dups", len(got), n, st.Duplicated)
+	}
+	// Each duplicate must be a payload already sent.
+	seen := map[int]int{}
+	for _, v := range got {
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c > 2 {
+			t.Fatalf("payload %d delivered %d times (max 2: original + one dup)", v, c)
+		}
+	}
+}
+
+func TestReorderOvertakes(t *testing.T) {
+	l := NewLink[int](Config{ReorderRate: 0.4, Seed: 8})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(i, i)
+	}
+	if l.Stats().Reordered == 0 {
+		t.Fatal("no reorders at rate 0.4")
+	}
+	// Tick-by-tick delivery must now observe at least one inversion.
+	var got []int
+	for tick := 0; tick <= n+DefaultReorderJitterTicks+1; tick++ {
+		got = append(got, l.Deliver(tick)...)
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reordered link delivered strictly in order")
+	}
+}
+
+func TestCorrupterHook(t *testing.T) {
+	l := NewLink[int](Config{CorruptRate: 0.5, Seed: 12})
+	l.SetCorrupter(func(v int) int { return -v })
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		l.Send(i, i)
+	}
+	got := drain(l, n+1)
+	st := l.Stats()
+	if st.Corrupted == 0 {
+		t.Fatal("no corruption at rate 0.5")
+	}
+	damaged := 0
+	for _, v := range got {
+		if v < 0 {
+			damaged++
+		}
+	}
+	if damaged != st.Corrupted {
+		t.Fatalf("delivered %d damaged payloads, stats say %d corrupted", damaged, st.Corrupted)
+	}
+}
+
+func TestFaultyLinkDeterministic(t *testing.T) {
+	mk := func() *Link[int] {
+		return NewLink[int](Config{
+			LatencyTicks: 2, DropRate: 0.1, Seed: 44,
+			Burst: DefaultBurst(0.9), CorruptRate: 0.05, DupRate: 0.05, ReorderRate: 0.1,
+		})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 3000; i++ {
+		if a.Send(i, i) != b.Send(i, i) {
+			t.Fatalf("send outcomes diverged at %d", i)
+		}
+	}
+	ga, gb := drain(a, 3000), drain(b, 3000)
+	if len(ga) != len(gb) {
+		t.Fatalf("delivery counts diverge: %d vs %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("deliveries diverge at %d: %d vs %d", i, ga[i], gb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	b := []byte{0x00, 0xFF}
+	FlipBit(b, 0)
+	if b[0] != 0x01 {
+		t.Fatalf("bit 0: got %#x", b[0])
+	}
+	FlipBit(b, 15)
+	if b[1] != 0x7F {
+		t.Fatalf("bit 15: got %#x", b[1])
+	}
+	FlipBit(b, 16) // wraps to bit 0
+	if b[0] != 0x00 {
+		t.Fatalf("wrapped bit: got %#x", b[0])
+	}
+	FlipBit(nil, 3) // must not panic
+}
+
+func TestWireValidate(t *testing.T) {
+	if err := (WireResult{Sensor: 2, Class: 4}).Validate(3, 6); err != nil {
+		t.Errorf("valid result rejected: %v", err)
+	}
+	if err := (WireResult{Sensor: 3, Class: 0}).Validate(3, 6); err == nil {
+		t.Error("out-of-range sensor accepted")
+	}
+	if err := (WireResult{Sensor: 0, Class: 6}).Validate(3, 6); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if err := (Activation{Sensor: 2}).Validate(3); err != nil {
+		t.Errorf("valid activation rejected: %v", err)
+	}
+	if err := (Activation{Sensor: 7}).Validate(3); err == nil {
+		t.Error("out-of-range activation sensor accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the wire codec: arbitrary bytes must never panic, and
+// anything that decodes must re-encode to the same bytes (up to the
+// reserved bits the decoder ignores).
+
+func FuzzDecodeResult(f *testing.F) {
+	// Seed corpus: encoded round-trips plus truncations.
+	for _, m := range []WireResult{
+		{},
+		{Sensor: 2, Class: 4, Confidence: 0.21, Seq: 9},
+		{Sensor: 63, Class: 255, Confidence: ConfidenceScale, Seq: 65535},
+	} {
+		b, err := EncodeResult(m)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b[:])
+		f.Add(b[:3])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeResultBytes(data)
+		if err != nil {
+			if len(data) == ResultWireBytes {
+				t.Fatalf("well-sized input rejected: %v", err)
+			}
+			return
+		}
+		// Decoded fields must land in the codec's representable ranges.
+		if m.Sensor < 0 || m.Sensor > 63 || m.Class < 0 || m.Class > 255 {
+			t.Fatalf("decoded out-of-range ids: %+v", m)
+		}
+		if math.IsNaN(m.Confidence) || m.Confidence < 0 || m.Confidence > ConfidenceScale {
+			t.Fatalf("decoded out-of-range confidence: %+v", m)
+		}
+		if m.Seq < 0 || m.Seq > 65535 {
+			t.Fatalf("decoded out-of-range seq: %+v", m)
+		}
+		// Round-trip: re-encoding must reproduce the input except byte 3's
+		// reserved flag bits, which the decoder masks off.
+		b, err := EncodeResult(m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		for i := range b {
+			want := data[i]
+			if i == 3 {
+				want &= 0x3F
+			}
+			if b[i] != want {
+				t.Fatalf("byte %d: round-trip %#x != input %#x (%+v)", i, b[i], want, m)
+			}
+		}
+	})
+}
+
+func FuzzDecodeActivation(f *testing.F) {
+	for _, a := range []Activation{
+		{},
+		{Sensor: 2, Slot: 17},
+		{Sensor: 255, Slot: 65535},
+	} {
+		b, err := EncodeActivation(a)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b[:])
+		f.Add(b[:2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeActivationBytes(data)
+		if err != nil {
+			if len(data) == ActivationWireBytes {
+				t.Fatalf("well-sized input rejected: %v", err)
+			}
+			return
+		}
+		if a.Sensor < 0 || a.Sensor > 255 || a.Slot < 0 || a.Slot > 65535 {
+			t.Fatalf("decoded out-of-range activation: %+v", a)
+		}
+		b, err := EncodeActivation(a)
+		if err != nil {
+			t.Fatalf("re-encode of decoded activation failed: %v", err)
+		}
+		for i := 0; i < 3; i++ { // byte 3 is reserved, ignored by decode
+			if b[i] != data[i] {
+				t.Fatalf("byte %d: round-trip %#x != input %#x (%+v)", i, b[i], data[i], a)
+			}
+		}
+	})
+}

@@ -81,6 +81,66 @@ func DecodeResult(b [ResultWireBytes]byte) WireResult {
 	}
 }
 
+// DecodeResultBytes parses a result message from an arbitrary byte slice,
+// rejecting (never panicking on) inputs of the wrong length. This is the
+// entry point for payloads that may have been corrupted in flight.
+func DecodeResultBytes(b []byte) (WireResult, error) {
+	if len(b) != ResultWireBytes {
+		return WireResult{}, fmt.Errorf("comm: result message is %d bytes, want %d", len(b), ResultWireBytes)
+	}
+	var a [ResultWireBytes]byte
+	copy(a[:], b)
+	return DecodeResult(a), nil
+}
+
+// Validate checks the decoded result against the receiver's system
+// geometry: a corrupted payload that decodes to an unknown sensor or class
+// must be rejected by the host, not panicked on. Confidence cannot be
+// invalid by construction (the 16-bit field always lands in
+// [0, ConfidenceScale]).
+func (m WireResult) Validate(sensors, classes int) error {
+	if m.Sensor < 0 || m.Sensor >= sensors {
+		return fmt.Errorf("comm: result from unknown sensor %d (have %d)", m.Sensor, sensors)
+	}
+	if m.Class < 0 || m.Class >= classes {
+		return fmt.Errorf("comm: result class %d out of range (%d classes)", m.Class, classes)
+	}
+	return nil
+}
+
+// DecodeActivationBytes parses an activation message from an arbitrary
+// byte slice, rejecting inputs of the wrong length.
+func DecodeActivationBytes(b []byte) (Activation, error) {
+	if len(b) != ActivationWireBytes {
+		return Activation{}, fmt.Errorf("comm: activation message is %d bytes, want %d", len(b), ActivationWireBytes)
+	}
+	var a [ActivationWireBytes]byte
+	copy(a[:], b)
+	return DecodeActivation(a), nil
+}
+
+// Validate checks the decoded activation against the receiver's network
+// size.
+func (a Activation) Validate(sensors int) error {
+	if a.Sensor < 0 || a.Sensor >= sensors {
+		return fmt.Errorf("comm: activation for unknown sensor %d (have %d)", a.Sensor, sensors)
+	}
+	return nil
+}
+
+// FlipBit flips bit k (mod len(b)*8) of b in place — the fault injector's
+// payload-corruption primitive.
+func FlipBit(b []byte, k int) {
+	if len(b) == 0 {
+		return
+	}
+	k %= len(b) * 8
+	if k < 0 {
+		k += len(b) * 8
+	}
+	b[k/8] ^= 1 << (k % 8)
+}
+
 // EncodeActivation renders an activation signal into its 4-byte wire form.
 func EncodeActivation(a Activation) ([ActivationWireBytes]byte, error) {
 	var b [ActivationWireBytes]byte

@@ -104,6 +104,15 @@ func (c *Capacitor) DrawUpTo(e float64) float64 {
 	return e
 }
 
+// Drain empties the store without crediting any load — a forced brownout
+// (fault injection): the energy is lost, not consumed. It returns the
+// energy that was stored. Cumulative telemetry is preserved.
+func (c *Capacitor) Drain() float64 {
+	lost := c.stored
+	c.stored = 0
+	return lost
+}
+
 // Stats returns cumulative telemetry: total harvested, total consumed and
 // total wasted-to-saturation energy in joules.
 func (c *Capacitor) Stats() (harvested, consumed, wastedSaturation float64) {

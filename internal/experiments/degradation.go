@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"origin/internal/comm"
+	"origin/internal/fault"
+	"origin/internal/obs"
+	"origin/internal/sim"
+)
+
+// DegradationPoint is one fault-intensity setting of the degradation bench.
+type DegradationPoint struct {
+	// Label names the setting ("death 1e-3/slot", "burst 80%", ...).
+	Label string
+	// Availability is the fraction of post-warmup slots with a system
+	// output; with quorum gating the system abstains (-1) instead of
+	// guessing, so degradation lands here rather than in accuracy.
+	Availability float64
+	// RoundAccuracy scores ensemble rounds; SlotAccuracy every slot
+	// (abstentions count as wrong there — the honest system-level view).
+	RoundAccuracy, SlotAccuracy float64
+	// Abstentions counts quorum abstentions; FaultsInjected the node
+	// faults that fired.
+	Abstentions, FaultsInjected int
+	// Telemetry is the run's full event record.
+	Telemetry *obs.Telemetry
+}
+
+// DegradationSet is one titled fault-intensity sweep.
+type DegradationSet struct {
+	// Title names the sweep.
+	Title string
+	// Rows holds the sweep points, mildest first.
+	Rows []DegradationPoint
+}
+
+// String renders the sweep as a table.
+func (d *DegradationSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", d.Title)
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "  %-24s avail=%s roundAcc=%s slotAcc=%s abstain=%d faults=%d\n",
+			r.Label, pct(r.Availability), pct(r.RoundAccuracy), pct(r.SlotAccuracy),
+			r.Abstentions, r.FaultsInjected)
+	}
+	return b.String()
+}
+
+// DefaultDefense is the defense setting the degradation bench runs with:
+// a one-width activation deadline, one retry, masking after three silent
+// rounds with the default probe cadence, and a two-vote quorum.
+func DefaultDefense(width int) *fault.DefenseConfig {
+	return &fault.DefenseConfig{
+		ActivationTimeoutSlots: width,
+		MaxRetries:             1,
+		MaskAfter:              3,
+		ProbeEvery:             fault.DefaultProbeEvery,
+		Quorum:                 2,
+	}
+}
+
+func degradationPoint(label string, r *sim.Result) DegradationPoint {
+	return DegradationPoint{
+		Label:          label,
+		Availability:   r.Availability(),
+		RoundAccuracy:  r.RoundAccuracy(),
+		SlotAccuracy:   r.Accuracy(),
+		Abstentions:    r.Telemetry.Faults.QuorumAbstentions,
+		FaultsInjected: r.Telemetry.Faults.Injected(),
+		Telemetry:      r.Telemetry,
+	}
+}
+
+// degradationSweep runs one labelled RunOpts per point through the bounded
+// worker pool, preserving point order.
+func degradationSweep(sys *System, title string, labels []string, opts []RunOpts) *DegradationSet {
+	set := &DegradationSet{Title: title, Rows: make([]DegradationPoint, len(opts))}
+	obs.ForEach(len(opts), obs.DefaultWorkers(), func(i int) {
+		set.Rows[i] = degradationPoint(labels[i], RunPolicy(sys, opts[i]))
+	})
+	return set
+}
+
+// RunDegradationDeath sweeps the permanent node-death rate on RR6 Origin
+// with the default defenses. The same fault seed is used at every
+// intensity, so a higher rate kills each node at the same slot or earlier
+// — availability falls monotonically while the quorum gate converts the
+// missing opinions into abstentions instead of misclassifications.
+func RunDegradationDeath(sys *System, slots int, seed int64) *DegradationSet {
+	if slots == 0 {
+		slots = 3000
+	}
+	rates := []float64{0, 0.0005, 0.002, 0.008}
+	labels := make([]string, len(rates))
+	opts := make([]RunOpts, len(rates))
+	for i, rate := range rates {
+		labels[i] = fmt.Sprintf("death %.2e/slot", rate)
+		opts[i] = RunOpts{
+			Width: 6, Kind: PolicyOrigin, Slots: slots, Seed: seed,
+			Fault:   &fault.Config{DeathPerSlot: rate, Seed: seed + 71},
+			Defense: DefaultDefense(6),
+		}
+	}
+	return degradationSweep(sys, "Degradation — permanent node death (RR6 Origin, defended)", labels, opts)
+}
+
+// RunDegradationBurst sweeps the Gilbert–Elliott bad-state loss on both
+// links of an RR6 Origin system with the default defenses, producing the
+// accuracy/availability-vs-fault-intensity curves of the robustness bench.
+func RunDegradationBurst(sys *System, slots int, seed int64) *DegradationSet {
+	if slots == 0 {
+		slots = 3000
+	}
+	losses := []float64{0, 0.3, 0.6, 0.9}
+	labels := make([]string, len(losses))
+	opts := make([]RunOpts, len(losses))
+	for i, loss := range losses {
+		labels[i] = fmt.Sprintf("burst loss %.0f%%", loss*100)
+		cc := &sim.CommConfig{
+			Uplink:   comm.Config{LatencyTicks: 2},
+			Downlink: comm.Config{LatencyTicks: 2},
+		}
+		if loss > 0 {
+			cc.Uplink.Burst = comm.DefaultBurst(loss)
+			cc.Downlink.Burst = comm.DefaultBurst(loss)
+		}
+		opts[i] = RunOpts{
+			Width: 6, Kind: PolicyOrigin, Slots: slots, Seed: seed,
+			Comm:    cc,
+			Defense: DefaultDefense(6),
+		}
+	}
+	return degradationSweep(sys, "Degradation — burst loss on both links (RR6 Origin, defended)", labels, opts)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"origin/internal/ensemble"
+	"origin/internal/fault"
 	"origin/internal/host"
 	"origin/internal/schedule"
 	"origin/internal/sensor"
@@ -82,6 +83,14 @@ type RunOpts struct {
 	// Matrix, if non-nil, seeds Origin's confidence matrix (e.g. one
 	// persisted from a previous session) instead of the factory matrix.
 	Matrix *ensemble.Matrix
+	// Fault, if non-nil with any non-zero rate, injects deterministic
+	// node-level faults (brownouts, harvester stalls, death, reboots).
+	Fault *fault.Config
+	// Defense, if non-nil and armed, enables the graceful-degradation
+	// defenses: activation supervision (timeout/retry/fallback/masking)
+	// wraps the scheduling policy, and Quorum gates the ensemble output.
+	// Quorum > 1 requires an ensemble variant (AASR/Origin).
+	Defense *fault.DefenseConfig
 }
 
 // RunPolicy executes one EH run of the given variant over the Baseline-2
@@ -175,6 +184,23 @@ func RunPolicyFull(sys *System, o RunOpts) (*sim.Result, *host.Device) {
 	default:
 		panic(fmt.Sprintf("experiments: unknown policy kind %d", o.Kind))
 	}
+	if o.Defense.Enabled() {
+		if o.Defense.Quorum > 1 && hc.Agg == host.AggLatest {
+			panic(fmt.Sprintf("experiments: quorum %d requires an ensemble variant (AASR/Origin), not %s",
+				o.Defense.Quorum, o.Kind))
+		}
+		hc.Quorum = o.Defense.Quorum
+		if o.Defense.ActivationTimeoutSlots > 0 {
+			// The supervisor falls back along the same rank table the
+			// activity-aware policies select from; for ER-r (no ranks) it
+			// rotates by id.
+			var ranks *schedule.RankTable
+			if o.Kind != PolicyERr {
+				ranks = sys.Ranks
+			}
+			pol = schedule.NewSupervised(pol, synth.NumLocations, ranks, *o.Defense)
+		}
+	}
 	// Recalled votes older than two full rotation periods are dropped:
 	// within normal operation every sensor refreshes inside one width, so
 	// the limit only fires after long outages (dead harvesting periods),
@@ -187,6 +213,7 @@ func RunPolicyFull(sys *System, o RunOpts) (*sim.Result, *host.Device) {
 		WarmupSlots: 2 * o.Width,
 		NoiseSNRdB:  o.NoiseSNRdB,
 		Comm:        o.Comm,
+		Fault:       o.Fault,
 	})
 	return res, h
 }

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"testing"
+)
+
+// collect draws the full schedule for the given config.
+func collect(t *testing.T, cfg Config, nodes, slots int) [][]Events {
+	t.Helper()
+	in, err := NewInjector(cfg, nodes)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	out := make([][]Events, slots)
+	for s := range out {
+		out[s] = append([]Events(nil), in.Slot()...)
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{BrownoutPerSlot: 0.05, StallPerSlot: 0.02, DeathPerSlot: 0.01,
+		RebootPerSlot: 0.03, Seed: 7}
+	a := collect(t, cfg, 3, 500)
+	b := collect(t, cfg, 3, 500)
+	for s := range a {
+		for id := range a[s] {
+			if a[s][id] != b[s][id] {
+				t.Fatalf("slot %d node %d: schedules diverge: %+v vs %+v", s, id, a[s][id], b[s][id])
+			}
+		}
+	}
+}
+
+func TestInjectorSeedChangesSchedule(t *testing.T) {
+	cfg := Config{DeathPerSlot: 0.05, Seed: 7}
+	a := collect(t, cfg, 3, 200)
+	cfg.Seed = 8
+	b := collect(t, cfg, 3, 200)
+	same := true
+	for s := range a {
+		for id := range a[s] {
+			if a[s][id] != b[s][id] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fault schedule")
+	}
+}
+
+// TestInjectorClassIndependence pins the fixed-draw-count contract: the
+// slots where deaths fire must not move when another injector class is
+// switched on.
+func TestInjectorClassIndependence(t *testing.T) {
+	deathOnly := collect(t, Config{DeathPerSlot: 0.02, Seed: 11}, 3, 400)
+	all := collect(t, Config{DeathPerSlot: 0.02, BrownoutPerSlot: 0.2,
+		StallPerSlot: 0.1, RebootPerSlot: 0.15, Seed: 11}, 3, 400)
+	for s := range deathOnly {
+		for id := range deathOnly[s] {
+			if deathOnly[s][id].Death != all[s][id].Death {
+				t.Fatalf("slot %d node %d: death schedule moved when other injectors enabled", s, id)
+			}
+		}
+	}
+}
+
+// TestInjectorNodeIndependence pins the per-node-stream contract: node 0's
+// schedule is identical whether the network has 1 or 5 nodes.
+func TestInjectorNodeIndependence(t *testing.T) {
+	cfg := Config{BrownoutPerSlot: 0.1, Seed: 23}
+	small := collect(t, cfg, 1, 300)
+	large := collect(t, cfg, 5, 300)
+	for s := range small {
+		if small[s][0] != large[s][0] {
+			t.Fatalf("slot %d: node 0 schedule depends on network size", s)
+		}
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	const slots, rate = 20000, 0.05
+	sched := collect(t, Config{BrownoutPerSlot: rate, Seed: 3}, 1, slots)
+	fired := 0
+	for _, evs := range sched {
+		if evs[0].Brownout {
+			fired++
+		}
+	}
+	got := float64(fired) / slots
+	if got < rate*0.8 || got > rate*1.2 {
+		t.Fatalf("brownout rate %.4f not within 20%% of configured %.2f", got, rate)
+	}
+}
+
+func TestStallWindowDefault(t *testing.T) {
+	// High rate so the stall fires within a few slots.
+	in, err := NewInjector(Config{StallPerSlot: 0.9, Seed: 1}, 1)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	for s := 0; s < 100; s++ {
+		if ev := in.Slot()[0]; ev.StallSlots > 0 {
+			if ev.StallSlots != DefaultStallSlots {
+				t.Fatalf("stall window %d, want default %d", ev.StallSlots, DefaultStallSlots)
+			}
+			return
+		}
+	}
+	t.Fatal("stall never fired at rate 0.9 in 100 slots")
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{BrownoutPerSlot: -0.1},
+		{StallPerSlot: 1.0},
+		{DeathPerSlot: 2},
+		{RebootPerSlot: -1},
+		{StallSlots: -5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v passed validation", i, cfg)
+		}
+		if _, err := NewInjector(cfg, 3); err == nil {
+			t.Errorf("case %d: NewInjector accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := NewInjector(Config{DeathPerSlot: 0.1}, 0); err == nil {
+		t.Error("NewInjector accepted zero nodes")
+	}
+	if err := (&Config{BrownoutPerSlot: 0.5, StallSlots: 10}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Error("nil config reports enabled")
+	}
+	if (&Config{Seed: 9}).Enabled() {
+		t.Error("zero-rate config reports enabled")
+	}
+	if !(&Config{RebootPerSlot: 0.01}).Enabled() {
+		t.Error("non-zero-rate config reports disabled")
+	}
+}
+
+func TestDefenseConfig(t *testing.T) {
+	var nilCfg *DefenseConfig
+	if nilCfg.Enabled() {
+		t.Error("nil defense reports enabled")
+	}
+	if (&DefenseConfig{MaxRetries: 3}).Enabled() {
+		t.Error("defense without timeout or quorum reports enabled")
+	}
+	if !(&DefenseConfig{Quorum: 2}).Enabled() {
+		t.Error("quorum-only defense reports disabled")
+	}
+	if !(&DefenseConfig{ActivationTimeoutSlots: 4}).Enabled() {
+		t.Error("timeout-only defense reports disabled")
+	}
+	bad := []DefenseConfig{
+		{ActivationTimeoutSlots: -1},
+		{MaxRetries: -1},
+		{MaskAfter: -2},
+		{ProbeEvery: -1},
+		{Quorum: -3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid defense %+v passed validation", i, cfg)
+		}
+	}
+}

@@ -72,6 +72,13 @@ type Config struct {
 	// StaleLimit, if positive, drops recalled votes older than this many
 	// slots. 0 keeps them indefinitely (the paper's aggressive recall).
 	StaleLimit int
+	// Quorum, if positive, is the minimum number of valid votes an ensemble
+	// aggregation needs before it classifies; with fewer the host abstains
+	// (Classify returns -1) instead of trusting a lone, possibly stale
+	// opinion — the graceful-degradation gate for runs with dying nodes.
+	// 0 disables the gate. For AggLatest only Quorum <= 1 is meaningful
+	// (there is never more than one opinion).
+	Quorum int
 }
 
 type recallEntry struct {
@@ -103,6 +110,12 @@ func New(cfg Config) *Device {
 	}
 	if cfg.Agg == AggAccuracy && cfg.AccTable == nil {
 		panic("host: AggAccuracy requires an accuracy table")
+	}
+	if cfg.Quorum < 0 {
+		panic(fmt.Sprintf("host: negative quorum %d", cfg.Quorum))
+	}
+	if cfg.Quorum > 1 && cfg.Agg == AggLatest {
+		panic(fmt.Sprintf("host: quorum %d unsatisfiable with latest-only aggregation", cfg.Quorum))
 	}
 	return &Device{
 		cfg:         cfg,
@@ -228,14 +241,16 @@ func (d *Device) Classify(slot int) int {
 		return d.lastFresh.class
 	}
 	vs := d.votes(slot)
-	if d.obs != nil {
-		fresh := 0
-		for _, v := range vs {
-			if v.Fresh {
-				fresh++
-			}
+	fresh := 0
+	for _, v := range vs {
+		if v.Fresh {
+			fresh++
 		}
-		d.obs.NoteVotes(fresh, len(vs)-fresh)
+	}
+	d.obs.NoteVotes(fresh, len(vs)-fresh)
+	if d.cfg.Quorum > 0 && len(vs) < d.cfg.Quorum {
+		d.obs.NoteQuorumAbstention()
+		return -1
 	}
 	switch d.cfg.Agg {
 	case AggMajority:

@@ -1,0 +1,119 @@
+package host
+
+import (
+	"testing"
+
+	"origin/internal/ensemble"
+	"origin/internal/obs"
+)
+
+func TestQuorumGateAbstains(t *testing.T) {
+	tele := obs.NewTelemetry(0)
+	d := New(Config{Sensors: 3, Classes: 2, Agg: AggMajority, Recall: true, Quorum: 2})
+	d.Attach(tele)
+	// One vote < quorum 2: abstain, counted.
+	d.Observe(res(0, 1, 0, 0.4))
+	if got := d.Classify(0); got != -1 {
+		t.Fatalf("one vote under quorum 2 classified %d, want -1", got)
+	}
+	if tele.Faults.QuorumAbstentions != 1 {
+		t.Fatalf("abstentions = %d, want 1", tele.Faults.QuorumAbstentions)
+	}
+	// Second vote meets the quorum: classification resumes.
+	d.Observe(res(1, 1, 1, 0.4))
+	if got := d.Classify(1); got != 1 {
+		t.Fatalf("quorum met but classified %d, want 1", got)
+	}
+	if tele.Faults.QuorumAbstentions != 1 {
+		t.Fatalf("abstentions = %d after quorum met, want 1", tele.Faults.QuorumAbstentions)
+	}
+}
+
+func TestQuorumRespectsStaleLimit(t *testing.T) {
+	// Votes that age out of the recall store stop counting toward quorum.
+	d := New(Config{Sensors: 2, Classes: 2, Agg: AggMajority, Recall: true,
+		StaleLimit: 4, Quorum: 2})
+	d.Observe(res(0, 0, 0, 0.4))
+	d.Observe(res(1, 0, 1, 0.4))
+	if got := d.Classify(1); got != 0 {
+		t.Fatalf("two live votes classified %d, want 0", got)
+	}
+	// At slot 6 sensor 0's vote is 6 slots old (> 4): only one vote left.
+	if got := d.Classify(6); got != -1 {
+		t.Fatalf("aged-out quorum classified %d, want -1", got)
+	}
+}
+
+func TestQuorumZeroKeepsLoneVotes(t *testing.T) {
+	d := New(Config{Sensors: 3, Classes: 2, Agg: AggMajority, Recall: true})
+	d.Observe(res(0, 1, 0, 0.4))
+	if got := d.Classify(0); got != 1 {
+		t.Fatalf("quorum 0 rejected a lone vote: %d", got)
+	}
+}
+
+func TestQuorumConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Sensors: 2, Classes: 2, Agg: AggMajority, Quorum: -1},
+		{Sensors: 2, Classes: 2, Agg: AggLatest, Quorum: 2}, // unsatisfiable
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+	// Quorum 1 with AggLatest is fine (an opinion either exists or not).
+	New(Config{Sensors: 2, Classes: 2, Agg: AggLatest, Quorum: 1})
+}
+
+// TestNilTelemetryClassify pins the satellite fix: a host with no attached
+// telemetry must classify without panicking on every aggregation mode,
+// quorum gate included.
+func TestNilTelemetryClassify(t *testing.T) {
+	m := ensemble.NewMatrix(2, 2)
+	m.Set(0, 1, 0.2)
+	acc := [][]float64{{0.9, 0.1}, {0.2, 0.4}}
+	cfgs := []Config{
+		{Sensors: 2, Classes: 2, Agg: AggLatest},
+		{Sensors: 2, Classes: 2, Agg: AggMajority, Recall: true},
+		{Sensors: 2, Classes: 2, Agg: AggWeighted, Recall: true, Matrix: m},
+		{Sensors: 2, Classes: 2, Agg: AggAccuracy, Recall: true, AccTable: acc},
+		{Sensors: 2, Classes: 2, Agg: AggMajority, Recall: true, Quorum: 2},
+	}
+	for i, cfg := range cfgs {
+		d := New(cfg) // never Attach'd
+		if got := d.Classify(0); got != -1 {
+			t.Errorf("case %d (%s): empty host classified %d, want -1", i, cfg.Agg, got)
+		}
+		d.Observe(res(0, 1, 1, 0.4))
+		d.Observe(res(1, 1, 1, 0.4))
+		d.Classify(1) // must not panic
+	}
+}
+
+// TestStaleLimitBoundary pins the strictly-greater ageing semantics: a
+// vote exactly StaleLimit slots old still counts; one slot older does not.
+func TestStaleLimitBoundary(t *testing.T) {
+	d := New(Config{Sensors: 1, Classes: 2, Agg: AggMajority, Recall: true, StaleLimit: 4})
+	d.Observe(res(0, 1, 10, 0.4))
+	if got := d.Classify(14); got != 1 { // age 4 == limit: kept
+		t.Fatalf("vote at exactly StaleLimit dropped: %d", got)
+	}
+	if got := d.Classify(15); got != -1 { // age 5 > limit: dropped
+		t.Fatalf("vote beyond StaleLimit kept: %d", got)
+	}
+
+	// Same boundary on the AggLatest path.
+	l := New(Config{Sensors: 1, Classes: 2, Agg: AggLatest, StaleLimit: 4})
+	l.Observe(res(0, 1, 10, 0.4))
+	if got := l.Classify(14); got != 1 {
+		t.Fatalf("latest at exactly StaleLimit dropped: %d", got)
+	}
+	if got := l.Classify(15); got != -1 {
+		t.Fatalf("latest beyond StaleLimit kept: %d", got)
+	}
+}

@@ -58,6 +58,9 @@ type SlotCounts struct {
 	// CommLate counts messages delivered in a later slot than the one
 	// they belong to.
 	CommLate uint16 `json:"commLate,omitempty"`
+	// Faults counts injected node faults (brownouts, stalls, deaths,
+	// reboots) that fired this slot.
+	Faults uint16 `json:"faults,omitempty"`
 }
 
 // LinkCounts is cumulative telemetry for one wireless link.
@@ -71,6 +74,49 @@ type LinkCounts struct {
 	// message arrived in a later scheduler slot than the one it was
 	// issued in.
 	Late int `json:"late"`
+	// Corrupted counts payloads bit-flipped in flight; Duplicated the
+	// messages cloned in flight; Reordered the messages given extra
+	// jitter delay (overtaking later sends). All are fault injections.
+	Corrupted  int `json:"corrupted,omitempty"`
+	Duplicated int `json:"duplicated,omitempty"`
+	Reordered  int `json:"reordered,omitempty"`
+	// Rejected counts delivered messages the receiver discarded as
+	// invalid (corrupted payloads failing validation); DupDropped the
+	// duplicate or stale deliveries the receiver's monotonic-sequence
+	// gate suppressed. Both are defense actions, not losses.
+	Rejected   int `json:"rejected,omitempty"`
+	DupDropped int `json:"dupDropped,omitempty"`
+}
+
+// FaultCounts tallies injected node faults and the graceful-degradation
+// defense actions they triggered. Link-level faults tally per-direction in
+// LinkCounts.
+type FaultCounts struct {
+	// Brownouts counts forced capacitor drains; HarvesterStalls the
+	// harvester outage windows opened; NodeDeaths the permanent node
+	// failures; NodeReboots the transient restarts (in-flight inference
+	// and volatile state lost).
+	Brownouts       int `json:"brownouts,omitempty"`
+	HarvesterStalls int `json:"harvesterStalls,omitempty"`
+	NodeDeaths      int `json:"nodeDeaths,omitempty"`
+	NodeReboots     int `json:"nodeReboots,omitempty"`
+
+	// ActivationRetries counts re-activations of a node silent past its
+	// deadline; ActivationFallbacks the activations redirected to the
+	// next-ranked sensor; NodesMasked the mask transitions after repeated
+	// silence; MaskProbes the periodic probe activations of masked nodes.
+	ActivationRetries   int `json:"activationRetries,omitempty"`
+	ActivationFallbacks int `json:"activationFallbacks,omitempty"`
+	NodesMasked         int `json:"nodesMasked,omitempty"`
+	MaskProbes          int `json:"maskProbes,omitempty"`
+	// QuorumAbstentions counts slots where the host abstained (-1)
+	// because fewer than the configured quorum of valid votes existed.
+	QuorumAbstentions int `json:"quorumAbstentions,omitempty"`
+}
+
+// Injected returns the total number of injected node faults.
+func (f FaultCounts) Injected() int {
+	return f.Brownouts + f.HarvesterStalls + f.NodeDeaths + f.NodeReboots
 }
 
 // Telemetry is the run-level event record. The zero value is usable;
@@ -92,6 +138,9 @@ type Telemetry struct {
 	// run modelled a perfect, instantaneous network).
 	Uplink   LinkCounts `json:"uplink"`
 	Downlink LinkCounts `json:"downlink"`
+
+	// Faults tallies injected node faults and defense actions.
+	Faults FaultCounts `json:"faults"`
 
 	// FreshVotes / RecallVotes count ensemble votes cast from a
 	// classification produced this slot vs. a remembered (recalled) one.
@@ -231,6 +280,137 @@ func (t *Telemetry) NoteLate(d LinkDir) {
 	}
 }
 
+// NoteCorrupted records one payload bit-flipped in flight on the given
+// link.
+func (t *Telemetry) NoteCorrupted(d LinkDir) {
+	if t == nil {
+		return
+	}
+	t.link(d).Corrupted++
+}
+
+// NoteDuplicated records one message duplicated in flight on the given
+// link.
+func (t *Telemetry) NoteDuplicated(d LinkDir) {
+	if t == nil {
+		return
+	}
+	t.link(d).Duplicated++
+}
+
+// NoteReordered records one message given extra jitter delay on the given
+// link.
+func (t *Telemetry) NoteReordered(d LinkDir) {
+	if t == nil {
+		return
+	}
+	t.link(d).Reordered++
+}
+
+// NoteRejected records one delivered message the receiver discarded as
+// invalid (the corrupted-payload defense).
+func (t *Telemetry) NoteRejected(d LinkDir) {
+	if t == nil {
+		return
+	}
+	t.link(d).Rejected++
+}
+
+// NoteDupDropped records one duplicate or stale delivery suppressed by the
+// receiver's monotonic-sequence gate.
+func (t *Telemetry) NoteDupDropped(d LinkDir) {
+	if t == nil {
+		return
+	}
+	t.link(d).DupDropped++
+}
+
+// noteFault bumps the current slot's fault tally.
+func (t *Telemetry) noteFault() {
+	if s := t.slot(); s != nil {
+		s.Faults++
+	}
+}
+
+// NoteBrownout records one forced capacitor drain.
+func (t *Telemetry) NoteBrownout() {
+	if t == nil {
+		return
+	}
+	t.Faults.Brownouts++
+	t.noteFault()
+}
+
+// NoteHarvesterStall records one harvester outage window opening.
+func (t *Telemetry) NoteHarvesterStall() {
+	if t == nil {
+		return
+	}
+	t.Faults.HarvesterStalls++
+	t.noteFault()
+}
+
+// NoteNodeDeath records one permanent node failure.
+func (t *Telemetry) NoteNodeDeath() {
+	if t == nil {
+		return
+	}
+	t.Faults.NodeDeaths++
+	t.noteFault()
+}
+
+// NoteNodeReboot records one node restart (in-flight state lost).
+func (t *Telemetry) NoteNodeReboot() {
+	if t == nil {
+		return
+	}
+	t.Faults.NodeReboots++
+	t.noteFault()
+}
+
+// NoteActivationRetry records one re-activation of a silent node.
+func (t *Telemetry) NoteActivationRetry() {
+	if t == nil {
+		return
+	}
+	t.Faults.ActivationRetries++
+}
+
+// NoteActivationFallback records one activation redirected to the
+// next-ranked sensor.
+func (t *Telemetry) NoteActivationFallback() {
+	if t == nil {
+		return
+	}
+	t.Faults.ActivationFallbacks++
+}
+
+// NoteNodeMasked records one node transitioning into the masked state
+// after repeated silence.
+func (t *Telemetry) NoteNodeMasked() {
+	if t == nil {
+		return
+	}
+	t.Faults.NodesMasked++
+}
+
+// NoteMaskProbe records one probe activation of a masked node.
+func (t *Telemetry) NoteMaskProbe() {
+	if t == nil {
+		return
+	}
+	t.Faults.MaskProbes++
+}
+
+// NoteQuorumAbstention records one slot where the ensemble abstained for
+// lack of a vote quorum.
+func (t *Telemetry) NoteQuorumAbstention() {
+	if t == nil {
+		return
+	}
+	t.Faults.QuorumAbstentions++
+}
+
 // NoteVotes records one aggregation round's ensemble inputs: fresh
 // classifications produced this slot and recalled (remembered) ones.
 func (t *Telemetry) NoteVotes(fresh, recalled int) {
@@ -304,6 +484,7 @@ func (t *Telemetry) Merge(o *Telemetry) {
 	t.PowerEmergencies += o.PowerEmergencies
 	mergeLink(&t.Uplink, o.Uplink)
 	mergeLink(&t.Downlink, o.Downlink)
+	mergeFaults(&t.Faults, o.Faults)
 	t.FreshVotes += o.FreshVotes
 	t.RecallVotes += o.RecallVotes
 	t.AdaptationUpdates += o.AdaptationUpdates
@@ -324,6 +505,7 @@ func (t *Telemetry) Merge(o *Telemetry) {
 			a.Emergencies += b.Emergencies
 			a.CommDrops += b.CommDrops
 			a.CommLate += b.CommLate
+			a.Faults += b.Faults
 		}
 	}
 }
@@ -333,6 +515,23 @@ func mergeLink(dst *LinkCounts, src LinkCounts) {
 	dst.Dropped += src.Dropped
 	dst.Delivered += src.Delivered
 	dst.Late += src.Late
+	dst.Corrupted += src.Corrupted
+	dst.Duplicated += src.Duplicated
+	dst.Reordered += src.Reordered
+	dst.Rejected += src.Rejected
+	dst.DupDropped += src.DupDropped
+}
+
+func mergeFaults(dst *FaultCounts, src FaultCounts) {
+	dst.Brownouts += src.Brownouts
+	dst.HarvesterStalls += src.HarvesterStalls
+	dst.NodeDeaths += src.NodeDeaths
+	dst.NodeReboots += src.NodeReboots
+	dst.ActivationRetries += src.ActivationRetries
+	dst.ActivationFallbacks += src.ActivationFallbacks
+	dst.NodesMasked += src.NodesMasked
+	dst.MaskProbes += src.MaskProbes
+	dst.QuorumAbstentions += src.QuorumAbstentions
 }
 
 // CompletionRate returns InferencesCompleted/InferencesStarted

@@ -130,3 +130,17 @@ func AblationTable(a *experiments.AblationSet) *Table {
 	}
 	return t
 }
+
+// DegradationTable renders a fault-intensity sweep: availability and
+// accuracy against fault intensity, with abstentions and injected-fault
+// counts alongside so silent degradation has nowhere to hide.
+func DegradationTable(d *experiments.DegradationSet) *Table {
+	t := NewTable(d.Title,
+		"Fault intensity", "Availability", "Round acc", "Slot acc", "Abstained", "Faults")
+	for _, row := range d.Rows {
+		t.AddRow(row.Label,
+			Percent(row.Availability), Percent(row.RoundAccuracy), Percent(row.SlotAccuracy),
+			itoa(row.Abstentions), itoa(row.FaultsInjected))
+	}
+	return t
+}

@@ -1,0 +1,212 @@
+package schedule
+
+import (
+	"origin/internal/fault"
+	"origin/internal/obs"
+)
+
+// ResultObserver is implemented by policies that want to know when a fresh
+// classification from a sensor reached the host. The simulator feeds every
+// accepted result to the active policy if it implements this interface.
+type ResultObserver interface {
+	// NoteResult reports one accepted fresh result from the given sensor.
+	NoteResult(sensor int)
+}
+
+// Supervised wraps any scheduling policy with the graceful-degradation
+// defenses of the fault layer:
+//
+//   - Activation timeout with bounded retries: when an activated node stays
+//     silent past the deadline (its capacitor is empty, it died, or the
+//     activation/result was lost in flight), the activation is re-issued up
+//     to MaxRetries times, then redirected to the next-ranked sensor.
+//   - Dead-node masking: a node whose activations time out MaskAfter times
+//     in a row is masked — the supervisor substitutes the next-ranked
+//     unmasked sensor whenever the inner policy picks it — and probed once
+//     per ProbeEvery skipped selections so a recovered node rejoins.
+//
+// The inner policy keeps its own state (AAS cooldowns etc.) and sees only
+// its own decisions; substitutions happen downstream of it, exactly like
+// the energy fallback of §III-B happens downstream of the rank table.
+//
+// Stateful; call Decide once per slot in slot order on a fresh instance
+// per run, and feed results back through NoteResult.
+type Supervised struct {
+	inner Policy
+	cfg   fault.DefenseConfig
+	ranks *RankTable // fallback ordering; nil falls back to id rotation
+	n     int
+
+	issuedAt   []int // slot of the outstanding activation per node, -1 none
+	retries    []int // re-issues consumed by the outstanding activation
+	silentRuns []int // consecutive given-up activations per node
+	masked     []bool
+	skips      []int // masked selections skipped since the last probe
+
+	tele *obs.Telemetry
+}
+
+// NewSupervised wraps inner with activation supervision for n sensors.
+// ranks may be nil (fallback order degrades to id rotation). cfg must have
+// ActivationTimeoutSlots > 0 for the supervisor to do anything; a zero
+// ProbeEvery defaults to fault.DefaultProbeEvery.
+func NewSupervised(inner Policy, n int, ranks *RankTable, cfg fault.DefenseConfig) *Supervised {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = fault.DefaultProbeEvery
+	}
+	s := &Supervised{
+		inner: inner, cfg: cfg, ranks: ranks, n: n,
+		issuedAt:   make([]int, n),
+		retries:    make([]int, n),
+		silentRuns: make([]int, n),
+		masked:     make([]bool, n),
+		skips:      make([]int, n),
+	}
+	for i := range s.issuedAt {
+		s.issuedAt[i] = -1
+	}
+	return s
+}
+
+// Name implements Policy.
+func (s *Supervised) Name() string { return s.inner.Name() + "+guard" }
+
+// Attach routes the supervisor's defense events into the given run
+// telemetry. A nil telemetry detaches.
+func (s *Supervised) Attach(t *obs.Telemetry) { s.tele = t }
+
+// Masked reports whether the given sensor is currently masked.
+func (s *Supervised) Masked(sensor int) bool { return s.masked[sensor] }
+
+// NoteResult implements ResultObserver: a fresh result from the sensor
+// clears its outstanding activation, its silence streak, and (if it was
+// masked — it answered a probe) its mask.
+func (s *Supervised) NoteResult(sensor int) {
+	if sensor < 0 || sensor >= s.n {
+		return
+	}
+	s.issuedAt[sensor] = -1
+	s.retries[sensor] = 0
+	s.silentRuns[sensor] = 0
+	if s.masked[sensor] {
+		s.masked[sensor] = false
+		s.skips[sensor] = 0
+	}
+}
+
+// order returns the fallback candidate ordering for the current context:
+// the rank table's best-first list for the anticipated activity when
+// available, id rotation starting after `after` otherwise.
+func (s *Supervised) order(ctx *Context, after int) []int {
+	if s.ranks != nil && ctx.Anticipated >= 0 && ctx.Anticipated < s.ranks.Classes() {
+		return s.ranks.Ordered(ctx.Anticipated)
+	}
+	out := make([]int, s.n)
+	for i := range out {
+		out[i] = (after + 1 + i) % s.n
+	}
+	return out
+}
+
+// substitute picks the best replacement for a failed/masked node: the
+// first candidate that is not masked, not the failed node and not already
+// picked, preferring ones that can fund an inference. Returns -1 when no
+// candidate exists.
+func (s *Supervised) substitute(ctx *Context, failed int, taken []bool) int {
+	afford := func(id int) bool { return ctx.CanAfford == nil || ctx.CanAfford(id) }
+	usable := func(id int) bool { return id != failed && !s.masked[id] && !taken[id] }
+	candidates := s.order(ctx, failed)
+	for _, id := range candidates { // funded first
+		if usable(id) && afford(id) {
+			return id
+		}
+	}
+	for _, id := range candidates { // otherwise anyone usable
+		if usable(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// Decide implements Policy.
+func (s *Supervised) Decide(ctx *Context) []int {
+	picks := s.inner.Decide(ctx)
+	if s.cfg.ActivationTimeoutSlots <= 0 {
+		return picks
+	}
+	taken := make([]bool, s.n)
+	out := make([]int, 0, len(picks)+1)
+	issue := func(id int, retry bool) {
+		if id < 0 || id >= s.n || taken[id] {
+			return
+		}
+		taken[id] = true
+		out = append(out, id)
+		if !retry {
+			s.retries[id] = 0
+		}
+		s.issuedAt[id] = ctx.Slot
+	}
+
+	// 1. Expire outstanding activations — before routing the new picks, so
+	// a node the inner policy re-selects every slot still accumulates
+	// silence instead of having its deadline silently refreshed. A silent
+	// node is retried while the budget lasts, then given up on, counted,
+	// and replaced.
+	for id := 0; id < s.n; id++ {
+		if s.issuedAt[id] < 0 {
+			continue
+		}
+		if ctx.Slot-s.issuedAt[id] < s.cfg.ActivationTimeoutSlots {
+			continue
+		}
+		if s.retries[id] < s.cfg.MaxRetries {
+			s.retries[id]++
+			s.tele.NoteActivationRetry()
+			issue(id, true)
+			continue
+		}
+		// Retries exhausted: the node is silent for this round.
+		s.issuedAt[id] = -1
+		s.retries[id] = 0
+		s.silentRuns[id]++
+		if s.cfg.MaskAfter > 0 && s.silentRuns[id] >= s.cfg.MaskAfter && !s.masked[id] {
+			s.masked[id] = true
+			s.skips[id] = 0
+			s.tele.NoteNodeMasked()
+		}
+		if sub := s.substitute(ctx, id, taken); sub >= 0 {
+			s.tele.NoteActivationFallback()
+			issue(sub, false)
+		}
+	}
+
+	// 2. Route the inner policy's picks around masked nodes.
+	for _, pick := range picks {
+		if pick < 0 || pick >= s.n || !s.masked[pick] {
+			issue(pick, false)
+			continue
+		}
+		s.skips[pick]++
+		if s.skips[pick] >= s.cfg.ProbeEvery {
+			// Periodic probe: let the activation through so a recovered
+			// node can answer and unmask itself.
+			s.skips[pick] = 0
+			s.tele.NoteMaskProbe()
+			issue(pick, false)
+			continue
+		}
+		if sub := s.substitute(ctx, pick, taken); sub >= 0 {
+			s.tele.NoteActivationFallback()
+			issue(sub, false)
+		}
+	}
+	if len(out) == 0 {
+		return nil // match the Policy convention for no-op slots
+	}
+	return out
+}

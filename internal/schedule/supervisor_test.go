@@ -1,0 +1,186 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"origin/internal/fault"
+	"origin/internal/obs"
+)
+
+// scripted replays a fixed per-slot pick script (nil on missing slots).
+type scripted struct{ picks map[int][]int }
+
+func (s scripted) Name() string            { return "scripted" }
+func (s scripted) Decide(c *Context) []int { return s.picks[c.Slot] }
+
+func run(t *testing.T, s *Supervised, slot int, results ...int) []int {
+	t.Helper()
+	for _, r := range results {
+		s.NoteResult(r)
+	}
+	return s.Decide(&Context{Slot: slot, NumSensors: s.n, Anticipated: -1})
+}
+
+func TestSupervisedPassthroughWhenDisabled(t *testing.T) {
+	inner := scripted{picks: map[int][]int{0: {2}}}
+	s := NewSupervised(inner, 3, nil, fault.DefenseConfig{Quorum: 2}) // no timeout
+	if got := run(t, s, 0); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("disabled supervisor altered picks: %v", got)
+	}
+	if s.Name() != "scripted+guard" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestSupervisedRetryThenFallback(t *testing.T) {
+	inner := scripted{picks: map[int][]int{0: {0}}}
+	tele := obs.NewTelemetry(0)
+	s := NewSupervised(inner, 3, nil, fault.DefenseConfig{
+		ActivationTimeoutSlots: 2, MaxRetries: 1,
+	})
+	s.Attach(tele)
+	if got := run(t, s, 0); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("slot 0 picks: %v", got)
+	}
+	// Slot 1: deadline not reached, nothing re-issued.
+	if got := run(t, s, 1); got != nil {
+		t.Fatalf("slot 1 picks: %v, want none", got)
+	}
+	// Slot 2: deadline hit, one retry of node 0.
+	if got := run(t, s, 2); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("slot 2 picks: %v, want retry of node 0", got)
+	}
+	if tele.Faults.ActivationRetries != 1 {
+		t.Fatalf("retries = %d, want 1", tele.Faults.ActivationRetries)
+	}
+	// Slot 4: retry expired too, budget exhausted → fallback to node 1
+	// (id rotation; no rank table).
+	if got := run(t, s, 4); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("slot 4 picks: %v, want fallback to node 1", got)
+	}
+	if tele.Faults.ActivationFallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", tele.Faults.ActivationFallbacks)
+	}
+}
+
+func TestSupervisedResultClearsDeadline(t *testing.T) {
+	inner := scripted{picks: map[int][]int{0: {0}}}
+	tele := obs.NewTelemetry(0)
+	s := NewSupervised(inner, 3, nil, fault.DefenseConfig{
+		ActivationTimeoutSlots: 2, MaxRetries: 1,
+	})
+	s.Attach(tele)
+	run(t, s, 0)
+	// Node 0 answers before the deadline: no retry ever fires.
+	for slot := 1; slot < 10; slot++ {
+		if got := run(t, s, slot, 0); got != nil {
+			t.Fatalf("slot %d: unexpected picks %v after result", slot, got)
+		}
+	}
+	if tele.Faults.ActivationRetries != 0 || tele.Faults.ActivationFallbacks != 0 {
+		t.Fatalf("defense actions fired on a healthy node: %+v", tele.Faults)
+	}
+}
+
+func TestSupervisedMasksAndProbes(t *testing.T) {
+	// Inner keeps picking node 0 every slot.
+	picks := map[int][]int{}
+	for s := 0; s < 100; s++ {
+		picks[s] = []int{0}
+	}
+	tele := obs.NewTelemetry(0)
+	s := NewSupervised(scripted{picks: picks}, 3, nil, fault.DefenseConfig{
+		ActivationTimeoutSlots: 1, MaxRetries: 0, MaskAfter: 2, ProbeEvery: 3,
+	})
+	s.Attach(tele)
+	// Nodes 1 and 2 answer every slot (stay healthy); node 0 is silent.
+	for slot := 0; slot < 20 && !s.Masked(0); slot++ {
+		run(t, s, slot, 1, 2)
+	}
+	if !s.Masked(0) {
+		t.Fatal("node 0 never masked despite permanent silence")
+	}
+	if tele.Faults.NodesMasked != 1 {
+		t.Fatalf("masked transitions = %d, want 1", tele.Faults.NodesMasked)
+	}
+	// While masked, picks of node 0 are substituted; every ProbeEvery-th
+	// skip lets one probe through.
+	probesBefore := tele.Faults.MaskProbes
+	sawSub, sawProbe := false, false
+	for slot := 20; slot < 32; slot++ {
+		got := run(t, s, slot, 1, 2)
+		for _, id := range got {
+			if id != 0 {
+				sawSub = true
+			}
+			if id == 0 {
+				sawProbe = true
+			}
+		}
+	}
+	if !sawSub {
+		t.Fatal("masked node was never substituted")
+	}
+	if !sawProbe || tele.Faults.MaskProbes == probesBefore {
+		t.Fatal("masked node was never probed")
+	}
+	// A result (answered probe) unmasks.
+	s.NoteResult(0)
+	if s.Masked(0) {
+		t.Fatal("result did not unmask node 0")
+	}
+}
+
+func TestSupervisedFallbackPrefersRankOrder(t *testing.T) {
+	// Rank table for one activity: best 2, then 0, then 1.
+	ranks := NewRankTable([][]float64{{0.5}, {0.2}, {0.9}})
+	inner := scripted{picks: map[int][]int{0: {2}}}
+	s := NewSupervised(inner, 3, ranks, fault.DefenseConfig{
+		ActivationTimeoutSlots: 1, MaxRetries: 0,
+	})
+	// Node 2 silent; at slot 1 the fallback must follow the rank order for
+	// the anticipated activity (skip failed 2 → next is 0).
+	s.Decide(&Context{Slot: 0, NumSensors: 3, Anticipated: 0})
+	got := s.Decide(&Context{Slot: 1, NumSensors: 3, Anticipated: 0})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("ranked fallback picked %v, want [0]", got)
+	}
+}
+
+func TestSupervisedHonorsCanAfford(t *testing.T) {
+	inner := scripted{picks: map[int][]int{0: {0}}}
+	s := NewSupervised(inner, 3, nil, fault.DefenseConfig{
+		ActivationTimeoutSlots: 1, MaxRetries: 0,
+	})
+	run(t, s, 0)
+	// Fallback at slot 1: node 1 is broke, node 2 funded → pick 2.
+	got := s.Decide(&Context{Slot: 1, NumSensors: 3, Anticipated: -1,
+		CanAfford: func(id int) bool { return id == 2 }})
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("fallback ignored energy state: %v, want [2]", got)
+	}
+}
+
+func TestSupervisedNilTelemetry(t *testing.T) {
+	// All defense paths must be nil-telemetry safe.
+	picks := map[int][]int{}
+	for s := 0; s < 40; s++ {
+		picks[s] = []int{0}
+	}
+	s := NewSupervised(scripted{picks: picks}, 3, nil, fault.DefenseConfig{
+		ActivationTimeoutSlots: 1, MaxRetries: 1, MaskAfter: 1, ProbeEvery: 2,
+	})
+	for slot := 0; slot < 40; slot++ {
+		run(t, s, slot)
+	}
+}
+
+func TestSupervisedRejectsInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid defense config did not panic")
+		}
+	}()
+	NewSupervised(scripted{}, 3, nil, fault.DefenseConfig{MaxRetries: -1})
+}

@@ -1,0 +1,157 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"origin/internal/synth"
+)
+
+func TestKillAbortsAndDisables(t *testing.T) {
+	n := New(DefaultConfig(0, synth.Chest, tinyNet(40), flatTrace(10e-3, 1000)))
+	n.StartInference(testWindow(41), 0, 0)
+	if !n.Busy() {
+		t.Fatal("node should be busy before Kill")
+	}
+	n.Kill()
+	if n.Alive() {
+		t.Fatal("killed node reports alive")
+	}
+	if n.Busy() {
+		t.Fatal("killed node still busy")
+	}
+	if n.Stats().DeadlineMiss != 1 {
+		t.Fatalf("deadline misses = %d, want 1 (aborted in-flight)", n.Stats().DeadlineMiss)
+	}
+	if n.CanAfford() {
+		t.Fatal("dead node claims it can afford an inference")
+	}
+	// Activations are silently ignored.
+	n.StartInference(testWindow(42), 1, 0)
+	if n.Busy() || n.Stats().Started != 1 {
+		t.Fatalf("dead node accepted an activation: %+v", n.Stats())
+	}
+	// Dead hardware neither harvests nor leaks.
+	before := n.Capacitor().Stored()
+	for i := 0; i < 50; i++ {
+		if res := n.Tick(i, 0.01); res != nil {
+			t.Fatal("dead node produced a result")
+		}
+	}
+	if n.Capacitor().Stored() != before {
+		t.Fatal("dead node's energy store changed")
+	}
+	// Kill is idempotent: no double abort count.
+	n.Kill()
+	if n.Stats().DeadlineMiss != 1 {
+		t.Fatalf("second Kill changed miss count: %d", n.Stats().DeadlineMiss)
+	}
+}
+
+func TestRebootDropsInflightOnly(t *testing.T) {
+	n := New(DefaultConfig(0, synth.Chest, tinyNet(43), flatTrace(10e-3, 2000)))
+	n.StartInference(testWindow(44), 0, 1)
+	n.Reboot()
+	if n.Busy() {
+		t.Fatal("reboot left the inference in flight")
+	}
+	if !n.Alive() {
+		t.Fatal("reboot killed the node")
+	}
+	if n.Stats().DeadlineMiss != 1 {
+		t.Fatalf("deadline misses = %d, want 1", n.Stats().DeadlineMiss)
+	}
+	// The node keeps operating: a fresh activation completes normally.
+	n.StartInference(testWindow(45), 1, 2)
+	var done bool
+	for i := 0; i < 200 && !done; i++ {
+		done = n.Tick(i, 0.01) != nil
+	}
+	if !done {
+		t.Fatal("rebooted node failed to complete a new inference")
+	}
+	// Reboot of an idle node is a no-op.
+	n.Reboot()
+	if n.Stats().DeadlineMiss != 1 {
+		t.Fatalf("idle reboot counted a miss: %d", n.Stats().DeadlineMiss)
+	}
+	// Reboot of a dead node is a no-op.
+	n.Kill()
+	n.Reboot()
+	if n.Alive() {
+		t.Fatal("reboot revived a dead node")
+	}
+}
+
+func TestBrownoutDrainsStore(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(46), flatTrace(0, 10))
+	cfg.InitialJ = cfg.CapacityJ
+	n := New(cfg)
+	if !n.CanAfford() {
+		t.Fatal("full store should afford an inference")
+	}
+	n.Brownout()
+	if got := n.Capacitor().Stored(); got != 0 {
+		t.Fatalf("stored = %v after brownout, want 0", got)
+	}
+	if n.CanAfford() {
+		t.Fatal("browned-out node claims it can afford an inference")
+	}
+	if !n.Alive() {
+		t.Fatal("brownout must not kill the node")
+	}
+	// On a dead node brownout is a no-op (nothing to drain, no panic).
+	n.Kill()
+	n.Brownout()
+}
+
+func TestStallHarvestWindow(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(47), flatTrace(200e-6, 200))
+	cfg.InitialJ = 0
+	cfg.LeakW = 0
+	n := New(cfg)
+	n.StallHarvest(50)
+	for i := 0; i < 50; i++ {
+		n.Tick(i, 0.01)
+	}
+	if got := n.Capacitor().Stored(); got != 0 {
+		t.Fatalf("stored = %v during stall window, want 0", got)
+	}
+	for i := 50; i < 100; i++ {
+		n.Tick(i, 0.01)
+	}
+	// 200 µW × 0.5 s after the window reopens.
+	if got := n.Capacitor().Stored(); math.Abs(got-100e-6) > 1e-9 {
+		t.Fatalf("stored = %v after stall, want 100 µJ", got)
+	}
+}
+
+func TestStallHarvestExtendsNeverShortens(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(48), flatTrace(200e-6, 100))
+	cfg.InitialJ = 0
+	cfg.LeakW = 0
+	n := New(cfg)
+	n.StallHarvest(40)
+	n.StallHarvest(10) // must not shorten the open window
+	for i := 0; i < 40; i++ {
+		n.Tick(i, 0.01)
+	}
+	if got := n.Capacitor().Stored(); got != 0 {
+		t.Fatalf("stored = %v, want 0 (window shortened by smaller stall)", got)
+	}
+}
+
+func TestStallHarvestLeakageContinues(t *testing.T) {
+	cfg := DefaultConfig(0, synth.Chest, tinyNet(49), flatTrace(200e-6, 100))
+	cfg.InitialJ = 100e-6
+	cfg.LeakW = 10e-6
+	n := New(cfg)
+	n.StallHarvest(100)
+	for i := 0; i < 100; i++ {
+		n.Tick(i, 0.01)
+	}
+	// 1 s of 10 µW leakage with zero intake: the store must fall.
+	if got := n.Capacitor().Stored(); got >= 100e-6 {
+		t.Fatalf("stored = %v during stall, want < initial 100 µJ (leakage)", got)
+	}
+}

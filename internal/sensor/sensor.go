@@ -124,6 +124,10 @@ type Node struct {
 	windowers int // slot the window belongs to
 	trueClass int
 
+	// fault state (driven by the fault-injection layer)
+	dead           bool
+	stallUntilTick int
+
 	// telemetry
 	started      int
 	completed    int
@@ -183,15 +187,69 @@ func (n *Node) InferenceEnergy() float64 {
 
 // CanAfford reports whether the store currently holds enough available
 // energy for a full inference plus the result uplink — the energy check the
-// AAS scheduler performs before signalling a sensor (§III-B).
+// AAS scheduler performs before signalling a sensor (§III-B). A dead node
+// can afford nothing.
 func (n *Node) CanAfford() bool {
-	return n.cap.Available() >= n.InferenceEnergy()+n.cfg.Radio.MessageEnergy(ResultMessageBytes)
+	return !n.dead && n.cap.Available() >= n.InferenceEnergy()+n.cfg.Radio.MessageEnergy(ResultMessageBytes)
+}
+
+// Alive reports whether the node is still operational (not killed by the
+// fault injector).
+func (n *Node) Alive() bool { return !n.dead }
+
+// Kill fails the node permanently (fault injection): any in-flight
+// inference is lost, and the node stops harvesting, computing and
+// responding to activations for the rest of the run.
+func (n *Node) Kill() {
+	if n.dead {
+		return
+	}
+	if n.proc.Busy() {
+		n.deadlineMiss++
+		n.obs.NoteInferenceAborted()
+	}
+	n.proc.Abort()
+	n.window = nil
+	n.dead = true
+}
+
+// Reboot restarts the node (fault injection): the in-flight inference and
+// all volatile state are lost — even the NVP checkpoint, modelling a
+// watchdog reset that clears the non-volatile progress journal. The energy
+// store and the node's long-term counters survive.
+func (n *Node) Reboot() {
+	if n.dead {
+		return
+	}
+	n.AbortInference()
+}
+
+// Brownout force-drains the capacitor to empty (fault injection). With an
+// NVP the checkpointed inference progress survives and stalls until energy
+// returns; a volatile processor loses it at the next emergency step.
+func (n *Node) Brownout() {
+	if n.dead {
+		return
+	}
+	n.cap.Drain()
+}
+
+// StallHarvest opens a harvester outage window: the node harvests nothing
+// until the given trace tick (leakage and idle draw continue). Overlapping
+// windows extend, never shorten.
+func (n *Node) StallHarvest(untilTick int) {
+	if untilTick > n.stallUntilTick {
+		n.stallUntilTick = untilTick
+	}
 }
 
 // StartInference arms an inference over the given IMU window (belonging to
 // slot, with ground truth trueClass). Any unfinished previous inference is
 // aborted (deadline missed).
 func (n *Node) StartInference(window *tensor.Tensor, slot, trueClass int) {
+	if n.dead {
+		return // a dead node silently ignores activations
+	}
 	if n.proc.Busy() {
 		n.deadlineMiss++
 		n.obs.NoteInferenceAborted()
@@ -227,7 +285,14 @@ func (n *Node) AbortInference() {
 // Tick classifies the stored window with the node's DNN, pays the radio
 // cost, and returns the result. Otherwise it returns nil.
 func (n *Node) Tick(tickIdx int, dt float64) *Result {
-	n.cap.Harvest(n.cfg.Harvest.At(tickIdx), dt)
+	if n.dead {
+		return nil // dead hardware: no harvesting, no leakage, no compute
+	}
+	harvestW := n.cfg.Harvest.At(tickIdx)
+	if tickIdx < n.stallUntilTick {
+		harvestW = 0 // harvester outage window: store still leaks below
+	}
+	n.cap.Harvest(harvestW, dt)
 	if n.cfg.Battery != nil {
 		n.cfg.Battery.Tick(dt)
 		if deficit := n.cfg.BatteryAssistJ - n.cap.Stored(); deficit > 0 {

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+
+	"origin/internal/comm"
+	"origin/internal/fault"
+	"origin/internal/host"
+	"origin/internal/obs"
+	"origin/internal/schedule"
+	"origin/internal/synth"
+)
+
+// TestInjectedFaultsVisibleInTelemetry pins the accounting contract: every
+// node fault the injector fires (gated on the node still being alive, as the
+// sim gates them) appears in Result.Telemetry.Faults, and the link-level
+// fault injectors tally per direction.
+func TestInjectedFaultsVisibleInTelemetry(t *testing.T) {
+	f := getFixture(t)
+	fc := &fault.Config{
+		BrownoutPerSlot: 0.02, StallPerSlot: 0.01,
+		DeathPerSlot: 0.005, RebootPerSlot: 0.01, Seed: 41,
+	}
+	tl := smallTimeline(f.profile, 300, 41)
+	nodes := nodesWith(f, 10e-3)
+	h := host.New(host.Config{Sensors: 3, Classes: f.profile.NumClasses(), Recall: true, Agg: host.AggMajority})
+	res := Run(Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: schedule.NaiveAll{N: 3}, Host: h,
+		Window: testWindow, Seed: 42, WarmupSlots: 10,
+		Fault: fc,
+		Comm: &CommConfig{
+			Uplink:   comm.Config{LatencyTicks: 2, CorruptRate: 0.4, DupRate: 0.3, ReorderRate: 0.3},
+			Downlink: comm.Config{LatencyTicks: 2, DupRate: 0.3},
+		},
+	})
+
+	// Replay the injector's deterministic schedule with the same alive
+	// gating the sim applies, and demand exact agreement.
+	in, err := fault.NewInjector(*fc, 3)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	alive := []bool{true, true, true}
+	var want obs.FaultCounts
+	for s := 0; s < res.Slots; s++ {
+		for id, ev := range in.Slot() {
+			if !alive[id] {
+				continue
+			}
+			if ev.Death {
+				alive[id] = false
+				want.NodeDeaths++
+				continue
+			}
+			if ev.Reboot {
+				want.NodeReboots++
+			}
+			if ev.Brownout {
+				want.Brownouts++
+			}
+			if ev.StallSlots > 0 {
+				want.HarvesterStalls++
+			}
+		}
+	}
+	got := res.Telemetry.Faults
+	if got.Brownouts != want.Brownouts || got.HarvesterStalls != want.HarvesterStalls ||
+		got.NodeDeaths != want.NodeDeaths || got.NodeReboots != want.NodeReboots {
+		t.Fatalf("telemetry faults %+v, schedule replay wants brownouts=%d stalls=%d deaths=%d reboots=%d",
+			got, want.Brownouts, want.HarvesterStalls, want.NodeDeaths, want.NodeReboots)
+	}
+	// The test is vacuous unless every class actually fired at this seed.
+	if want.Brownouts == 0 || want.HarvesterStalls == 0 || want.NodeDeaths == 0 || want.NodeReboots == 0 {
+		t.Fatalf("fault classes missing from the schedule (adjust seed/rates): %+v", want)
+	}
+	// Per-slot fault tallies must sum to the injected total.
+	perSlot := 0
+	for _, s := range res.Telemetry.PerSlot {
+		perSlot += int(s.Faults)
+	}
+	if perSlot != got.Injected() {
+		t.Fatalf("per-slot fault tallies sum to %d, cumulative says %d", perSlot, got.Injected())
+	}
+
+	// Link-level injections and the defenses they triggered are visible too:
+	// corrupted payloads that decode invalid get rejected, duplicate copies
+	// get suppressed by the monotonic gate.
+	up, down := res.Telemetry.Uplink, res.Telemetry.Downlink
+	if up.Corrupted == 0 || up.Duplicated == 0 || up.Reordered == 0 {
+		t.Fatalf("uplink fault injections not all visible: %+v", up)
+	}
+	if up.Rejected == 0 {
+		t.Fatal("no corrupted uplink payload was ever rejected")
+	}
+	if up.DupDropped == 0 {
+		t.Fatal("no duplicated uplink result was ever suppressed")
+	}
+	if down.Duplicated == 0 || down.DupDropped == 0 {
+		t.Fatalf("downlink duplication not visible: %+v", down)
+	}
+}
+
+// TestAvailabilityDegradesMonotonicallyWithDeathRate is the degradation
+// contract: at a fixed fault seed, raising the death rate only adds deaths
+// (superset schedules), so quorum-gated availability falls monotonically and
+// the loss shows up as honest abstention (-1), never as unaccounted
+// misclassifications.
+func TestAvailabilityDegradesMonotonicallyWithDeathRate(t *testing.T) {
+	f := getFixture(t)
+	run := func(rate float64) *Result {
+		tl := smallTimeline(f.profile, 300, 43)
+		nodes := nodesWith(f, 10e-3)
+		h := host.New(host.Config{
+			Sensors: 3, Classes: f.profile.NumClasses(),
+			Recall: true, Agg: host.AggMajority, StaleLimit: 8, Quorum: 2,
+		})
+		var fc *fault.Config
+		if rate > 0 {
+			fc = &fault.Config{DeathPerSlot: rate, Seed: 47}
+		}
+		return Run(Config{
+			Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+			Nodes: nodes, Policy: schedule.NaiveAll{N: 3}, Host: h,
+			Window: testWindow, Seed: 44, WarmupSlots: 10, Fault: fc,
+		})
+	}
+	rates := []float64{0, 0.002, 0.01, 0.05}
+	var avails []float64
+	var last *Result
+	for _, rate := range rates {
+		last = run(rate)
+		avails = append(avails, last.Availability())
+	}
+	for i := 1; i < len(avails); i++ {
+		if avails[i] > avails[i-1] {
+			t.Fatalf("availability rose with death rate: %v at rates %v", avails, rates)
+		}
+	}
+	if avails[0] < 0.99 {
+		t.Fatalf("fault-free availability = %v, want ≈1", avails[0])
+	}
+	if avails[len(avails)-1] >= avails[0] {
+		t.Fatalf("availability never degraded: %v", avails)
+	}
+	// At the highest rate all nodes die: the gap is abstention, not guesses.
+	abstained := 0
+	for _, p := range last.Predicted {
+		if p == -1 {
+			abstained++
+		}
+	}
+	if abstained == 0 {
+		t.Fatal("no abstentions at the highest death rate")
+	}
+	if last.Telemetry.Faults.QuorumAbstentions < abstained {
+		t.Fatalf("quorum abstention counter %d < abstained slots %d",
+			last.Telemetry.Faults.QuorumAbstentions, abstained)
+	}
+}
+
+// TestSupervisedDefensesEngageInSim runs the supervised wrapper end-to-end:
+// with node 0 dead from the start, its activations time out, get retried,
+// fall back to healthy nodes, and the node is eventually masked and probed —
+// all visible in the run telemetry — while the system stays available.
+func TestSupervisedDefensesEngageInSim(t *testing.T) {
+	f := getFixture(t)
+	tl := smallTimeline(f.profile, 200, 45)
+	nodes := nodesWith(f, 10e-3)
+	nodes[0].Kill()
+	h := host.New(host.Config{
+		Sensors: 3, Classes: f.profile.NumClasses(),
+		Recall: true, Agg: host.AggMajority, StaleLimit: 8,
+	})
+	pol := schedule.NewSupervised(schedule.NewExtendedRoundRobin(6, 3), 3, nil, fault.DefenseConfig{
+		ActivationTimeoutSlots: 2, MaxRetries: 1, MaskAfter: 2, ProbeEvery: 8,
+	})
+	res := Run(Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: pol, Host: h,
+		Window: testWindow, Seed: 46, WarmupSlots: 12,
+	})
+	fa := res.Telemetry.Faults
+	if fa.ActivationRetries == 0 {
+		t.Fatal("dead node's activations were never retried")
+	}
+	if fa.ActivationFallbacks == 0 {
+		t.Fatal("dead node's activations never fell back to a healthy node")
+	}
+	if fa.NodesMasked != 1 {
+		t.Fatalf("masked transitions = %d, want 1 (node 0)", fa.NodesMasked)
+	}
+	if fa.MaskProbes == 0 {
+		t.Fatal("masked node was never probed")
+	}
+	if !pol.Masked(0) {
+		t.Fatal("node 0 not masked at end of run")
+	}
+	// The healthy nodes keep the system available throughout.
+	if res.Availability() < 0.9 {
+		t.Fatalf("availability with defenses = %v, want >= 0.9", res.Availability())
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"origin/internal/comm"
+	"origin/internal/host"
+	"origin/internal/schedule"
+	"origin/internal/synth"
+)
+
+// goldenHash condenses a run's observable outputs into one digest: per-slot
+// truth/prediction/freshness, the completion rounds, node counters and the
+// core telemetry counters. Any behavioural change to the simulation shows up
+// as a different digest.
+func goldenHash(res *Result) string {
+	h := sha256.New()
+	wi := func(v int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+		h.Write(b[:])
+	}
+	for i := range res.Truth {
+		wi(res.Truth[i])
+		wi(res.Predicted[i])
+		if res.FreshMask[i] {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	}
+	wi(res.FreshSlots)
+	wi(res.Slots)
+	for _, st := range res.NodeStats {
+		wi(st.Started)
+		wi(st.Completed)
+		wi(st.DeadlineMiss)
+		wi(st.RadioMsgs)
+	}
+	t := res.Telemetry
+	wi(t.InferencesStarted)
+	wi(t.InferencesAborted)
+	wi(t.InferencesCompleted)
+	wi(t.PowerEmergencies)
+	wi(t.Uplink.Sent)
+	wi(t.Uplink.Dropped)
+	wi(t.Uplink.Delivered)
+	wi(t.Uplink.Late)
+	wi(t.Downlink.Sent)
+	wi(t.Downlink.Dropped)
+	wi(t.Downlink.Delivered)
+	wi(t.Downlink.Late)
+	wi(t.FreshVotes)
+	wi(t.RecallVotes)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenRun executes the pinned reference configuration: an RR6 majority
+// ensemble on a constrained supply, once with a perfect network and once
+// with lossy+delayed links.
+func goldenRun(t *testing.T, withComm bool) *Result {
+	f := getFixture(t)
+	tl := smallTimeline(f.profile, 300, 41)
+	nodes := nodesWith(f, 400e-6)
+	h := host.New(host.Config{Sensors: 3, Classes: f.profile.NumClasses(), Recall: true, Agg: host.AggMajority})
+	cfg := Config{
+		Profile: f.profile, User: synth.NewUser(0), Timeline: tl,
+		Nodes: nodes, Policy: schedule.NewExtendedRoundRobin(6, 3), Host: h,
+		Window: testWindow, Seed: 42, WarmupSlots: 12,
+	}
+	if withComm {
+		cfg.Comm = &CommConfig{
+			Uplink:   comm.Config{LatencyTicks: 2, DropRate: 0.2},
+			Downlink: comm.Config{LatencyTicks: 2, DropRate: 0.1},
+		}
+	}
+	return Run(cfg)
+}
+
+// TestGoldenNoFaultByteIdentical pins the simulator's output with every
+// fault injector disabled to the pre-fault-layer digests: adding the fault
+// subsystem must not change a single prediction, drop decision or counter
+// of a fault-free run.
+func TestGoldenNoFaultByteIdentical(t *testing.T) {
+	// Digests recorded on the pre-fault-layer tree (PR 1 head); see
+	// CHANGES.md. Re-record only for a deliberate simulation change.
+	const (
+		wantPerfect = "4a4264417bfc252900a4dd78855a255b23084109466577e2da0025b037408e04"
+		wantLossy   = "920a1c00cd294d6c0eccfcaa27ea3c57a4a0415d9e2a21e38d05d4c223bde687"
+	)
+	if got := goldenHash(goldenRun(t, false)); got != wantPerfect {
+		t.Errorf("perfect-network golden digest = %s, want %s", got, wantPerfect)
+	}
+	if got := goldenHash(goldenRun(t, true)); got != wantLossy {
+		t.Errorf("lossy-network golden digest = %s, want %s", got, wantLossy)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"origin/internal/comm"
+	"origin/internal/fault"
 
 	"origin/internal/host"
 	"origin/internal/metrics"
@@ -59,6 +60,11 @@ type Config struct {
 	// signals travel the downlink and results travel the uplink, both with
 	// latency and loss. nil means a perfect, instantaneous network.
 	Comm *CommConfig
+	// Fault, if non-nil with any non-zero rate, injects deterministic
+	// node-level faults (brownouts, harvester stalls, permanent death,
+	// reboots) at the start of each slot. Link-level faults (burst loss,
+	// corruption, duplication, reordering) are configured per link in Comm.
+	Fault *fault.Config
 }
 
 // CommConfig bundles the two link models of the body-area network.
@@ -112,6 +118,23 @@ func (r *Result) PerClass() []float64 { return r.Confusion.PerClass() }
 // RoundAccuracy is shorthand for Result.RoundConfusion.Accuracy().
 func (r *Result) RoundAccuracy() float64 { return r.RoundConfusion.Accuracy() }
 
+// Availability is the fraction of post-warmup slots in which the system
+// produced an output (Predicted >= 0). Under fault injection with quorum
+// gating, degradation shows up here — as honest abstention — rather than
+// as unaccounted misclassifications in the accuracy columns.
+func (r *Result) Availability() float64 {
+	if len(r.Predicted) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range r.Predicted {
+		if p >= 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Predicted))
+}
+
 // RoundPerClass is shorthand for Result.RoundConfusion.PerClass().
 func (r *Result) RoundPerClass() []float64 { return r.RoundConfusion.PerClass() }
 
@@ -135,6 +158,9 @@ func Run(cfg Config) *Result {
 		n.Attach(tele)
 	}
 	cfg.Host.Attach(tele)
+	if p, ok := cfg.Policy.(interface{ Attach(*obs.Telemetry) }); ok {
+		p.Attach(tele) // e.g. schedule.Supervised's defense counters
+	}
 
 	// One window generator per location so signals differ per node but are
 	// deterministic given cfg.Seed.
@@ -177,6 +203,66 @@ func Run(cfg Config) *Result {
 		downlink = comm.NewLink[comm.Activation](down)
 		uplink.Attach(tele, obs.Uplink)
 		downlink.Attach(tele, obs.Downlink)
+		// Payload corruption is exercised end-to-end through the wire codec:
+		// encode, flip one bit, decode, and let the receiver's validation
+		// reject what no longer makes sense. The bit index comes from a
+		// dedicated stream so installing a corrupter never perturbs the
+		// links' own RNG sequences.
+		if up.CorruptRate > 0 {
+			bits := newPrng(cfg.Seed + 90001).r
+			uplink.SetCorrupter(func(m uplinkMsg) uplinkMsg {
+				b, err := comm.EncodeResult(comm.WireResult{
+					Sensor: m.res.Sensor, Class: m.res.Class,
+					Confidence: m.res.Confidence, Seq: m.res.Slot,
+				})
+				if err != nil {
+					return m
+				}
+				comm.FlipBit(b[:], bits.Intn(len(b)*8))
+				w, _ := comm.DecodeResultBytes(b[:])
+				damaged := *m.res
+				damaged.Sensor, damaged.Class, damaged.Confidence = w.Sensor, w.Class, w.Confidence
+				return uplinkMsg{res: &damaged, sentSlot: m.sentSlot}
+			})
+		}
+		if down.CorruptRate > 0 {
+			bits := newPrng(cfg.Seed + 90011).r
+			downlink.SetCorrupter(func(a comm.Activation) comm.Activation {
+				b, err := comm.EncodeActivation(a)
+				if err != nil {
+					return a
+				}
+				comm.FlipBit(b[:], bits.Intn(len(b)*8))
+				d, _ := comm.DecodeActivationBytes(b[:])
+				return d
+			})
+		}
+	}
+
+	// Node-level fault injection: one deterministic draw per node per slot.
+	var injector *fault.Injector
+	if cfg.Fault.Enabled() {
+		inj, err := fault.NewInjector(*cfg.Fault, len(cfg.Nodes))
+		if err != nil {
+			panic(err.Error())
+		}
+		injector = inj
+	}
+
+	// The active policy learns about accepted fresh results when it asks to
+	// (the supervised wrapper's activation-timeout bookkeeping).
+	resultObs, _ := cfg.Policy.(schedule.ResultObserver)
+
+	// Monotonic per-sensor acceptance gates: a node's result window slots
+	// and its activation slots are both strictly increasing, so anything at
+	// or below the watermark is a duplicate (radio retransmit artefact or a
+	// reordered stale copy) and is suppressed. On fault-free links the gates
+	// never fire.
+	lastResultSlot := make([]int, len(cfg.Nodes))
+	lastActSlot := make([]int, len(cfg.Nodes))
+	for i := range lastResultSlot {
+		lastResultSlot[i] = -1
+		lastActSlot[i] = -1
 	}
 
 	globalTick := 0
@@ -184,6 +270,36 @@ func Run(cfg Config) *Result {
 		tele.BeginSlot(slot)
 		trueAct := cfg.Timeline.PerSlot[slot]
 		body := synth.DrawBodyState(bodyRng)
+
+		// Fault injection happens before the policy looks at the network, so
+		// a slot's decision sees the world the faults just made.
+		if injector != nil {
+			for id, ev := range injector.Slot() {
+				n := cfg.Nodes[id]
+				if !n.Alive() {
+					continue
+				}
+				if ev.Death {
+					n.Kill()
+					tele.NoteNodeDeath()
+					inflightStart[id] = -1
+					continue
+				}
+				if ev.Reboot {
+					n.Reboot()
+					tele.NoteNodeReboot()
+					inflightStart[id] = -1
+				}
+				if ev.Brownout {
+					n.Brownout()
+					tele.NoteBrownout()
+				}
+				if ev.StallSlots > 0 {
+					n.StallHarvest(globalTick + ev.StallSlots*ticksPerSlot)
+					tele.NoteHarvesterStall()
+				}
+			}
+		}
 
 		// Policy decision at slot start.
 		ctx := &schedule.Context{
@@ -231,6 +347,19 @@ func Run(cfg Config) *Result {
 		for t := 0; t < ticksPerSlot; t++ {
 			if downlink != nil {
 				for _, act := range downlink.Deliver(globalTick) {
+					// A corrupted activation that names an unknown sensor or
+					// a slot that has not happened yet is rejected, not
+					// panicked on; a duplicate or stale copy (at or below the
+					// sensor's activation watermark) is suppressed.
+					if act.Validate(len(cfg.Nodes)) != nil || act.Slot > slot {
+						tele.NoteRejected(obs.Downlink)
+						continue
+					}
+					if act.Slot <= lastActSlot[act.Sensor] {
+						tele.NoteDupDropped(obs.Downlink)
+						continue
+					}
+					lastActSlot[act.Sensor] = act.Slot
 					// The activation arrives a little late: the sensor
 					// samples the activity as it is *now*, but the attempt
 					// stays credited to the round that decided it
@@ -256,14 +385,34 @@ func Run(cfg Config) *Result {
 					continue
 				}
 				deliverResult(cfg.Host, r, slot)
+				if resultObs != nil {
+					resultObs.NoteResult(r.Sensor)
+				}
 				freshThisSlot = true
 			}
 			if uplink != nil {
 				for _, m := range uplink.Deliver(globalTick) {
+					// A corrupted result that decodes to an unknown sensor
+					// or class is rejected, not panicked on; a duplicate or
+					// reordered stale copy (window slot at or below the
+					// sensor's watermark) is suppressed.
+					w := comm.WireResult{Sensor: m.res.Sensor, Class: m.res.Class}
+					if w.Validate(len(cfg.Nodes), classes) != nil {
+						tele.NoteRejected(obs.Uplink)
+						continue
+					}
+					if m.res.Slot <= lastResultSlot[m.res.Sensor] {
+						tele.NoteDupDropped(obs.Uplink)
+						continue
+					}
+					lastResultSlot[m.res.Sensor] = m.res.Slot
 					if m.sentSlot < slot {
 						tele.NoteLate(obs.Uplink)
 					}
 					deliverResult(cfg.Host, m.res, slot)
+					if resultObs != nil {
+						resultObs.NoteResult(m.res.Sensor)
+					}
 					freshThisSlot = true
 				}
 			}
