@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify-obs verify-fault fuzz-smoke
+.PHONY: build test bench verify-obs verify-fault verify-serve fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ verify-fault:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/comm ./internal/fault ./internal/host \
 		./internal/schedule ./internal/sensor ./internal/sim ./internal/obs
+
+# Focused verification for the serving stack: vet everything, then
+# race-test the session manager, HTTP layer, load generator, and the
+# shared-state packages they clone from (ensemble matrix, telemetry).
+verify-serve:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/fleet ./internal/serve ./internal/loadgen \
+		./internal/ensemble ./internal/obs
 
 # Short fuzz pass over the wire codec (go test allows one -fuzz target per
 # invocation, so the two decoders run back to back).

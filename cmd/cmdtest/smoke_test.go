@@ -1,0 +1,136 @@
+// Package cmdtest smoke-tests the command-line binaries' flag validation:
+// every configuration mistake must fail in milliseconds with exit status 2
+// (the flag-misuse convention) and a usage hint — never panic, and never
+// start a minutes-long model build first.
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// binDir holds the freshly-built binaries for the whole test run.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "origin-cmdtest-*")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, cmd := range []string{"origin-sim", "origin-train", "origin-serve", "origin-loadgen"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "../"+cmd).CombinedOutput()
+		if err != nil {
+			os.RemoveAll(dir)
+			panic("build " + cmd + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runExpect2 runs a binary and requires exit status 2 within the deadline.
+func runExpect2(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+		}
+	}()
+	out, err := cmd.CombinedOutput()
+	close(done)
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: err=%v out=%s (want exit status 2)", name, args, err, out)
+	}
+	if ee.ExitCode() != 2 {
+		t.Fatalf("%s %v: exit %d, want 2\n%s", name, args, ee.ExitCode(), out)
+	}
+	return string(out)
+}
+
+func TestOriginSimBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "WISDM"},
+		{"-policy", "psychic"},
+		{"-width", "7"},
+		{"-slots", "0"},
+		{"-fault-brownout", "1.5"},
+		{"-fault-death", "-0.1"},
+		{"-fault-burst-loss", "2"},
+		{"-drop", "1"},
+		{"-quorum", "-1"},
+		{"-quorum", "2", "-policy", "aas"},
+		{"-policy", "baseline1", "-fault-stall", "0.1"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			start := time.Now()
+			out := runExpect2(t, "origin-sim", args...)
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Errorf("validation took %v — it must run before any model build", elapsed)
+			}
+			if !strings.Contains(out, "origin-sim:") {
+				t.Errorf("no usage diagnostic in output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestOriginTrainBadProfile(t *testing.T) {
+	cacheDir := t.TempDir()
+	start := time.Now()
+	out := runExpect2(t, "origin-train", "-profile", "WISDM", "-cache", cacheDir)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("validation took %v — it must run before training", elapsed)
+	}
+	if !strings.Contains(out, "unknown profile") {
+		t.Errorf("diagnostic missing:\n%s", out)
+	}
+	// The rejected run must not have populated the cache it was handed.
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("rejected run wrote %d entries into -cache dir", len(entries))
+	}
+}
+
+func TestOriginServeBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-profiles", "MHEALTH,WISDM"},
+		{"-max-sessions", "0"},
+		{"-shards", "-1"},
+		{"-queue", "0"},
+		{"-request-timeout", "-1s"},
+	} {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			runExpect2(t, "origin-serve", args...)
+		})
+	}
+}
+
+func TestOriginLoadgenBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-profile", "WISDM"},
+		{"-users", "0"},
+		{"-requests", "-5"},
+		{"-mode", "bursts"},
+		{"-sensors-per-request", "0"},
+		{"-flip", "1.5"},
+	} {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			runExpect2(t, "origin-loadgen", args...)
+		})
+	}
+}

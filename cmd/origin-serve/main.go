@@ -1,0 +1,149 @@
+// Command origin-serve runs the fleet serving service: an HTTP/JSON API
+// over the shared model registry and the multi-user session manager.
+//
+//	origin-serve -addr :8080 -profiles MHEALTH
+//	origin-serve -addr :8080 -max-sessions 10000 -session-ttl 30m -queue 512
+//
+// Sessions hold per-wearer ensemble state (recall store + adaptive
+// confidence matrix) over models built once per profile; classify traffic
+// flows through a bounded work queue that sheds load with 429 when
+// saturated. SIGINT/SIGTERM drains in-flight work before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"origin/internal/experiments"
+	"origin/internal/fleet"
+	"origin/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		profiles     = flag.String("profiles", "MHEALTH", "comma-separated profiles to build at startup (sessions may still request others lazily)")
+		maxSessions  = flag.Int("max-sessions", 4096, "live session cap (LRU eviction beyond it)")
+		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
+		shards       = flag.Int("shards", 8, "session map shard count")
+		queueDepth   = flag.Int("queue", 256, "classification queue depth (full queue sheds with 429)")
+		workers      = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-classify deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight work on shutdown")
+		janitorEvery = flag.Duration("janitor-every", time.Minute, "TTL eviction sweep interval")
+		cache        = flag.String("cache", "", "model cache directory")
+	)
+	flag.Parse()
+	if *cache != "" {
+		os.Setenv("ORIGIN_CACHE", *cache)
+	}
+
+	// Validate everything CLI-reachable before the minutes-long model
+	// build (same friendly-exit contract as origin-sim).
+	var warm []string
+	for _, p := range strings.Split(*profiles, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !experiments.KnownProfile(p) {
+			usageError("unknown profile %q (want one of %v)", p, experiments.ProfileNames())
+		}
+		warm = append(warm, p)
+	}
+	if *maxSessions <= 0 {
+		usageError("-max-sessions must be positive, got %d", *maxSessions)
+	}
+	if *shards <= 0 {
+		usageError("-shards must be positive, got %d", *shards)
+	}
+	if *queueDepth <= 0 {
+		usageError("-queue must be positive, got %d", *queueDepth)
+	}
+	if *sessionTTL < 0 || *reqTimeout <= 0 || *drainTimeout <= 0 {
+		usageError("timeouts must be positive (-session-ttl may be 0)")
+	}
+
+	mgr := fleet.NewManager(fleet.Config{
+		Shards:      *shards,
+		MaxSessions: *maxSessions,
+		TTL:         *sessionTTL,
+		QueueDepth:  *queueDepth,
+		Workers:     *workers,
+	})
+	for _, p := range warm {
+		log.Printf("building model for profile %s (first build trains; later runs load the cache)", p)
+		if _, err := mgr.Registry().Get(p); err != nil {
+			log.Fatalf("origin-serve: build %s: %v", p, err)
+		}
+		log.Printf("profile %s ready", p)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(serve.Config{Manager: mgr, RequestTimeout: *reqTimeout}),
+	}
+
+	// Janitor: periodic TTL sweeps (eviction is otherwise lazy).
+	stopJanitor := make(chan struct{})
+	if *sessionTTL > 0 {
+		go func() {
+			t := time.NewTicker(*janitorEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if n := mgr.EvictExpired(); n > 0 {
+						log.Printf("janitor: evicted %d idle sessions", n)
+					}
+				case <-stopJanitor:
+					return
+				}
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("origin-serve listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("origin-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let in-flight HTTP
+	// requests (and the queued classifications they wait on) finish, then
+	// stop the workers.
+	log.Printf("shutting down: draining in-flight work (max %s)", *drainTimeout)
+	close(stopJanitor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("origin-serve: shutdown: %v", err)
+	}
+	mgr.Close()
+	snap := mgr.Snapshot()
+	log.Printf("done: %d requests served, %d shed, %d sessions live at exit",
+		snap.RequestsDone, snap.RequestsShed, snap.SessionsActive)
+}
+
+// usageError reports a configuration mistake and exits with the
+// flag-misuse status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "origin-serve: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run with -h for the full flag list")
+	os.Exit(2)
+}

@@ -88,6 +88,9 @@ func main() {
 	if !knownKind && !baseline {
 		usageError("unknown policy %q (want err|aas|aasr|origin|baseline1|baseline2)", *policy)
 	}
+	if !experiments.KnownProfile(*profile) {
+		usageError("unknown profile %q (want one of %v)", *profile, experiments.ProfileNames())
+	}
 	if *slots <= 0 {
 		usageError("-slots must be positive, got %d", *slots)
 	}

@@ -31,6 +31,13 @@ func main() {
 	if *cache != "" {
 		os.Setenv("ORIGIN_CACHE", *cache)
 	}
+	// Validate before the minutes-long build: a typo'd profile fails in
+	// milliseconds with the flag-misuse status instead of panicking.
+	if !experiments.KnownProfile(*profile) {
+		fmt.Fprintf(os.Stderr, "origin-train: unknown profile %q (want one of %v)\n", *profile, experiments.ProfileNames())
+		fmt.Fprintln(os.Stderr, "run with -h for the full flag list")
+		os.Exit(2)
+	}
 
 	sys := experiments.BuildSystem(*profile)
 	if err := os.MkdirAll(*out, 0o755); err != nil {

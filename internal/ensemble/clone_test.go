@@ -1,0 +1,70 @@
+package ensemble
+
+import (
+	"sync"
+	"testing"
+)
+
+// prop: Clone shares no weight storage with the original — neither the
+// outer slice nor any row aliases (the serving layer hands clones to
+// concurrently-adapting sessions, so even one shared row is corruption).
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Alpha = 0.2
+	m.RecallDiscount = 0.7
+	for s := 0; s < 3; s++ {
+		for c := 0; c < 4; c++ {
+			m.Set(s, c, 0.01*float64(s+1)*float64(c+1))
+		}
+	}
+	c := m.Clone()
+
+	if &m.w[0] == &c.w[0] {
+		t.Fatal("clone aliases the outer weight slice")
+	}
+	for s := range m.w {
+		if &m.w[s][0] == &c.w[s][0] {
+			t.Fatalf("clone aliases weight row %d", s)
+		}
+	}
+	if c.Alpha != m.Alpha || c.RecallDiscount != m.RecallDiscount ||
+		c.RecallDecayPerSlot != m.RecallDecayPerSlot || c.UseInstantFresh != m.UseInstantFresh {
+		t.Error("clone did not copy tuning parameters")
+	}
+
+	// Mutations must not cross in either direction.
+	c.Update(1, 2, 0.9)
+	if m.At(1, 2) == c.At(1, 2) {
+		t.Error("update to clone reached the original")
+	}
+	m.Set(0, 0, 0.5)
+	if c.At(0, 0) == 0.5 {
+		t.Error("update to original reached the clone")
+	}
+}
+
+// prop: concurrent adaptation on sibling clones is race-free (run under
+// -race via the verify-serve target) and leaves the parent untouched.
+func TestCloneConcurrentAdaptation(t *testing.T) {
+	m := NewMatrix(3, 4)
+	before := m.Clone()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := m.Clone()
+			for k := 0; k < 1000; k++ {
+				c.Update(k%3, (k+i)%4, 0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for s := 0; s < 3; s++ {
+		for c := 0; c < 4; c++ {
+			if m.At(s, c) != before.At(s, c) {
+				t.Fatalf("parent weight (%d,%d) changed under concurrent clone adaptation", s, c)
+			}
+		}
+	}
+}

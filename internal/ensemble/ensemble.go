@@ -134,7 +134,12 @@ func (m *Matrix) Set(sensor, class int, weight float64) {
 	m.w[sensor][class] = weight
 }
 
-// Clone returns an independent copy of the matrix.
+// Clone returns a fully independent copy of the matrix: no weight storage
+// is shared, so updates to the clone never reach the original (and vice
+// versa). The serving layer relies on this to give every session a private
+// adapting matrix over one shared read-only trained matrix — a clone that
+// aliased even a single row would let concurrent sessions corrupt each
+// other. Guarded by TestCloneIndependence.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.sensors, m.classes)
 	c.Alpha = m.Alpha

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// prop: the profile registry matches what BuildSystem actually accepts, so
+// CLI validation (origin-sim/-train/-serve exit 2 on a typo) can trust it.
+func TestKnownProfile(t *testing.T) {
+	for _, name := range ProfileNames() {
+		if !KnownProfile(name) {
+			t.Errorf("ProfileNames lists %q but KnownProfile rejects it", name)
+		}
+	}
+	for _, bad := range []string{"", "mhealth", "WISDM", "MHEALTH "} {
+		if KnownProfile(bad) {
+			t.Errorf("KnownProfile(%q) = true, want false (exact match only)", bad)
+		}
+	}
+	if len(ProfileNames()) < 2 {
+		t.Fatalf("ProfileNames = %v, want at least MHEALTH and PAMAP2", ProfileNames())
+	}
+}

@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"origin/internal/obs"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrNotFound marks a lookup of an unknown (or evicted) session → 404.
+	ErrNotFound = errors.New("session not found")
+	// ErrSaturated marks a classify rejected because the work queue is
+	// full → 429 (shed load rather than queue unboundedly).
+	ErrSaturated = errors.New("work queue saturated")
+	// ErrShutdown marks a request arriving after Close began → 503.
+	ErrShutdown = errors.New("manager shut down")
+)
+
+// Config assembles a Manager.
+type Config struct {
+	// Registry supplies models (nil builds a production registry).
+	Registry *Registry
+	// Shards is the session-map shard count (default 8). Sharding keeps
+	// session lookup contention independent of the session count.
+	Shards int
+	// MaxSessions caps live sessions (default 4096). The cap is enforced
+	// per shard (MaxSessions/Shards, min 1): a full shard evicts its
+	// least-recently-used session to admit a new one.
+	MaxSessions int
+	// TTL, when positive, evicts sessions idle longer than this (checked
+	// lazily on create and by EvictExpired sweeps).
+	TTL time.Duration
+	// QueueDepth bounds the classification queue (default 256); Workers
+	// sizes the worker pool (default obs.DefaultWorkers()).
+	QueueDepth int
+	Workers    int
+	// Now is the eviction clock (default time.Now; injectable for tests).
+	Now func() time.Time
+}
+
+// Metrics is the serving-side counter set, updated atomically on the hot
+// path and rendered by GET /metrics.
+type Metrics struct {
+	SessionsCreated atomic.Int64
+	SessionsEvicted atomic.Int64
+	SessionsClosed  atomic.Int64
+	RequestsAccepted atomic.Int64
+	RequestsShed     atomic.Int64
+	RequestsDone     atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of the serving counters plus the
+// two gauges (live sessions, queued jobs).
+type MetricsSnapshot struct {
+	SessionsActive   int   `json:"sessionsActive"`
+	SessionsCreated  int64 `json:"sessionsCreated"`
+	SessionsEvicted  int64 `json:"sessionsEvicted"`
+	SessionsClosed   int64 `json:"sessionsClosed"`
+	RequestsAccepted int64 `json:"requestsAccepted"`
+	RequestsShed     int64 `json:"requestsShed"`
+	RequestsDone     int64 `json:"requestsDone"`
+	QueueDepth       int   `json:"queueDepth"`
+}
+
+// shard is one slice of the session map with its own lock and LRU order
+// (front = most recently used).
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    *list.List // of *Session
+}
+
+// Manager is the fleet session service: a sharded session map with LRU/TTL
+// eviction over a shared model registry, plus the bounded classification
+// queue. It is safe for concurrent use.
+type Manager struct {
+	cfg      Config
+	reg      *Registry
+	shards   []*shard
+	queue    *queue
+	metrics  Metrics
+	active   atomic.Int64
+	nextID   atomic.Int64
+	shutdown atomic.Bool
+
+	retiredMu sync.Mutex
+	retired   obs.Telemetry // telemetry of evicted/closed sessions
+}
+
+// NewManager builds and starts a manager (worker pool included).
+func NewManager(cfg Config) *Manager {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry(nil)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4096
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = obs.DefaultWorkers()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{cfg: cfg, reg: cfg.Registry}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: map[string]*Session{}, order: list.New()}
+	}
+	m.queue = newQueue(cfg.QueueDepth, cfg.Workers)
+	return m
+}
+
+// perShardCap returns the session cap of one shard.
+func (m *Manager) perShardCap() int {
+	c := m.cfg.MaxSessions / len(m.shards)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// shardFor hashes a session id onto its shard (FNV-1a).
+func (m *Manager) shardFor(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return m.shards[h%uint32(len(m.shards))]
+}
+
+// Create opens a session on the named profile for a user. The model is
+// fetched from the registry (building it on first use); a full shard
+// evicts its least-recently-used session to make room.
+func (m *Manager) Create(profile string, user int64, o Opts) (*Session, error) {
+	if m.shutdown.Load() {
+		return nil, ErrShutdown
+	}
+	model, err := m.reg.Get(profile)
+	if err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("s-%d", m.nextID.Add(1))
+	s, err := NewSession(id, user, model, o)
+	if err != nil {
+		return nil, err
+	}
+	now := m.cfg.Now().UnixNano()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	m.evictExpiredLocked(sh, now)
+	for len(sh.sessions) >= m.perShardCap() {
+		m.evictLRULocked(sh)
+	}
+	s.lastUsed = now
+	s.lru = sh.order.PushFront(s)
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	m.active.Add(1)
+	m.metrics.SessionsCreated.Add(1)
+	return s, nil
+}
+
+// Get returns a live session and refreshes its LRU/TTL position.
+func (m *Manager) Get(id string) (*Session, error) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.lastUsed = m.cfg.Now().UnixNano()
+	sh.order.MoveToFront(s.lru)
+	return s, nil
+}
+
+// Delete closes a session explicitly, retiring its telemetry.
+func (m *Manager) Delete(id string) error {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		m.removeLocked(sh, s)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	m.metrics.SessionsClosed.Add(1)
+	return nil
+}
+
+// removeLocked unlinks a session from its shard and folds its telemetry
+// into the retired aggregate. Callers hold sh.mu.
+func (m *Manager) removeLocked(sh *shard, s *Session) {
+	delete(sh.sessions, s.id)
+	sh.order.Remove(s.lru)
+	s.lru = nil
+	m.active.Add(-1)
+	tel := s.Telemetry()
+	m.retiredMu.Lock()
+	m.retired.Merge(&tel)
+	m.retiredMu.Unlock()
+}
+
+// evictLRULocked evicts the shard's least-recently-used session.
+func (m *Manager) evictLRULocked(sh *shard) {
+	back := sh.order.Back()
+	if back == nil {
+		return
+	}
+	m.removeLocked(sh, back.Value.(*Session))
+	m.metrics.SessionsEvicted.Add(1)
+}
+
+// evictExpiredLocked evicts the shard's sessions idle past the TTL.
+func (m *Manager) evictExpiredLocked(sh *shard, now int64) {
+	if m.cfg.TTL <= 0 {
+		return
+	}
+	cutoff := now - m.cfg.TTL.Nanoseconds()
+	for back := sh.order.Back(); back != nil; back = sh.order.Back() {
+		s := back.Value.(*Session)
+		if s.lastUsed > cutoff {
+			return // LRU order: everything further forward is fresher
+		}
+		m.removeLocked(sh, s)
+		m.metrics.SessionsEvicted.Add(1)
+	}
+}
+
+// EvictExpired sweeps every shard for TTL-expired sessions and returns how
+// many were evicted. cmd/origin-serve runs this on a janitor ticker.
+func (m *Manager) EvictExpired() int {
+	before := m.metrics.SessionsEvicted.Load()
+	now := m.cfg.Now().UnixNano()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		m.evictExpiredLocked(sh, now)
+		sh.mu.Unlock()
+	}
+	return int(m.metrics.SessionsEvicted.Load() - before)
+}
+
+// Classify routes one classify round for a session through the bounded
+// queue: it looks the session up (refreshing its LRU position), enqueues
+// the work, and waits for the result or the context deadline. A full queue
+// fails fast with ErrSaturated.
+func (m *Manager) Classify(ctx context.Context, id string, inputs []SensorInput) (ClassifyResult, error) {
+	if m.shutdown.Load() {
+		return ClassifyResult{}, ErrShutdown
+	}
+	s, err := m.Get(id)
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	type outcome struct {
+		res ClassifyResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	if !m.queue.submit(func() {
+		res, err := s.Classify(inputs)
+		m.metrics.RequestsDone.Add(1)
+		done <- outcome{res, err}
+	}) {
+		m.metrics.RequestsShed.Add(1)
+		return ClassifyResult{}, ErrSaturated
+	}
+	m.metrics.RequestsAccepted.Add(1)
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The job may still run (accepted work always completes); only
+		// this waiter gives up.
+		return ClassifyResult{}, ctx.Err()
+	}
+}
+
+// Registry exposes the model registry (e.g. for warm-up at startup).
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// ActiveSessions returns the number of live sessions.
+func (m *Manager) ActiveSessions() int { return int(m.active.Load()) }
+
+// Snapshot returns the serving counters and gauges.
+func (m *Manager) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		SessionsActive:   int(m.active.Load()),
+		SessionsCreated:  m.metrics.SessionsCreated.Load(),
+		SessionsEvicted:  m.metrics.SessionsEvicted.Load(),
+		SessionsClosed:   m.metrics.SessionsClosed.Load(),
+		RequestsAccepted: m.metrics.RequestsAccepted.Load(),
+		RequestsShed:     m.metrics.RequestsShed.Load(),
+		RequestsDone:     m.metrics.RequestsDone.Load(),
+		QueueDepth:       m.queue.depth(),
+	}
+}
+
+// Telemetry returns the aggregated ensemble telemetry: retired sessions
+// plus a snapshot of every live one.
+func (m *Manager) Telemetry() obs.Telemetry {
+	m.retiredMu.Lock()
+	agg := m.retired
+	m.retiredMu.Unlock()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		live := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			live = append(live, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range live {
+			tel := s.Telemetry()
+			agg.Merge(&tel)
+		}
+	}
+	return agg
+}
+
+// Close stops accepting new sessions and classifications, drains every
+// queued job (accepted work completes), and waits for the workers to
+// finish — the SIGTERM half of graceful shutdown.
+func (m *Manager) Close() {
+	if m.shutdown.Swap(true) {
+		return
+	}
+	m.queue.close()
+}

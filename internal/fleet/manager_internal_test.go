@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"origin/internal/dnn"
+	"origin/internal/ensemble"
+	"origin/internal/experiments"
+	"origin/internal/schedule"
+	"origin/internal/synth"
+)
+
+// tinyModel builds a deterministic serving model without training. It is
+// duplicated (in miniature) from fleettest, which white-box tests cannot
+// import without an import cycle.
+func tinyModel() *Model {
+	p := synth.MHEALTHProfile()
+	classes := p.NumClasses()
+	nets := make([]*dnn.Network, synth.NumLocations)
+	acc := make([][]float64, synth.NumLocations)
+	m := ensemble.NewMatrix(synth.NumLocations, classes)
+	for loc := 0; loc < synth.NumLocations; loc++ {
+		rng := rand.New(rand.NewSource(42 + int64(loc)))
+		nets[loc] = dnn.NewShallowHARNetwork(rng, dnn.DefaultHARConfig(synth.Channels, experiments.Window, classes))
+		acc[loc] = make([]float64, classes)
+		for c := 0; c < classes; c++ {
+			acc[loc][c] = 0.4 + 0.1*float64((loc+c)%3)
+			m.Set(loc, c, 0.01+0.005*float64((loc+2*c)%4))
+		}
+	}
+	sys := &experiments.System{Profile: p, NetsB1: nets, NetsB2: nets,
+		Matrix: m, AccTable: acc, Ranks: schedule.NewRankTable(acc)}
+	return NewModel("MHEALTH", sys)
+}
+
+func tinyRegistry() *Registry {
+	return NewRegistry(func(string) (*Model, error) { return tinyModel(), nil })
+}
+
+// fakeClock is a deterministic eviction clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestManagerLRUEviction(t *testing.T) {
+	m := NewManager(Config{Registry: tinyRegistry(), Shards: 1, MaxSessions: 2, Workers: 1})
+	defer m.Close()
+	s1, err := m.Create("MHEALTH", 1, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Create("MHEALTH", 2, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch s1 so s2 becomes the LRU victim.
+	if _, err := m.Get(s1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("MHEALTH", 3, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(s1.ID()); err != nil {
+		t.Errorf("recently-used session evicted: %v", err)
+	}
+	if _, err := m.Get(s2.ID()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("LRU session still live, err=%v", err)
+	}
+	snap := m.Snapshot()
+	if snap.SessionsActive != 2 || snap.SessionsEvicted != 1 || snap.SessionsCreated != 3 {
+		t.Errorf("snapshot = %+v, want active=2 evicted=1 created=3", snap)
+	}
+}
+
+func TestManagerTTLEviction(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	m := NewManager(Config{Registry: tinyRegistry(), Shards: 2, TTL: time.Minute, Workers: 1, Now: clock.Now})
+	defer m.Close()
+	s1, _ := m.Create("MHEALTH", 1, Opts{})
+	clock.Advance(30 * time.Second)
+	s2, _ := m.Create("MHEALTH", 2, Opts{})
+	clock.Advance(45 * time.Second) // s1 idle 75s, s2 idle 45s
+	if n := m.EvictExpired(); n != 1 {
+		t.Fatalf("EvictExpired = %d, want 1", n)
+	}
+	if _, err := m.Get(s1.ID()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired session still live, err=%v", err)
+	}
+	if _, err := m.Get(s2.ID()); err != nil {
+		t.Errorf("fresh session evicted: %v", err)
+	}
+	// The Get above refreshed s2's TTL.
+	clock.Advance(50 * time.Second)
+	if n := m.EvictExpired(); n != 0 {
+		t.Errorf("EvictExpired after touch = %d, want 0", n)
+	}
+}
+
+// prop: when the queue is saturated, Classify sheds with ErrSaturated
+// instead of queueing, and the shed counter moves.
+func TestManagerClassifySheds(t *testing.T) {
+	m := NewManager(Config{Registry: tinyRegistry(), QueueDepth: 1, Workers: 1})
+	s, err := m.Create("MHEALTH", 1, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Occupy the single worker, then fill the depth-1 buffer.
+	if !m.queue.submit(func() { close(started); <-release }) {
+		t.Fatal("blocker rejected")
+	}
+	<-started
+	if !m.queue.submit(func() {}) {
+		t.Fatal("filler rejected")
+	}
+	_, err = m.Classify(context.Background(), s.ID(), nil)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Classify on saturated queue: err=%v, want ErrSaturated", err)
+	}
+	if snap := m.Snapshot(); snap.RequestsShed != 1 {
+		t.Errorf("RequestsShed = %d, want 1", snap.RequestsShed)
+	}
+	close(release)
+	m.Close()
+}
+
+// prop: Close drains — every accepted classify completes, and requests
+// arriving after Close fail with ErrShutdown.
+func TestManagerCloseDrains(t *testing.T) {
+	m := NewManager(Config{Registry: tinyRegistry(), QueueDepth: 64, Workers: 2})
+	s, err := m.Create("MHEALTH", 1, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	var wg sync.WaitGroup
+	wg.Add(rounds)
+	for i := 0; i < rounds; i++ {
+		go func() {
+			defer wg.Done()
+			_, err := m.Classify(context.Background(), s.ID(), []SensorInput{{Sensor: 0, Class: 1, Confidence: 0.02}})
+			if err != nil {
+				t.Errorf("classify: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	m.Close()
+	snap := m.Snapshot()
+	if snap.RequestsDone != snap.RequestsAccepted || snap.RequestsDone != rounds {
+		t.Errorf("done=%d accepted=%d, want both %d (accepted work must complete)",
+			snap.RequestsDone, snap.RequestsAccepted, rounds)
+	}
+	if _, err := m.Classify(context.Background(), s.ID(), nil); !errors.Is(err, ErrShutdown) {
+		t.Errorf("classify after Close: err=%v, want ErrShutdown", err)
+	}
+	if _, err := m.Create("MHEALTH", 9, Opts{}); !errors.Is(err, ErrShutdown) {
+		t.Errorf("create after Close: err=%v, want ErrShutdown", err)
+	}
+}
+
+// prop: deleting a session retires its telemetry into the aggregate
+// instead of losing it.
+func TestManagerTelemetryRetires(t *testing.T) {
+	m := NewManager(Config{Registry: tinyRegistry(), Workers: 1})
+	defer m.Close()
+	s, _ := m.Create("MHEALTH", 1, Opts{})
+	for i := 0; i < 5; i++ {
+		if _, err := m.Classify(context.Background(), s.ID(), []SensorInput{{Sensor: i % 3, Class: 0, Confidence: 0.01}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Telemetry()
+	if err := m.Delete(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Telemetry()
+	if before.FreshVotes == 0 {
+		t.Fatal("no fresh votes recorded")
+	}
+	if after.FreshVotes != before.FreshVotes || after.AdaptationUpdates != before.AdaptationUpdates {
+		t.Errorf("telemetry lost on delete: before fresh=%d adapts=%d, after fresh=%d adapts=%d",
+			before.FreshVotes, before.AdaptationUpdates, after.FreshVotes, after.AdaptationUpdates)
+	}
+}
+
+// prop: the registry builds each profile exactly once, even under
+// concurrent first access.
+func TestRegistrySingleFlight(t *testing.T) {
+	var builds int32
+	var mu sync.Mutex
+	reg := NewRegistry(func(string) (*Model, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		return tinyModel(), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := reg.Get("MHEALTH"); err != nil {
+				t.Errorf("get: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("built %d times, want 1", builds)
+	}
+}

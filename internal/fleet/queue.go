@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"sync"
+)
+
+// queue is the bounded classification work queue: a fixed worker pool fed
+// by a fixed-depth channel. Submitting to a full queue fails immediately
+// (the caller sheds the request with 429) instead of queueing unboundedly —
+// under overload a serving system must prefer fast rejection over latency
+// collapse, and the depth bound makes the worst-case queueing delay a
+// configuration constant.
+type queue struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newQueue starts workers goroutines draining a depth-bounded job channel.
+func newQueue(depth, workers int) *queue {
+	if depth <= 0 {
+		depth = 1
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	q := &queue{jobs: make(chan func(), depth)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for fn := range q.jobs {
+				fn()
+			}
+		}()
+	}
+	return q
+}
+
+// submit enqueues fn if there is room, returning false when the queue is
+// saturated or closed.
+func (q *queue) submit(fn func()) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.jobs <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// depth returns the number of queued (not yet started) jobs.
+func (q *queue) depth() int { return len(q.jobs) }
+
+// close stops accepting work, drains every queued job, and waits for the
+// workers to finish — the graceful-shutdown half of the backpressure
+// contract: accepted work always completes.
+func (q *queue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

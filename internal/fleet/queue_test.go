@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// prop: a saturated queue sheds instead of blocking, and close drains
+// every accepted job before returning.
+func TestQueueShedAndDrain(t *testing.T) {
+	q := newQueue(2, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+
+	// Occupy the single worker, then fill the depth-2 buffer.
+	if !q.submit(func() { close(started); <-release; ran.Add(1) }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		if !q.submit(func() { ran.Add(1) }) {
+			t.Fatalf("submit %d rejected before saturation", i)
+		}
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.depth())
+	}
+	// Saturated: the next submit must fail fast, not block.
+	if q.submit(func() { ran.Add(1) }) {
+		t.Fatal("submit accepted past queue depth")
+	}
+
+	close(release)
+	q.close()
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d jobs after close, want 3 (accepted work must complete)", got)
+	}
+	// After close every submit is rejected and must not panic.
+	if q.submit(func() {}) {
+		t.Fatal("submit accepted after close")
+	}
+}
+
+func TestQueueCloseIdempotent(t *testing.T) {
+	q := newQueue(1, 2)
+	q.close()
+	q.close()
+}

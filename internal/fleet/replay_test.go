@@ -1,0 +1,158 @@
+package fleet_test
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"origin"
+	"origin/internal/fleet"
+	"origin/internal/fleet/fleettest"
+	"origin/internal/loadgen"
+	"origin/internal/serve"
+	"origin/internal/synth"
+)
+
+// newTestServer stands up a full serving stack (manager + HTTP API) over
+// tiny deterministic models.
+func newTestServer(t *testing.T, queueDepth, workers int) (*httptest.Server, *fleet.Manager) {
+	t.Helper()
+	mgr := fleet.NewManager(fleet.Config{
+		Registry:   fleettest.NewRegistry(),
+		QueueDepth: queueDepth,
+		Workers:    workers,
+	})
+	ts := httptest.NewServer(serve.New(serve.Config{Manager: mgr, RequestTimeout: 30 * time.Second}))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return ts, mgr
+}
+
+// replayConfig fills every field Run would default, so the streams the
+// serial replay regenerates are byte-identical to the ones loadgen sent.
+func replayConfig(baseURL string, mode loadgen.Mode, users, requests int) loadgen.Config {
+	return loadgen.Config{
+		BaseURL:           baseURL,
+		Profile:           "MHEALTH",
+		Users:             users,
+		Requests:          requests,
+		Seed:              3,
+		Mode:              mode,
+		SensorsPerRequest: 1,
+		VoteFlip:          0.2,
+		Traces:            true,
+	}
+}
+
+// serialReplay drives user i's exact request stream through a fresh facade
+// session — no HTTP, no queue, no concurrency.
+func serialReplay(t *testing.T, cfg *loadgen.Config, i int) []int {
+	t.Helper()
+	model, err := fleettest.NewModel(cfg.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := origin.OpenSession(model, "replay", loadgen.UserID(i), origin.ServeOpts{
+		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loadgen.NewStream(cfg, synth.MHEALTHProfile(), i)
+	classes := make([]int, cfg.Requests)
+	for k := 0; k < cfg.Requests; k++ {
+		req := st.Next(k)
+		inputs, err := serve.Inputs(&req)
+		if err != nil {
+			t.Fatalf("user %d round %d: %v", i, k, err)
+		}
+		res, err := sess.Classify(inputs)
+		if err != nil {
+			t.Fatalf("user %d round %d: %v", i, k, err)
+		}
+		classes[k] = res.Class
+	}
+	return classes
+}
+
+// prop (ISSUE acceptance): for a fixed seed set, a concurrent loadgen run
+// over N sessions yields per-session classification sequences identical to
+// serially replaying each session's stream through the facade.
+func TestLoadgenMatchesSerialReplay(t *testing.T) {
+	cases := []struct {
+		mode            loadgen.Mode
+		users, requests int
+	}{
+		{loadgen.ModeVotes, 6, 50},
+		{loadgen.ModeWindows, 3, 12}, // windows pay server-side inference
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.mode), func(t *testing.T) {
+			ts, _ := newTestServer(t, 64, 4)
+			cfg := replayConfig(ts.URL, tc.mode, tc.users, tc.requests)
+			rep, err := loadgen.Run(cfg)
+			if err != nil {
+				t.Fatalf("loadgen: %v", err)
+			}
+			if len(rep.Sessions) != tc.users {
+				t.Fatalf("traced %d sessions, want %d", len(rep.Sessions), tc.users)
+			}
+			for i, tr := range rep.Sessions {
+				if tr.User != loadgen.UserID(i) {
+					t.Fatalf("session %d traces user %d, want %d", i, tr.User, loadgen.UserID(i))
+				}
+				want := serialReplay(t, &cfg, i)
+				if !reflect.DeepEqual(tr.Classes, want) {
+					t.Errorf("user %d: served sequence diverged from serial facade replay:\n got %v\nwant %v",
+						i, tr.Classes, want)
+				}
+			}
+		})
+	}
+}
+
+// prop: two identical loadgen runs against fresh servers produce identical
+// traces — serving is deterministic end to end, not merely self-consistent.
+func TestLoadgenRunRepeatable(t *testing.T) {
+	run := func() []loadgen.SessionTrace {
+		ts, _ := newTestServer(t, 64, 4)
+		cfg := replayConfig(ts.URL, loadgen.ModeVotes, 4, 40)
+		rep, err := loadgen.Run(cfg)
+		if err != nil {
+			t.Fatalf("loadgen: %v", err)
+		}
+		return rep.Sessions
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Classes, b[i].Classes) {
+			t.Errorf("user %d traces differ across runs:\n run1 %v\n run2 %v", i, a[i].Classes, b[i].Classes)
+		}
+	}
+}
+
+// prop: determinism survives shedding — with a starved queue the loadgen
+// retries shed rounds, so sequences still match the serial replay.
+func TestLoadgenDeterministicUnderShedding(t *testing.T) {
+	ts, mgr := newTestServer(t, 1, 1) // depth-1 queue, single worker
+	cfg := replayConfig(ts.URL, loadgen.ModeVotes, 6, 30)
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	for i, tr := range rep.Sessions {
+		want := serialReplay(t, &cfg, i)
+		if !reflect.DeepEqual(tr.Classes, want) {
+			t.Errorf("user %d diverged under shedding:\n got %v\nwant %v", i, tr.Classes, want)
+		}
+	}
+	snap := mgr.Snapshot()
+	t.Logf("shed=%d accepted=%d (sheds are load-dependent; correctness is not)",
+		snap.RequestsShed, snap.RequestsAccepted)
+}

@@ -1,0 +1,391 @@
+// Package loadgen drives an origin-serve instance with N concurrent
+// synthetic wearers and measures serving throughput and latency.
+//
+// Each simulated user is a closed loop: open a session, then send one
+// classify request per activity-timeline slot, waiting for each response
+// (and retrying shed requests) before sending the next. Every user's
+// request stream is derived from (seed, user index) alone — the activity
+// timeline, the duty-cycled reporting sensor, the synthetic votes or IMU
+// windows all come from per-user RNG streams — so the payload sequence a
+// session receives is identical across runs and across concurrency levels.
+// That is what makes the fleet determinism contract checkable end to end:
+// a concurrent loadgen run and a serial replay of the same streams through
+// the facade must produce identical per-session classification sequences.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"origin/internal/serve"
+	"origin/internal/synth"
+)
+
+// Mode selects the classify payload kind.
+type Mode string
+
+const (
+	// ModeVotes sends precomputed per-sensor softmax votes (cheap; no
+	// server-side inference).
+	ModeVotes Mode = "votes"
+	// ModeWindows sends raw IMU windows classified server-side on the
+	// model's nets.
+	ModeWindows Mode = "windows"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// BaseURL is the serve endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Profile is the dataset profile sessions are opened on.
+	Profile string
+	// Users is the number of concurrent closed-loop users; Requests the
+	// classify rounds each one performs.
+	Users, Requests int
+	// Seed fixes every user stream.
+	Seed int64
+	// Mode selects votes or windows payloads.
+	Mode Mode
+	// SensorsPerRequest is how many sensors report fresh data per round
+	// (duty-cycled round-robin, like the paper's one-activation-per-slot
+	// scheduler; the recall store covers the rest). Default 1.
+	SensorsPerRequest int
+	// VoteFlip is the probability a synthetic vote mislabels the true
+	// activity (ModeVotes only). Default 0.2.
+	VoteFlip float64
+	// Quorum / StaleLimit / Freeze forward to session creation.
+	Quorum, StaleLimit int
+	Freeze             bool
+	// Client is the HTTP client (default: 30 s timeout).
+	Client *http.Client
+	// Traces records every session's classification sequence in the
+	// report (the replay tests need it; large runs may skip it).
+	Traces bool
+}
+
+// SessionTrace is one user's served classification sequence.
+type SessionTrace struct {
+	// User is the wearer id the session was opened with.
+	User int64 `json:"user"`
+	// ID is the server-assigned session id.
+	ID string `json:"id"`
+	// Classes is the fused classification per round, in order.
+	Classes []int `json:"classes"`
+}
+
+// Report is the load run outcome.
+type Report struct {
+	Profile         string  `json:"profile"`
+	Mode            string  `json:"mode"`
+	Users           int     `json:"users"`
+	RequestsPerUser int     `json:"requestsPerUser"`
+	Seed            int64   `json:"seed"`
+	Sent            int     `json:"sent"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"`
+	Errors          int     `json:"errors"`
+	DurationS       float64 `json:"durationS"`
+	// ThroughputRPS counts successful classify rounds per wall-clock
+	// second across all users.
+	ThroughputRPS float64 `json:"throughputRPS"`
+	LatencyP50Ms  float64 `json:"latencyP50Ms"`
+	LatencyP95Ms  float64 `json:"latencyP95Ms"`
+	LatencyP99Ms  float64 `json:"latencyP99Ms"`
+	// Accuracy compares served classifications against the generator's
+	// ground-truth activity timeline (the client knows the truth it
+	// synthesised — a live deployment would not).
+	Accuracy float64 `json:"accuracy"`
+
+	Sessions []SessionTrace `json:"sessions,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// UserID returns the wearer id of the i-th simulated user. Ids start past
+// the training population so loadgen users exercise the unseen-user
+// adaptation path.
+func UserID(i int) int64 { return 1000 + int64(i) }
+
+// streamSeed derives the i-th user's private RNG seed.
+func streamSeed(seed int64, i int) int64 { return seed + int64(i)*1_000_003 }
+
+// Stream generates one user's deterministic request payloads. Request k
+// depends only on (profile, seed, user index, k), never on timing or on
+// other users.
+type Stream struct {
+	profile  *synth.Profile
+	timeline *synth.Timeline
+	gen      *synth.Generator
+	rng      *rand.Rand
+	cfg      *Config
+	step     int
+}
+
+// NewStream builds the i-th user's request stream.
+func NewStream(cfg *Config, profile *synth.Profile, i int) *Stream {
+	seed := streamSeed(cfg.Seed, i)
+	// Shorter segments than the simulator default (240 slots ≈ 60 s):
+	// serving rounds are sparser than scheduler slots, and short load runs
+	// should still cross several activity transitions.
+	tl := synth.GenerateTimeline(profile, synth.TimelineConfig{
+		Slots: cfg.Requests, MeanSegment: 40, MinSegment: 10, Seed: seed,
+	})
+	u := synth.NewUser(UserID(i))
+	return &Stream{
+		profile:  profile,
+		timeline: tl,
+		gen:      synth.NewGenerator(profile, u, windowLen, seed+1),
+		rng:      rand.New(rand.NewSource(seed + 2)),
+		cfg:      cfg,
+		step:     0,
+	}
+}
+
+// windowLen matches experiments.Window without importing the heavyweight
+// experiments package into every loadgen user goroutine. Pinned by a test.
+const windowLen = 64
+
+// Truth returns the ground-truth activity of round k.
+func (st *Stream) Truth(k int) int { return st.timeline.PerSlot[k] }
+
+// Next produces round k's classify payload. Must be called with k equal
+// to the number of prior calls (streams are strictly sequential — the RNG
+// state advances with each round).
+func (st *Stream) Next(k int) serve.ClassifyRequest {
+	if k != st.step {
+		panic(fmt.Sprintf("loadgen: stream stepped out of order: got %d want %d", k, st.step))
+	}
+	st.step++
+	truth := st.timeline.PerSlot[k]
+	n := st.cfg.SensorsPerRequest
+	var req serve.ClassifyRequest
+	for j := 0; j < n; j++ {
+		sensorID := (k*n + j) % synth.NumLocations
+		if st.cfg.Mode == ModeWindows {
+			w := st.gen.WindowFor(truth, synth.Location(sensorID))
+			rows := make([][]float64, synth.Channels)
+			d := w.Data()
+			cols := w.Dim(1)
+			for r := 0; r < synth.Channels; r++ {
+				rows[r] = append([]float64(nil), d[r*cols:(r+1)*cols]...)
+			}
+			req.Windows = append(req.Windows, serve.Window{Sensor: sensorID, Samples: rows})
+			continue
+		}
+		class := truth
+		if st.rng.Float64() < st.cfg.VoteFlip {
+			class = st.rng.Intn(st.profile.NumClasses())
+		}
+		conf := 0.01 + 0.05*st.rng.Float64()
+		req.Votes = append(req.Votes, serve.Vote{Sensor: sensorID, Class: class, Confidence: conf})
+	}
+	return req
+}
+
+// profileByName resolves the two served profiles without importing the
+// experiments package.
+func profileByName(name string) (*synth.Profile, error) {
+	switch name {
+	case "MHEALTH":
+		return synth.MHEALTHProfile(), nil
+	case "PAMAP2":
+		return synth.PAMAP2Profile(), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown profile %q", name)
+	}
+}
+
+// userResult is one user goroutine's tally.
+type userResult struct {
+	trace     SessionTrace
+	sent      int
+	ok        int
+	shed      int
+	errs      int
+	correct   int
+	latencies []time.Duration
+	err       error
+}
+
+// Run executes the load run and aggregates the report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Users <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: users and requests must be positive")
+	}
+	if cfg.SensorsPerRequest <= 0 {
+		cfg.SensorsPerRequest = 1
+	}
+	if cfg.SensorsPerRequest > synth.NumLocations {
+		cfg.SensorsPerRequest = synth.NumLocations
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeVotes
+	}
+	if cfg.VoteFlip == 0 {
+		cfg.VoteFlip = 0.2
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	profile, err := profileByName(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]userResult, cfg.Users)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.Users)
+	for i := 0; i < cfg.Users; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runUser(&cfg, profile, i)
+		}(i)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	rep := &Report{
+		Profile: cfg.Profile, Mode: string(cfg.Mode),
+		Users: cfg.Users, RequestsPerUser: cfg.Requests, Seed: cfg.Seed,
+		DurationS: dur.Seconds(),
+	}
+	var lats []time.Duration
+	total, correct := 0, 0
+	for i := range results {
+		r := &results[i]
+		if r.err != nil && rep.Errors == 0 {
+			err = r.err // surface the first hard failure
+		}
+		rep.Sent += r.sent
+		rep.OK += r.ok
+		rep.Shed += r.shed
+		rep.Errors += r.errs
+		lats = append(lats, r.latencies...)
+		total += len(r.trace.Classes)
+		correct += r.correct
+		if cfg.Traces {
+			rep.Sessions = append(rep.Sessions, r.trace)
+		}
+	}
+	if dur > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / dur.Seconds()
+	}
+	rep.LatencyP50Ms = percentileMs(lats, 0.50)
+	rep.LatencyP95Ms = percentileMs(lats, 0.95)
+	rep.LatencyP99Ms = percentileMs(lats, 0.99)
+	if total > 0 {
+		rep.Accuracy = float64(correct) / float64(total)
+	}
+	if rep.Errors > 0 && err == nil {
+		err = fmt.Errorf("loadgen: %d requests failed", rep.Errors)
+	}
+	return rep, err
+}
+
+// runUser is one closed-loop user: create a session, then send every
+// round in order, retrying shed (429) rounds so the stream the session
+// processes is always the complete, ordered stream.
+func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
+	var r userResult
+	create := serve.CreateSessionRequest{
+		Profile: cfg.Profile, User: UserID(i),
+		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
+	}
+	var created serve.CreateSessionResponse
+	status, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
+	if err != nil || status != http.StatusCreated {
+		r.errs++
+		r.err = fmt.Errorf("loadgen: user %d create session: status %d err %v", i, status, err)
+		return r
+	}
+	r.trace = SessionTrace{User: UserID(i), ID: created.ID}
+	st := NewStream(cfg, profile, i)
+	url := cfg.BaseURL + "/v1/sessions/" + created.ID + "/classify"
+	for k := 0; k < cfg.Requests; k++ {
+		req := st.Next(k)
+		for attempt := 0; ; attempt++ {
+			var res serve.ClassifyResponse
+			t0 := time.Now()
+			status, err := postJSON(cfg.Client, url, req, &res)
+			lat := time.Since(t0)
+			r.sent++
+			if err != nil {
+				r.errs++
+				r.err = fmt.Errorf("loadgen: user %d round %d: %v", i, k, err)
+				return r
+			}
+			if status == http.StatusTooManyRequests {
+				// Shed: back off briefly and resend the same round.
+				r.shed++
+				time.Sleep(time.Duration(1+attempt) * 2 * time.Millisecond)
+				continue
+			}
+			if status != http.StatusOK {
+				r.errs++
+				r.err = fmt.Errorf("loadgen: user %d round %d: status %d", i, k, status)
+				return r
+			}
+			r.ok++
+			r.latencies = append(r.latencies, lat)
+			r.trace.Classes = append(r.trace.Classes, res.Class)
+			if res.Class == st.Truth(k) {
+				r.correct++
+			}
+			break
+		}
+	}
+	return r
+}
+
+// postJSON posts v as JSON and decodes the response into out (when the
+// body is JSON). It returns the HTTP status.
+func postJSON(c *http.Client, url string, v, out any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// percentileMs returns the q-th latency percentile in milliseconds
+// (nearest-rank on the sorted sample; 0 for an empty sample).
+func percentileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}

@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"origin/internal/experiments"
+	"origin/internal/synth"
+)
+
+// prop: windowLen is a local copy of experiments.Window; if the experiment
+// geometry ever moves, this pin fails instead of loadgen silently sending
+// wrong-shaped windows.
+func TestWindowLenMatchesExperiments(t *testing.T) {
+	if windowLen != experiments.Window {
+		t.Fatalf("windowLen = %d, experiments.Window = %d — keep them equal", windowLen, experiments.Window)
+	}
+}
+
+// prop: a user's request stream depends only on (cfg, user index) — two
+// streams built alike produce identical payload sequences, and different
+// users produce different ones.
+func TestStreamDeterminism(t *testing.T) {
+	for _, mode := range []Mode{ModeVotes, ModeWindows} {
+		t.Run(string(mode), func(t *testing.T) {
+			cfg := Config{Profile: "MHEALTH", Users: 2, Requests: 20, Seed: 9,
+				Mode: mode, SensorsPerRequest: 2, VoteFlip: 0.3}
+			p := synth.MHEALTHProfile()
+			a, b := NewStream(&cfg, p, 0), NewStream(&cfg, p, 0)
+			other := NewStream(&cfg, p, 1)
+			same, diff := true, false
+			for k := 0; k < cfg.Requests; k++ {
+				ra, rb, ro := a.Next(k), b.Next(k), other.Next(k)
+				if !reflect.DeepEqual(ra, rb) {
+					same = false
+				}
+				if !reflect.DeepEqual(ra, ro) {
+					diff = true
+				}
+				if a.Truth(k) != b.Truth(k) {
+					t.Fatalf("round %d: truths diverge for identical streams", k)
+				}
+				if n := len(ra.Votes) + len(ra.Windows); n != cfg.SensorsPerRequest {
+					t.Fatalf("round %d: %d payloads, want %d", k, n, cfg.SensorsPerRequest)
+				}
+			}
+			if !same {
+				t.Error("identical stream configs produced different payloads")
+			}
+			if !diff {
+				t.Error("different users produced identical payloads")
+			}
+		})
+	}
+}
+
+// prop: streams are strictly sequential — skipping a round panics instead
+// of silently desynchronising the RNG.
+func TestStreamOutOfOrderPanics(t *testing.T) {
+	cfg := Config{Profile: "MHEALTH", Requests: 5, Seed: 1, Mode: ModeVotes, SensorsPerRequest: 1, VoteFlip: 0.2}
+	st := NewStream(&cfg, synth.MHEALTHProfile(), 0)
+	st.Next(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next(2) after Next(0) did not panic")
+		}
+	}()
+	st.Next(2)
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Profile: "MHEALTH", Users: 0, Requests: 5}); err == nil {
+		t.Error("zero users accepted")
+	}
+	if _, err := Run(Config{Profile: "NOPE", Users: 1, Requests: 5}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	lats := []time.Duration{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	if got := percentileMs(lats, 0.50); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := percentileMs(lats, 1.0); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+	if got := percentileMs(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{Profile: "MHEALTH", Mode: "votes", Users: 2, RequestsPerUser: 5,
+		Seed: 3, Sent: 10, OK: 10, ThroughputRPS: 123.4, Accuracy: 0.8,
+		Sessions: []SessionTrace{{User: 1000, ID: "s-1", Classes: []int{0, 1}}}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, rep) {
+		t.Errorf("round trip changed report:\n got %+v\nwant %+v", back, *rep)
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the telemetry totals in the Prometheus text
+// exposition format (version 0.0.4), one counter per line under the
+// "origin_" namespace. Link counters carry a link="uplink|downlink" label;
+// per-slot tallies are not exported (a scrape wants totals, not series).
+//
+// The serving layer appends its own origin_serve_* counters after these,
+// so one GET /metrics covers both the ensemble-level event record and the
+// request-level serving state.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	tot := t.Totals()
+	ew := &errWriter{w: w}
+	counter := func(name, help string, v int) {
+		ew.printf("# HELP origin_%s %s\n# TYPE origin_%s counter\norigin_%s %d\n", name, help, name, name, v)
+	}
+	counter("slots_total", "Scheduler slots (or serving rounds) recorded.", tot.Slots)
+	counter("inferences_started_total", "Inference starts across all nodes.", tot.InferencesStarted)
+	counter("inferences_aborted_total", "Inferences displaced unfinished.", tot.InferencesAborted)
+	counter("inferences_completed_total", "Completed inferences.", tot.InferencesCompleted)
+	counter("power_emergencies_total", "Mid-task brown-outs.", tot.PowerEmergencies)
+	counter("fresh_votes_total", "Ensemble votes from fresh classifications.", tot.FreshVotes)
+	counter("recall_votes_total", "Ensemble votes from recalled classifications.", tot.RecallVotes)
+	counter("adaptation_updates_total", "Online confidence-matrix updates.", tot.AdaptationUpdates)
+	counter("quorum_abstentions_total", "Rounds abstained for lack of a vote quorum.", tot.Faults.QuorumAbstentions)
+	counter("faults_injected_total", "Injected node faults (brownout/stall/death/reboot).", tot.Faults.Injected())
+
+	ew.printf("# HELP origin_link_sent_total Messages sent per link.\n# TYPE origin_link_sent_total counter\n")
+	ew.printf("# HELP origin_link_dropped_total Messages lost in flight per link.\n# TYPE origin_link_dropped_total counter\n")
+	ew.printf("# HELP origin_link_delivered_total Messages delivered per link.\n# TYPE origin_link_delivered_total counter\n")
+	for _, l := range []struct {
+		name string
+		c    LinkCounts
+	}{{"uplink", tot.Uplink}, {"downlink", tot.Downlink}} {
+		ew.printf("origin_link_sent_total{link=%q} %d\n", l.name, l.c.Sent)
+		ew.printf("origin_link_dropped_total{link=%q} %d\n", l.name, l.c.Dropped)
+		ew.printf("origin_link_delivered_total{link=%q} %d\n", l.name, l.c.Delivered)
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error so the render loop stays flat.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

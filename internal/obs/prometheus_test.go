@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleTelemetry() *Telemetry {
+	t := NewTelemetry(0)
+	t.Slots = 10
+	t.InferencesStarted = 7
+	t.InferencesAborted = 1
+	t.InferencesCompleted = 6
+	t.PowerEmergencies = 2
+	t.FreshVotes = 5
+	t.RecallVotes = 9
+	t.AdaptationUpdates = 4
+	t.Faults.QuorumAbstentions = 3
+	t.Faults.Brownouts = 1
+	t.Faults.NodeDeaths = 1
+	t.Uplink = LinkCounts{Sent: 20, Dropped: 2, Delivered: 18}
+	t.Downlink = LinkCounts{Sent: 8, Delivered: 8}
+	return t
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTelemetry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"origin_slots_total 10",
+		"origin_inferences_started_total 7",
+		"origin_inferences_aborted_total 1",
+		"origin_inferences_completed_total 6",
+		"origin_power_emergencies_total 2",
+		"origin_fresh_votes_total 5",
+		"origin_recall_votes_total 9",
+		"origin_adaptation_updates_total 4",
+		"origin_quorum_abstentions_total 3",
+		"origin_faults_injected_total 2",
+		`origin_link_sent_total{link="uplink"} 20`,
+		`origin_link_dropped_total{link="uplink"} 2`,
+		`origin_link_delivered_total{link="downlink"} 8`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	// Exposition-format hygiene: every sample line's metric has HELP and
+	// TYPE headers, and no line is blank or malformed.
+	types := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Error("blank line in exposition output")
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			types[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !types[name] {
+			t.Errorf("sample %q has no preceding TYPE header", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// prop: a nil telemetry renders all-zero output instead of panicking (nil
+// is the package's documented no-op sink).
+func TestWritePrometheusNil(t *testing.T) {
+	var tel *Telemetry
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "origin_slots_total 0") {
+		t.Error("nil telemetry did not render zero totals")
+	}
+}
+
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	f.n--
+	return len(p), nil
+}
+
+// prop: the first write error is latched and returned.
+func TestWritePrometheusWriteError(t *testing.T) {
+	if err := sampleTelemetry().WritePrometheus(&failWriter{n: 3}); !errors.Is(err, errSink) {
+		t.Fatalf("err = %v, want sink failure", err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package serve is the HTTP/JSON front of the fleet serving subsystem:
+// session lifecycle, classification, health and Prometheus metrics over a
+// fleet.Manager. Handlers are thin — decode, validate shape, call the
+// manager, map its sentinel errors onto status codes — so every serving
+// behaviour (backpressure, eviction, determinism) is testable below HTTP.
+//
+//	POST   /v1/sessions               open a session
+//	GET    /v1/sessions/{id}          session snapshot
+//	DELETE /v1/sessions/{id}          close a session
+//	POST   /v1/sessions/{id}/classify one serving round
+//	GET    /healthz                   liveness
+//	GET    /metrics                   Prometheus text format
+package serve
+
+import "origin/internal/fleet"
+
+// CreateSessionRequest opens a session for one wearer.
+type CreateSessionRequest struct {
+	// Profile is the dataset profile ("MHEALTH" or "PAMAP2").
+	Profile string `json:"profile"`
+	// User is the wearer id (any int64; used for bookkeeping and synth
+	// replay, not authentication).
+	User int64 `json:"user"`
+	// StaleLimit / Quorum / Freeze are the per-session knobs of
+	// fleet.Opts.
+	StaleLimit int  `json:"staleLimit,omitempty"`
+	Quorum     int  `json:"quorum,omitempty"`
+	Freeze     bool `json:"freeze,omitempty"`
+}
+
+// CreateSessionResponse describes the opened session and the model
+// geometry a client needs to form classify payloads.
+type CreateSessionResponse struct {
+	ID         string   `json:"id"`
+	Profile    string   `json:"profile"`
+	Sensors    int      `json:"sensors"`
+	Classes    int      `json:"classes"`
+	Window     int      `json:"window"`
+	Activities []string `json:"activities"`
+}
+
+// Vote is one precomputed per-sensor softmax vote.
+type Vote struct {
+	Sensor     int     `json:"sensor"`
+	Class      int     `json:"class"`
+	Confidence float64 `json:"confidence"`
+}
+
+// Window is one raw per-sensor IMU window: Samples holds synth.Channels
+// rows of equal length (the model's window size), accelerometer rows
+// first.
+type Window struct {
+	Sensor  int         `json:"sensor"`
+	Samples [][]float64 `json:"samples"`
+}
+
+// ClassifyRequest carries one serving round's fresh sensor data: any mix
+// of precomputed votes and raw windows (a sensor should appear once). An
+// empty request is a valid recall-only round.
+type ClassifyRequest struct {
+	Votes   []Vote   `json:"votes,omitempty"`
+	Windows []Window `json:"windows,omitempty"`
+}
+
+// ClassifyResponse is the serving decision (fleet.ClassifyResult rendered
+// as-is).
+type ClassifyResponse = fleet.ClassifyResult
+
+// SessionResponse is the GET /v1/sessions/{id} body.
+type SessionResponse = fleet.SessionInfo
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

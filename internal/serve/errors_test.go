@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"origin/internal/fleet"
+)
+
+// prop: every fleet error maps to its contractual HTTP status, and shed
+// responses carry a Retry-After hint.
+func TestWriteErrorMapping(t *testing.T) {
+	cases := []struct {
+		err        error
+		status     int
+		retryAfter string
+	}{
+		{fmt.Errorf("%w: sensor 9", fleet.ErrInvalid), http.StatusBadRequest, ""},
+		{fleet.ErrNotFound, http.StatusNotFound, ""},
+		{fleet.ErrSaturated, http.StatusTooManyRequests, "1"},
+		{fleet.ErrShutdown, http.StatusServiceUnavailable, ""},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, ""},
+		{errors.New("disk on fire"), http.StatusInternalServerError, ""},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.status {
+			t.Errorf("writeError(%v): status %d, want %d", tc.err, rec.Code, tc.status)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
+			t.Errorf("writeError(%v): Retry-After %q, want %q", tc.err, got, tc.retryAfter)
+		}
+		var body ErrorResponse
+		if err := json.NewDecoder(rec.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Errorf("writeError(%v): bad body (err=%v, body=%+v)", tc.err, err, body)
+		}
+	}
+}

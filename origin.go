@@ -38,6 +38,7 @@ package origin
 import (
 	"origin/internal/energy"
 	"origin/internal/experiments"
+	"origin/internal/fleet"
 	"origin/internal/sim"
 	"origin/internal/synth"
 )
@@ -143,6 +144,42 @@ var (
 	// RunAblationAdaptiveWidth compares fixed vs energy-adaptive pacing.
 	RunAblationAdaptiveWidth = experiments.RunAblationAdaptiveWidth
 )
+
+// Serving layer (internal/fleet, internal/serve, cmd/origin-serve): the
+// session-grade entry points. A ServeModel is the immutable population-level
+// half of a deployment (trained nets, rank/accuracy tables, initial
+// confidence matrix) shared read-only by every wearer; a ServeSession is one
+// wearer's mutable host-side state (recall store + adaptively-updated
+// confidence matrix). Sessions are deterministic: a session's classification
+// sequence depends only on the order of its own Classify calls, so serially
+// replaying a request stream reproduces a served session bit-for-bit — the
+// contract the fleet replay tests pin.
+type (
+	// ServeModel is the shared, read-only model registry entry.
+	ServeModel = fleet.Model
+	// ServeSession is one wearer's serving session.
+	ServeSession = fleet.Session
+	// ServeOpts are the per-session knobs (stale limit, quorum, freeze).
+	ServeOpts = fleet.Opts
+	// SensorInput is one sensor's fresh data entering a serving round:
+	// either a raw IMU window or a precomputed softmax vote.
+	SensorInput = fleet.SensorInput
+	// ServeResult is one serving round's fused classification.
+	ServeResult = fleet.ClassifyResult
+)
+
+// NewServeModel wraps a trained System for serving. The System must not be
+// mutated afterwards; sessions clone every mutable artefact out of it.
+func NewServeModel(profile string, sys *System) *ServeModel {
+	return fleet.NewModel(profile, sys)
+}
+
+// OpenSession opens a standalone serving session over a model — the same
+// state machine cmd/origin-serve hosts per user, usable directly for
+// single-wearer embedding and for deterministic replay.
+func OpenSession(m *ServeModel, id string, user int64, o ServeOpts) (*ServeSession, error) {
+	return fleet.NewSession(id, user, m, o)
+}
 
 // Trace is a harvested-power time series (watts at a fixed tick).
 type Trace = energy.Trace
