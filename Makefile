@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test bench verify-obs verify-fault verify-serve fuzz-smoke
+.PHONY: build test bench bench-forward verify-bench verify-obs verify-fault verify-serve fuzz-smoke lint
+
+BENCH_FORWARD = -run '^$$' -bench 'BenchmarkForward|BenchmarkKernelReference' \
+	-benchtime 1s -count 5 . ./internal/tensor
 
 build:
 	$(GO) build ./...
@@ -10,6 +13,30 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Re-record the committed forward-throughput baseline: single-window vs
+# micro-batched inference plus the frozen kernel anchor benchmark that
+# cmd/benchdiff normalises against across machines.
+bench-forward:
+	$(GO) test $(BENCH_FORWARD) | tee /tmp/bench_forward.txt
+	$(GO) run ./cmd/benchdiff extract -o BENCH_forward.json /tmp/bench_forward.txt
+
+# Benchmark-regression gate (run by the bench-regression CI job): re-run the
+# forward benchmarks, diff against the committed baseline (anchor-relative,
+# 15% threshold, report in bench_diff.txt), then enforce the >=2x batched
+# per-window speedup bar at batch 16.
+verify-bench:
+	$(GO) test $(BENCH_FORWARD) > /tmp/bench_forward_new.txt
+	$(GO) run ./cmd/benchdiff extract -o /tmp/BENCH_forward_new.json /tmp/bench_forward_new.txt
+	$(GO) run ./cmd/benchdiff compare -o bench_diff.txt BENCH_forward.json /tmp/BENCH_forward_new.json
+	$(GO) run ./cmd/benchdiff verify -min 2.0 /tmp/BENCH_forward_new.json
+
+# Formatting and static analysis, mirroring the CI lint job. staticcheck is
+# optional locally (the CI job installs it); gofmt failures list the files.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 # Focused verification for the telemetry/concurrency layers: vet everything,
 # then race-test the packages the run telemetry and worker pool touch.

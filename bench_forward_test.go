@@ -1,0 +1,62 @@
+package origin
+
+// Forward-throughput benchmarks for the batched inference hot path. These
+// are the benchmarks cmd/benchdiff gates CI on (see BENCH_forward.json and
+// the bench-regression job): BenchmarkForwardSingle is the single-window
+// Predict baseline, BenchmarkForwardBatch/b<N> the micro-batched
+// PredictBatch path per batch size. Both report ns/window so the per-window
+// speedup is read directly off the bench log. They run the default HAR
+// architecture on dnn nets directly — no system build, no training — so the
+// bench-regression job stays fast.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"origin/internal/dnn"
+	"origin/internal/synth"
+	"origin/internal/tensor"
+)
+
+const benchWindow = 64
+
+func benchForwardNet() *dnn.Network {
+	rng := rand.New(rand.NewSource(71))
+	return dnn.NewHARNetwork(rng, dnn.DefaultHARConfig(synth.Channels, benchWindow, 5))
+}
+
+// BenchmarkForwardSingle is the unbatched per-window baseline: one Predict
+// (forward + softmax + argmax) per op.
+func BenchmarkForwardSingle(b *testing.B) {
+	net := benchForwardNet()
+	rng := rand.New(rand.NewSource(73))
+	x := tensor.New(synth.Channels, benchWindow)
+	x.RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Predict(x)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/window")
+}
+
+// BenchmarkForwardBatch scores one batch per op via PredictBatch, per batch
+// size. The acceptance bar (enforced by make verify-bench) is ≥2× the
+// single-window per-window throughput at b16.
+func BenchmarkForwardBatch(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("b%d", batch), func(b *testing.B) {
+			net := benchForwardNet()
+			rng := rand.New(rand.NewSource(79))
+			x := tensor.New(batch, synth.Channels, benchWindow)
+			x.RandNormal(rng, 0, 1)
+			net.PredictBatch(x) // warm the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.PredictBatch(x)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/window")
+		})
+	}
+}

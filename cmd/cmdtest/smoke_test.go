@@ -113,6 +113,8 @@ func TestOriginServeBadFlags(t *testing.T) {
 		{"-shards", "-1"},
 		{"-queue", "0"},
 		{"-request-timeout", "-1s"},
+		{"-batch-size", "0"},
+		{"-batch-hold", "-1ms"},
 	} {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
 			runExpect2(t, "origin-serve", args...)

@@ -3,6 +3,7 @@
 //
 //	origin-serve -addr :8080 -profiles MHEALTH
 //	origin-serve -addr :8080 -max-sessions 10000 -session-ttl 30m -queue 512
+//	origin-serve -addr :8080 -batch-size 32 -batch-hold 200us
 //
 // Sessions hold per-wearer ensemble state (recall store + adaptive
 // confidence matrix) over models built once per profile; classify traffic
@@ -38,6 +39,8 @@ func main() {
 		queueDepth   = flag.Int("queue", 256, "classification queue depth (full queue sheds with 429)")
 		workers      = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-classify deadline")
+		batchSize    = flag.Int("batch-size", 16, "micro-batch window cap for batched inference (1 disables batching)")
+		batchHold    = flag.Duration("batch-hold", 0, "max time a window may wait for batch-mates (0 = only coalesce already-queued work)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight work on shutdown")
 		janitorEvery = flag.Duration("janitor-every", time.Minute, "TTL eviction sweep interval")
 		cache        = flag.String("cache", "", "model cache directory")
@@ -72,6 +75,12 @@ func main() {
 	if *sessionTTL < 0 || *reqTimeout <= 0 || *drainTimeout <= 0 {
 		usageError("timeouts must be positive (-session-ttl may be 0)")
 	}
+	if *batchSize <= 0 {
+		usageError("-batch-size must be positive, got %d", *batchSize)
+	}
+	if *batchHold < 0 {
+		usageError("-batch-hold must not be negative, got %s", *batchHold)
+	}
 
 	mgr := fleet.NewManager(fleet.Config{
 		Shards:      *shards,
@@ -79,6 +88,8 @@ func main() {
 		TTL:         *sessionTTL,
 		QueueDepth:  *queueDepth,
 		Workers:     *workers,
+		BatchSize:   *batchSize,
+		BatchHold:   *batchHold,
 	})
 	for _, p := range warm {
 		log.Printf("building model for profile %s (first build trains; later runs load the cache)", p)

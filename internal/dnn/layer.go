@@ -9,10 +9,12 @@
 // energy accounting for the intermittent-compute model, and a versioned
 // binary serialization format.
 //
-// All layers operate on single samples: inputs are (channels, width) tensors
-// for convolutional layers and flat vectors for dense layers. The networks in
-// this reproduction are tiny (a few thousand parameters), so batched kernels
-// would add complexity without measurable benefit.
+// Training layers operate on single samples: inputs are (channels, width)
+// tensors for convolutional layers and flat vectors for dense layers. For
+// serving, every layer additionally implements ForwardBatch (see batch.go),
+// an inference-only path over a leading batch dimension that lowers to the
+// register-blocked GEMM kernels in internal/tensor and is bit-identical,
+// per window, to the single-sample Forward path.
 package dnn
 
 import (
@@ -60,6 +62,11 @@ type Conv1D struct {
 
 	lastCols *tensor.Tensor // cached im2col of the last input
 	lastInW  int
+
+	// Flat x offsets of each (channel, tap) pair for the direct (no-im2col)
+	// batched kernel, cached per input width: off[c*Kernel+kk] = c*w + kk.
+	off  []int
+	offW int
 }
 
 // NewConv1D builds a He-initialised convolution layer.

@@ -20,6 +20,11 @@ type Network struct {
 	InShape []int
 	// Classes is the number of output classes.
 	Classes int
+
+	// arena holds reusable activation buffers for the batched inference
+	// path (see batch.go). Lazily created on first ForwardBatch; never
+	// shared between clones.
+	arena *Arena
 }
 
 // NewNetwork wraps layers into a network for inputs of the given shape.

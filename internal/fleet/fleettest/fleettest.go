@@ -46,12 +46,12 @@ func NewModel(profileName string) (*fleet.Model, error) {
 		}
 	}
 	sys := &experiments.System{
-		Profile: p,
-		NetsB1:  nets,
-		NetsB2:  nets,
-		Matrix:  m,
+		Profile:  p,
+		NetsB1:   nets,
+		NetsB2:   nets,
+		Matrix:   m,
 		AccTable: acc,
-		Ranks:   schedule.NewRankTable(acc),
+		Ranks:    schedule.NewRankTable(acc),
 	}
 	return fleet.NewModel(profileName, sys), nil
 }

@@ -38,9 +38,22 @@ type Config struct {
 	// lazily on create and by EvictExpired sweeps).
 	TTL time.Duration
 	// QueueDepth bounds the classification queue (default 256); Workers
-	// sizes the worker pool (default obs.DefaultWorkers()).
+	// sizes the worker pool (default obs.DefaultWorkers(), raised to
+	// BatchSize when micro-batching is on: in-flight classifies bound the
+	// windows a batch can coalesce, and batching workers block on batch
+	// replies rather than occupying a core).
 	QueueDepth int
 	Workers    int
+	// BatchSize caps how many same-(model,sensor) windows one micro-batched
+	// forward pass may coalesce (default 16). 1 disables micro-batching and
+	// scores every window individually. Batched and single scoring are
+	// bit-identical per window, so this knob affects throughput only.
+	BatchSize int
+	// BatchHold, when positive, lets a batcher wait up to this long for more
+	// windows before flushing a partial batch. The default (0) flushes
+	// opportunistically — whatever is already queued goes in one pass, and an
+	// idle server pays no added latency, so p99 does not regress.
+	BatchHold time.Duration
 	// Now is the eviction clock (default time.Now; injectable for tests).
 	Now func() time.Time
 }
@@ -48,12 +61,23 @@ type Config struct {
 // Metrics is the serving-side counter set, updated atomically on the hot
 // path and rendered by GET /metrics.
 type Metrics struct {
-	SessionsCreated atomic.Int64
-	SessionsEvicted atomic.Int64
-	SessionsClosed  atomic.Int64
+	SessionsCreated  atomic.Int64
+	SessionsEvicted  atomic.Int64
+	SessionsClosed   atomic.Int64
 	RequestsAccepted atomic.Int64
 	RequestsShed     atomic.Int64
 	RequestsDone     atomic.Int64
+	// WindowsBatched counts windows scored through the micro-batcher;
+	// BatchFlushes counts the batched forward passes that scored them, so
+	// WindowsBatched/BatchFlushes is the achieved mean batch size.
+	WindowsBatched atomic.Int64
+	BatchFlushes   atomic.Int64
+}
+
+// noteBatch records one micro-batched forward pass of n windows.
+func (mt *Metrics) noteBatch(n int) {
+	mt.WindowsBatched.Add(int64(n))
+	mt.BatchFlushes.Add(1)
 }
 
 // MetricsSnapshot is a point-in-time copy of the serving counters plus the
@@ -67,6 +91,8 @@ type MetricsSnapshot struct {
 	RequestsShed     int64 `json:"requestsShed"`
 	RequestsDone     int64 `json:"requestsDone"`
 	QueueDepth       int   `json:"queueDepth"`
+	WindowsBatched   int64 `json:"windowsBatched"`
+	BatchFlushes     int64 `json:"batchFlushes"`
 }
 
 // shard is one slice of the session map with its own lock and LRU order
@@ -85,6 +111,7 @@ type Manager struct {
 	reg      *Registry
 	shards   []*shard
 	queue    *queue
+	batchers *modelBatchers // nil when micro-batching is disabled
 	metrics  Metrics
 	active   atomic.Int64
 	nextID   atomic.Int64
@@ -108,8 +135,20 @@ func NewManager(cfg Config) *Manager {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = obs.DefaultWorkers()
+		// Micro-batches can only coalesce windows that are in flight at
+		// once, and in-flight classifies are bounded by the worker count —
+		// a batching worker spends its time blocked on the batch reply,
+		// not on a core. One worker per core (the non-batched default)
+		// would cap every batch at one window, so give the pool enough
+		// headroom to fill a batch.
+		if cfg.BatchSize > 1 && cfg.Workers < cfg.BatchSize {
+			cfg.Workers = cfg.BatchSize
+		}
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -120,6 +159,9 @@ func NewManager(cfg Config) *Manager {
 		m.shards[i] = &shard{sessions: map[string]*Session{}, order: list.New()}
 	}
 	m.queue = newQueue(cfg.QueueDepth, cfg.Workers)
+	if cfg.BatchSize > 1 {
+		m.batchers = newModelBatchers(cfg.BatchSize, cfg.BatchHold, &m.metrics)
+	}
 	return m
 }
 
@@ -157,6 +199,11 @@ func (m *Manager) Create(profile string, user int64, o Opts) (*Session, error) {
 	s, err := NewSession(id, user, model, o)
 	if err != nil {
 		return nil, err
+	}
+	if m.batchers != nil {
+		if sc := m.batchers.scorerFor(model); sc != nil {
+			s.score = sc
+		}
 	}
 	now := m.cfg.Now().UnixNano()
 	sh := m.shardFor(id)
@@ -309,6 +356,8 @@ func (m *Manager) Snapshot() MetricsSnapshot {
 		RequestsShed:     m.metrics.RequestsShed.Load(),
 		RequestsDone:     m.metrics.RequestsDone.Load(),
 		QueueDepth:       m.queue.depth(),
+		WindowsBatched:   m.metrics.WindowsBatched.Load(),
+		BatchFlushes:     m.metrics.BatchFlushes.Load(),
 	}
 }
 
@@ -335,10 +384,15 @@ func (m *Manager) Telemetry() obs.Telemetry {
 
 // Close stops accepting new sessions and classifications, drains every
 // queued job (accepted work completes), and waits for the workers to
-// finish — the SIGTERM half of graceful shutdown.
+// finish — the SIGTERM half of graceful shutdown. The queue must drain
+// before the batchers stop: in-flight classify jobs may be waiting on a
+// batched score, so the batchers outlive the last worker.
 func (m *Manager) Close() {
 	if m.shutdown.Swap(true) {
 		return
 	}
 	m.queue.close()
+	if m.batchers != nil {
+		m.batchers.close()
+	}
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sync"
 
-	"origin/internal/dnn"
 	"origin/internal/ensemble"
 	"origin/internal/host"
 	"origin/internal/obs"
@@ -101,6 +100,12 @@ type Session struct {
 	user  int64
 	model *Model
 
+	// score resolves raw windows to votes. Standalone sessions use the
+	// direct (unbatched) scorer; the Manager swaps in its micro-batching
+	// scorer at creation. Both are bit-identical per window, so the choice
+	// is invisible in results.
+	score scorer
+
 	mu   sync.Mutex
 	dev  *host.Device
 	slot int
@@ -131,7 +136,7 @@ func NewSession(id string, user int64, m *Model, o Opts) (*Session, error) {
 		Quorum:     o.Quorum,
 	})
 	dev.Attach(tel)
-	return &Session{id: id, user: user, model: m, dev: dev, tel: tel}, nil
+	return &Session{id: id, user: user, model: m, score: directScorer{m}, dev: dev, tel: tel}, nil
 }
 
 // ID returns the session id.
@@ -180,24 +185,34 @@ func (s *Session) Classify(inputs []SensorInput) (ClassifyResult, error) {
 			return ClassifyResult{}, err
 		}
 	}
+	// Score raw windows before taking the session lock: scoring is a pure
+	// function of (model, sensor, window), so it neither reads nor writes
+	// session state, and resolving it first means the lock is never held
+	// across a (possibly micro-batched) inference wait.
+	var sensors []int
+	var windows []*tensor.Tensor
+	for _, in := range inputs {
+		if in.Window != nil {
+			sensors = append(sensors, in.Sensor)
+			windows = append(windows, in.Window)
+		}
+	}
+	var scores []windowScore
+	if len(windows) > 0 {
+		scores = s.score.scoreWindows(sensors, windows)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	slot := s.slot
 	votes := make([]VoteInfo, 0, len(inputs))
-	var nets []*dnn.Network
-	for _, in := range inputs {
-		if in.Window != nil {
-			nets = s.model.acquireNets()
-			defer s.model.releaseNets(nets)
-			break
-		}
-	}
+	scored := 0
 	for _, in := range inputs {
 		class, conf := in.Class, in.Confidence
 		if in.Window != nil {
-			c, probs := nets[in.Sensor].Predict(in.Window)
-			class, conf = c, probs.Variance()
+			class, conf = scores[scored].class, scores[scored].conf
+			scored++
 		}
 		s.dev.Observe(&sensor.Result{Sensor: in.Sensor, Class: class, Confidence: conf, Slot: slot})
 		votes = append(votes, VoteInfo{Sensor: in.Sensor, Class: class, Confidence: conf})

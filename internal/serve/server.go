@@ -205,4 +205,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("requests_shed_total", "Classify requests shed at queue saturation.", snap.RequestsShed)
 	counter("requests_done_total", "Classify requests completed.", snap.RequestsDone)
 	gauge("queue_depth", "Queued (not yet started) classify jobs.", int64(snap.QueueDepth))
+	counter("windows_batched_total", "Windows scored through the micro-batcher.", snap.WindowsBatched)
+	counter("batch_flushes_total", "Micro-batch inference flushes.", snap.BatchFlushes)
 }

@@ -29,25 +29,20 @@ func MatMulInto(dst, a, b *Tensor) {
 	matMulInto(dst.data, a.data, b.data, m, k, n)
 }
 
-// matMulInto is the flat-slice kernel: ikj loop order so the innermost loop
-// streams through contiguous rows of b and c.
+// matMulInto is the flat-slice kernel dispatcher: ikj loop order so the
+// innermost loop streams through contiguous rows of b and c. The historical
+// zero-skip branch (worth it for magnitude-pruned weights, dead weight on
+// dense operands) is gated behind a cheap sparsity scan of a; both kernels
+// accumulate each c element in identical order, so the dispatch never
+// changes the result — only how fast it arrives. A skipped zero term adds an
+// exact ±0, and since an accumulator that starts at +0 can never become −0
+// under round-to-nearest, including or excluding those terms is bit-neutral.
 func matMulInto(c, a, b []float64, m, k, n int) {
-	for i := range c[:m*n] {
-		c[i] = 0
+	if zeroFraction(a[:m*k]) >= sparseGateThreshold {
+		matMulSparse(c, a, b, m, k, n)
+		return
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	matMulDense(c, a, b, m, k, n)
 }
 
 // MatMulT computes C = A × Bᵀ where A is (m×k) and B is (n×k); C is (m×n).

@@ -109,6 +109,21 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: s, data: t.data}
 }
 
+// Row returns a 1-D view of row i of a 2-D tensor. The view shares t's
+// storage: mutating it mutates t. Useful for applying vector operations
+// (softmax, variance, argmax) to one row of a batched result without
+// copying.
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Row requires a 2-D tensor, got %v", t.shape))
+	}
+	if i < 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: Row index %d out of range for shape %v", i, t.shape))
+	}
+	n := t.shape[1]
+	return &Tensor{shape: []int{n}, data: t.data[i*n : (i+1)*n]}
+}
+
 // index computes the flat offset of the given multi-dimensional index.
 func (t *Tensor) index(idx ...int) int {
 	if len(idx) != len(t.shape) {
