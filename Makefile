@@ -15,21 +15,22 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Re-record the committed forward-throughput baseline: single-window vs
-# micro-batched inference plus the frozen kernel anchor benchmark that
-# cmd/benchdiff normalises against across machines.
+# micro-batched inference (float and int8) plus the frozen kernel anchor
+# benchmark that cmd/benchdiff normalises against across machines.
 bench-forward:
 	$(GO) test $(BENCH_FORWARD) | tee /tmp/bench_forward.txt
 	$(GO) run ./cmd/benchdiff extract -o BENCH_forward.json /tmp/bench_forward.txt
 
 # Benchmark-regression gate (run by the bench-regression CI job): re-run the
 # forward benchmarks, diff against the committed baseline (anchor-relative,
-# 15% threshold, report in bench_diff.txt), then enforce the >=2x batched
-# per-window speedup bar at batch 16.
+# 15% threshold, report in bench_diff.txt), then enforce the per-window
+# speedup bars at batch 16: >=2x for the float batched path and >=3x for the
+# int8 hot path, both against the float single-window baseline.
 verify-bench:
 	$(GO) test $(BENCH_FORWARD) > /tmp/bench_forward_new.txt
 	$(GO) run ./cmd/benchdiff extract -o /tmp/BENCH_forward_new.json /tmp/bench_forward_new.txt
 	$(GO) run ./cmd/benchdiff compare -o bench_diff.txt BENCH_forward.json /tmp/BENCH_forward_new.json
-	$(GO) run ./cmd/benchdiff verify -min 2.0 /tmp/BENCH_forward_new.json
+	$(GO) run ./cmd/benchdiff verify -min 2.0 -min-int8 3.0 /tmp/BENCH_forward_new.json
 
 # Formatting and static analysis, mirroring the CI lint job. staticcheck is
 # optional locally (the CI job installs it); gofmt failures list the files.

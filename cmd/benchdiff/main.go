@@ -3,7 +3,7 @@
 //
 //	go test -bench ... | benchdiff extract -o BENCH_forward.json
 //	benchdiff compare -threshold 0.15 -o bench_diff.txt old.json new.json
-//	benchdiff verify -min 2.0 new.json
+//	benchdiff verify -min 2.0 -min-int8 3.0 new.json
 //
 // Raw nanoseconds are not comparable across machines, so compare normalises
 // every benchmark against an anchor benchmark recorded in the same run
@@ -11,9 +11,10 @@
 // never touches, measuring the machine rather than the code). A benchmark
 // regresses when its anchor-relative cost grows by more than the threshold.
 //
-// verify checks the batching acceptance bar directly: the per-window cost of
-// BenchmarkForwardBatch/b16 must beat BenchmarkForwardSingle by at least the
-// given factor.
+// verify checks the serving acceptance bars directly against the float
+// single-window baseline (BenchmarkForwardSingle): the per-window cost of
+// BenchmarkForwardBatch/b16 must beat it by at least -min, and the int8 hot
+// path (BenchmarkForwardInt8Batch/b16) by at least -min-int8.
 package main
 
 import (
@@ -33,9 +34,11 @@ const (
 	defaultAnchor    = "BenchmarkKernelReference"
 	benchSingle      = "BenchmarkForwardSingle"
 	benchBatch16     = "BenchmarkForwardBatch/b16"
+	benchInt8Batch16 = "BenchmarkForwardInt8Batch/b16"
 	perWindowMetric  = "ns/window"
 	defaultThreshold = 0.15
 	defaultMinSpeed  = 2.0
+	defaultMinInt8   = 3.0
 )
 
 // Result is one benchmark's recorded costs: the headline ns/op plus every
@@ -78,7 +81,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   benchdiff extract [-anchor name] [-o out.json] [bench.txt]
   benchdiff compare [-threshold frac] [-o report.txt] old.json new.json
-  benchdiff verify [-min factor] new.json`)
+  benchdiff verify [-min factor] [-min-int8 factor] new.json`)
 	os.Exit(2)
 }
 
@@ -257,8 +260,8 @@ func cmdCompare(args []string) error {
 }
 
 func cmdVerify(args []string) error {
-	minStr := ""
-	rest, err := parseFlags(args, map[string]*string{"-min": &minStr})
+	minStr, minInt8Str := "", ""
+	rest, err := parseFlags(args, map[string]*string{"-min": &minStr, "-min-int8": &minInt8Str})
 	if err != nil {
 		return err
 	}
@@ -266,6 +269,12 @@ func cmdVerify(args []string) error {
 	if minStr != "" {
 		if minSpeed, err = strconv.ParseFloat(minStr, 64); err != nil {
 			return fmt.Errorf("bad -min: %w", err)
+		}
+	}
+	minInt8 := defaultMinInt8
+	if minInt8Str != "" {
+		if minInt8, err = strconv.ParseFloat(minInt8Str, 64); err != nil {
+			return fmt.Errorf("bad -min-int8: %w", err)
 		}
 	}
 	if len(rest) != 1 {
@@ -279,15 +288,23 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	batch, err := perWindow(f, benchBatch16)
-	if err != nil {
-		return err
-	}
-	speedup := single / batch
-	fmt.Printf("benchdiff: per-window %s=%.0fns %s=%.0fns speedup=%.2fx (min %.2fx)\n",
-		benchSingle, single, benchBatch16, batch, speedup, minSpeed)
-	if speedup < minSpeed {
-		return fmt.Errorf("batched speedup %.2fx below required %.2fx", speedup, minSpeed)
+	for _, bar := range []struct {
+		bench string
+		min   float64
+	}{
+		{benchBatch16, minSpeed},
+		{benchInt8Batch16, minInt8},
+	} {
+		batch, err := perWindow(f, bar.bench)
+		if err != nil {
+			return err
+		}
+		speedup := single / batch
+		fmt.Printf("benchdiff: per-window %s=%.0fns %s=%.0fns speedup=%.2fx (min %.2fx)\n",
+			benchSingle, single, bar.bench, batch, speedup, bar.min)
+		if speedup < bar.min {
+			return fmt.Errorf("%s speedup %.2fx below required %.2fx", bar.bench, speedup, bar.min)
+		}
 	}
 	return nil
 }

@@ -123,6 +123,36 @@ func TestVerifySpeedupGate(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")
 	f := File{Anchor: defaultAnchor, Benchmarks: map[string]Result{
+		defaultAnchor:    {NsPerOp: 1000},
+		benchSingle:      {NsPerOp: 30000, Metrics: map[string]float64{perWindowMetric: 30000}},
+		benchBatch16:     {NsPerOp: 200000, Metrics: map[string]float64{perWindowMetric: 12500}},
+		benchInt8Batch16: {NsPerOp: 152000, Metrics: map[string]float64{perWindowMetric: 9500}},
+	}}
+	data, err := marshalIndent(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Float 2.4x vs 2x bar, int8 3.16x vs 3x bar: both pass by default.
+	if err := cmdVerify([]string{path}); err != nil {
+		t.Fatalf("default gates failed: %v", err)
+	}
+	if err := cmdVerify([]string{"-min", "3.0", path}); err == nil {
+		t.Fatal("2.4x float speedup passed a 3x gate")
+	}
+	if err := cmdVerify([]string{"-min-int8", "4.0", path}); err == nil {
+		t.Fatal("3.16x int8 speedup passed a 4x gate")
+	}
+}
+
+// prop: verify refuses a baseline missing the int8 bar — the quantized
+// benchmark is part of the committed contract, not optional.
+func TestVerifyRequiresInt8Bench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f := File{Anchor: defaultAnchor, Benchmarks: map[string]Result{
 		defaultAnchor: {NsPerOp: 1000},
 		benchSingle:   {NsPerOp: 30000, Metrics: map[string]float64{perWindowMetric: 30000}},
 		benchBatch16:  {NsPerOp: 200000, Metrics: map[string]float64{perWindowMetric: 12500}},
@@ -134,11 +164,8 @@ func TestVerifySpeedupGate(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdVerify([]string{path}); err != nil {
-		t.Fatalf("2.4x speedup failed the 2x gate: %v", err)
-	}
-	if err := cmdVerify([]string{"-min", "3.0", path}); err == nil {
-		t.Fatal("2.4x speedup passed a 3x gate")
+	if err := cmdVerify([]string{path}); err == nil {
+		t.Fatal("verify passed without the int8 benchmark recorded")
 	}
 }
 

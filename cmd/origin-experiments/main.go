@@ -155,6 +155,12 @@ func main() {
 		emit(report.AblationTable(experiments.RunAblationComm(sys, *slots, seed)))
 		emit(report.AblationTable(experiments.RunAblationPower(sys, *slots, seed)))
 		emit(report.AblationTable(experiments.RunAblationQuantization(sys, *slots, seed)))
+		parity, err := experiments.RunInt8Parity(sys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "origin-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(parity)
 		fmt.Println(experiments.RunCentralized(sys, *slots, seed))
 		fmt.Println(experiments.RunExtendedNetwork(sys, *slots, seed))
 		fmt.Println(experiments.RunBatteryLife(sys, *slots, seed))

@@ -4,6 +4,7 @@
 //	origin-serve -addr :8080 -profiles MHEALTH
 //	origin-serve -addr :8080 -max-sessions 10000 -session-ttl 30m -queue 512
 //	origin-serve -addr :8080 -batch-size 32 -batch-hold 200us
+//	origin-serve -addr :8080 -quant
 //
 // Sessions hold per-wearer ensemble state (recall store + adaptive
 // confidence matrix) over models built once per profile; classify traffic
@@ -41,6 +42,7 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-classify deadline")
 		batchSize    = flag.Int("batch-size", 16, "micro-batch window cap for batched inference (1 disables batching)")
 		batchHold    = flag.Duration("batch-hold", 0, "max time a window may wait for batch-mates (0 = only coalesce already-queued work)")
+		quant        = flag.Bool("quant", false, "serve with the int8 quantized inference hot path (smaller resident models, higher throughput; accuracy parity gated at build)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight work on shutdown")
 		janitorEvery = flag.Duration("janitor-every", time.Minute, "TTL eviction sweep interval")
 		cache        = flag.String("cache", "", "model cache directory")
@@ -90,11 +92,23 @@ func main() {
 		Workers:     *workers,
 		BatchSize:   *batchSize,
 		BatchHold:   *batchHold,
+		Quantized:   *quant,
 	})
 	for _, p := range warm {
 		log.Printf("building model for profile %s (first build trains; later runs load the cache)", p)
-		if _, err := mgr.Registry().Get(p); err != nil {
+		model, err := mgr.Registry().Get(p)
+		if err != nil {
 			log.Fatalf("origin-serve: build %s: %v", p, err)
+		}
+		if *quant {
+			// Compile the int8 twins during warm-up so the first session
+			// create does not pay for it — and so an inexpressible net fails
+			// at startup, not at request time.
+			if err := model.EnableInt8(); err != nil {
+				log.Fatalf("origin-serve: %v", err)
+			}
+			log.Printf("profile %s ready (int8)", p)
+			continue
 		}
 		log.Printf("profile %s ready", p)
 	}

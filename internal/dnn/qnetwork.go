@@ -1,0 +1,553 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"origin/internal/tensor"
+)
+
+// QuantizedNetwork is the int8 inference hot path: a Network compiled into a
+// flat sequence of integer stages that store weights as int8 with per-output-
+// channel scales and execute on the packed-pair kernels in internal/tensor.
+//
+// The scheme is symmetric per-channel quantization. At build time each weight
+// row gets scale_o = maxabs(row)/127 and is rounded to int8 (zeros stay
+// exactly zero, preserving pruning sparsity). At run time each sample's
+// activations get one dynamic scale s_x = maxabs/127 and are stored biased
+// (q+128) for the unsigned kernels; a conv stage's int32 accumulator is then
+// worth s_x·scale_o per unit, so bias folds in as round(b/(s_x·scale_o)) and
+// ReLU+pool run directly on int32 values (both are monotone, so the order is
+// interchangeable with dequantization). The pooled stage output is
+// requantized to a fresh per-sample scale; dense stages dequantize to float64
+// for the (tiny) head arithmetic. Because every float step is per-sample and
+// every integer step is exact, batched and single-window execution are
+// bit-identical by construction — the float path needs pinned accumulation
+// order for that property, the int8 path gets it for free.
+//
+// ModelBytes accounting follows QuantReport's convention: 1 byte per weight,
+// 4 bytes (float32 deployment storage) per bias and per channel scale.
+type QuantizedNetwork struct {
+	InShape []int
+	Classes int
+
+	// stages are immutable after compilation and shared across clones.
+	stages []*qstage
+
+	weightCount int
+	floatCount  int // biases + per-channel scales
+	paramCount  int // float network parameters, for FloatBytes
+
+	// Per-clone run state (scratch buffers), not safe for concurrent use.
+	run qrun
+}
+
+type qkind int
+
+const (
+	qConv qkind = iota
+	qDense
+)
+
+// qstage is one compiled integer stage: a Conv1D with its following ReLU and
+// MaxPool1D folded in, or a Dense with an optional folded ReLU.
+type qstage struct {
+	kind qkind
+	relu bool
+
+	// Conv geometry (kind == qConv); pool is 1 when no pooling follows.
+	inC, outC, kernel, stride int
+	inW, outW, pool, pooledW  int
+
+	// Dense geometry (kind == qDense).
+	in, out int
+
+	w      []int8    // quantized weights, (outC, inC·kernel) or (out, in)
+	corr   []int32   // kernel correction constants per output channel
+	wscale []float64 // per-output-channel weight scales
+	bias   []float64 // float biases (folded at run time)
+}
+
+// elems returns the per-sample element count of the stage output.
+func (st *qstage) elems() int {
+	if st.kind == qConv {
+		return st.outC * st.pooledW
+	}
+	return st.out
+}
+
+// qrun holds the per-clone scratch of the integer forward pass.
+type qrun struct {
+	batch   int
+	qa, qb  []uint8   // biased-uint8 activation slabs (ping-pong)
+	acc     []int32   // kernel accumulator slab
+	fbuf    []float64 // per-sample dequantized stage output
+	logits  []float64 // final logits, (batch, classes)
+	sx      []float64 // per-sample activation scale of the current slab
+	scratch tensor.Int8Scratch
+}
+
+// NewQuantizedNetwork compiles n into the int8 hot path. It fails — rather
+// than silently falling back to float — when the architecture contains a
+// layer the integer stages cannot express; the serving path surfaces that at
+// enable time, not per window. The source network is read, not retained:
+// quantized weights are snapshots.
+func NewQuantizedNetwork(n *Network) (*QuantizedNetwork, error) {
+	if len(n.InShape) != 2 {
+		return nil, fmt.Errorf("dnn: int8 path requires a (channels, width) input, got %v", n.InShape)
+	}
+	q := &QuantizedNetwork{
+		InShape: append([]int(nil), n.InShape...),
+		Classes: n.Classes,
+	}
+	shape := append([]int(nil), n.InShape...)
+	i := 0
+	for i < len(n.Layers) {
+		switch l := n.Layers[i].(type) {
+		case *Conv1D:
+			if len(shape) != 2 || shape[0] != l.InC {
+				return nil, fmt.Errorf("dnn: int8 path: %s cannot consume shape %v", l.Name(), shape)
+			}
+			st := quantizeStage(l.W.Data(), l.B.Data(), l.OutC, l.InC*l.Kernel)
+			st.kind = qConv
+			st.inC, st.outC, st.kernel, st.stride = l.InC, l.OutC, l.Kernel, l.Stride
+			st.inW = shape[1]
+			if st.inW < st.kernel {
+				return nil, fmt.Errorf("dnn: int8 path: %s input width %d smaller than kernel", l.Name(), st.inW)
+			}
+			st.outW = (st.inW-st.kernel)/st.stride + 1
+			i++
+			if i < len(n.Layers) {
+				if _, ok := n.Layers[i].(*ReLU); ok {
+					st.relu = true
+					i++
+				}
+			}
+			st.pool = 1
+			if i < len(n.Layers) {
+				if p, ok := n.Layers[i].(*MaxPool1D); ok {
+					st.pool = p.Pool
+					i++
+				}
+			}
+			st.pooledW = st.outW / st.pool
+			if st.pooledW == 0 {
+				return nil, fmt.Errorf("dnn: int8 path: %s output width %d smaller than pool %d", l.Name(), st.outW, st.pool)
+			}
+			q.stages = append(q.stages, st)
+			shape = []int{st.outC, st.pooledW}
+		case *Dense:
+			flat := 1
+			for _, d := range shape {
+				flat *= d
+			}
+			if flat != l.In {
+				return nil, fmt.Errorf("dnn: int8 path: %s cannot consume %d inputs", l.Name(), flat)
+			}
+			st := quantizeStage(l.W.Data(), l.B.Data(), l.Out, l.In)
+			st.kind = qDense
+			st.in, st.out = l.In, l.Out
+			i++
+			if i < len(n.Layers) {
+				if _, ok := n.Layers[i].(*ReLU); ok {
+					st.relu = true
+					i++
+				}
+			}
+			q.stages = append(q.stages, st)
+			shape = []int{st.out}
+		case *Flatten:
+			flat := 1
+			for _, d := range shape {
+				flat *= d
+			}
+			shape = []int{flat}
+			i++
+		case *Dropout:
+			// Identity at inference.
+			i++
+		default:
+			return nil, fmt.Errorf("dnn: int8 path does not support layer %s", l.Name())
+		}
+	}
+	if len(q.stages) == 0 || q.stages[len(q.stages)-1].kind != qDense {
+		return nil, fmt.Errorf("dnn: int8 path requires a dense head, network ends in %v", shape)
+	}
+	if len(shape) != 1 || shape[0] != n.Classes {
+		return nil, fmt.Errorf("dnn: int8 path: head emits %v, want %d classes", shape, n.Classes)
+	}
+	for _, st := range q.stages {
+		q.weightCount += len(st.w)
+		q.floatCount += len(st.bias) + len(st.wscale)
+		q.paramCount += len(st.w) + len(st.bias)
+	}
+	return q, nil
+}
+
+// quantizeStage quantizes a (rows, cols) float weight matrix plus bias vector
+// to symmetric per-row int8 and precomputes the kernel corrections.
+func quantizeStage(w, b []float64, rows, cols int) *qstage {
+	st := &qstage{
+		w:      make([]int8, rows*cols),
+		wscale: make([]float64, rows),
+		bias:   append([]float64(nil), b...),
+	}
+	for o := 0; o < rows; o++ {
+		row := w[o*cols : (o+1)*cols]
+		maxabs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxabs {
+				maxabs = a
+			}
+		}
+		scale := maxabs / 127
+		if scale == 0 {
+			scale = 1 // all-zero row; quantized weights stay zero
+		}
+		st.wscale[o] = scale
+		inv := 1 / scale
+		for p, v := range row {
+			st.w[o*cols+p] = int8(clampRound127(v * inv))
+		}
+	}
+	st.corr = tensor.Int8CorrectionFor(st.w, rows, cols)
+	return st
+}
+
+// roundMagic is 1.5·2⁵², the classic double-precision rounding constant:
+// adding it to any |v| < 2⁵¹ forces the FPU to round v to an integer in the
+// low mantissa bits (ties to even), so the rounded value can be read straight
+// out of the bit pattern — branchless, no feature-gated intrinsic.
+const roundMagic = 6755399441055744.0
+
+// clampRound127 rounds to nearest-even and clamps to the symmetric int8
+// range. Inputs are pre-scaled so |v| ≤ 127 up to float rounding; the clamp
+// is two conditional moves of insurance, not a hot branch.
+func clampRound127(v float64) int32 {
+	r := int32(uint32(math.Float64bits(v + roundMagic)))
+	if r > 127 {
+		r = 127
+	}
+	if r < -127 {
+		r = -127
+	}
+	return r
+}
+
+// Clone returns a QuantizedNetwork sharing q's immutable stages but owning
+// fresh scratch, so clones can run on separate goroutines concurrently.
+func (q *QuantizedNetwork) Clone() *QuantizedNetwork {
+	return &QuantizedNetwork{
+		InShape:     append([]int(nil), q.InShape...),
+		Classes:     q.Classes,
+		stages:      q.stages,
+		weightCount: q.weightCount,
+		floatCount:  q.floatCount,
+		paramCount:  q.paramCount,
+	}
+}
+
+// ModelBytes returns the resident size of the quantized model: one byte per
+// weight plus float32 storage for biases and per-channel scales.
+func (q *QuantizedNetwork) ModelBytes() int { return q.weightCount + 4*q.floatCount }
+
+// FloatBytes returns the float64 resident size of the source network's
+// parameters, for compression-ratio reporting.
+func (q *QuantizedNetwork) FloatBytes() int { return 8 * q.paramCount }
+
+// ensure sizes the run buffers for the given batch.
+func (q *QuantizedNetwork) ensure(batch int) {
+	if q.run.batch >= batch && q.run.qa != nil {
+		return
+	}
+	maxElems := q.InShape[0] * q.InShape[1]
+	maxAcc, maxF := 0, 0
+	for _, st := range q.stages {
+		accE := st.out
+		if st.kind == qConv {
+			accE = st.outC * st.outW
+		}
+		if accE > maxAcc {
+			maxAcc = accE
+		}
+		if e := st.elems(); e > maxElems {
+			maxElems = e
+		}
+		if e := st.elems(); e > maxF {
+			maxF = e
+		}
+	}
+	q.run.batch = batch
+	q.run.qa = make([]uint8, batch*maxElems)
+	q.run.qb = make([]uint8, batch*maxElems)
+	q.run.acc = make([]int32, batch*maxAcc)
+	q.run.fbuf = make([]float64, maxF)
+	q.run.logits = make([]float64, batch*q.Classes)
+	q.run.sx = make([]float64, batch)
+}
+
+// ForwardBatch runs the integer forward pass over a (batch, ...InShape)
+// input and returns the (batch, classes) float logits. Like the float
+// ForwardBatch, the result is backed by reusable scratch: it is valid until
+// the next call on this clone.
+func (q *QuantizedNetwork) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != len(q.InShape)+1 {
+		panic(fmt.Sprintf("dnn: quantized ForwardBatch input %v does not match batched %v", x.Shape(), q.InShape))
+	}
+	for d, want := range q.InShape {
+		if x.Dim(d+1) != want {
+			panic(fmt.Sprintf("dnn: quantized ForwardBatch input %v does not match batched %v", x.Shape(), q.InShape))
+		}
+	}
+	batch := x.Dim(0)
+	q.ensure(batch)
+	r := &q.run
+
+	// Quantize the input: one dynamic symmetric scale per sample.
+	in := x.Data()
+	elems := q.InShape[0] * q.InShape[1]
+	cur, nxt := r.qa, r.qb
+	for bi := 0; bi < batch; bi++ {
+		row := in[bi*elems : (bi+1)*elems]
+		dst := cur[bi*elems : (bi+1)*elems]
+		maxabs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxabs {
+				maxabs = a
+			}
+		}
+		if maxabs == 0 {
+			r.sx[bi] = 1
+			for p := range dst {
+				dst[p] = 128
+			}
+			continue
+		}
+		scale := maxabs / 127
+		r.sx[bi] = scale
+		inv := 1 / scale
+		for p, v := range row {
+			dst[p] = uint8(clampRound127(v*inv) + 128)
+		}
+	}
+
+	for si, st := range q.stages {
+		last := si == len(q.stages)-1
+		switch st.kind {
+		case qConv:
+			tensor.Conv1DInt8BatchInto(r.acc[:batch*st.outC*st.outW], cur[:batch*st.inC*st.inW],
+				st.w, st.corr, batch, st.inC, st.inW, st.kernel, st.stride, st.outC, &r.scratch)
+			for bi := 0; bi < batch; bi++ {
+				q.requantConv(st, bi, nxt)
+			}
+			cur, nxt = nxt, cur
+		case qDense:
+			tensor.MatMulTInt8Into(r.acc[:batch*st.out], cur[:batch*st.in],
+				st.w, st.corr, batch, st.in, st.out, &r.scratch)
+			for bi := 0; bi < batch; bi++ {
+				q.denseTail(st, bi, nxt, last)
+			}
+			if !last {
+				cur, nxt = nxt, cur
+			}
+		}
+	}
+	return tensor.FromSlice(r.logits[:batch*q.Classes], batch, q.Classes)
+}
+
+// requantConv folds bias, ReLU and max-pool into sample bi's int32 conv
+// accumulators and requantizes the pooled values to a fresh per-sample scale
+// written back to sx. Pass 1 stays in int32 (pooled values overwrite the head
+// of each channel's accumulator row — safe because the write index never
+// passes the read index) and tracks per-channel extrema; all channel
+// magnitudes are compared in real units (value × channel scale), so the
+// output shares one scale like the input did.
+func (q *QuantizedNetwork) requantConv(st *qstage, bi int, dst []uint8) {
+	r := &q.run
+	acc := r.acc[bi*st.outC*st.outW:]
+	out := dst[bi*st.outC*st.pooledW : (bi+1)*st.outC*st.pooledW]
+	sxIn := r.sx[bi]
+	relu := st.relu
+	realMax := 0.0
+	for o := 0; o < st.outC; o++ {
+		sa := sxIn * st.wscale[o] // real value of one accumulator unit
+		qb := quantBias(st.bias[o], sa)
+		row := acc[o*st.outW : (o+1)*st.outW]
+		prow := row[:st.pooledW]
+		cmax, cmin := int32(math.MinInt32), int32(math.MaxInt32)
+		if st.pool == 2 {
+			for t := 0; t < st.pooledW; t++ {
+				v0, v1 := row[2*t]+qb, row[2*t+1]+qb
+				if v1 > v0 {
+					v0 = v1
+				}
+				if relu && v0 < 0 {
+					v0 = 0
+				}
+				prow[t] = v0
+				if v0 > cmax {
+					cmax = v0
+				}
+				if v0 < cmin {
+					cmin = v0
+				}
+			}
+		} else {
+			for t := 0; t < st.pooledW; t++ {
+				base := t * st.pool
+				v0 := row[base] + qb
+				for p := 1; p < st.pool; p++ {
+					if v := row[base+p] + qb; v > v0 {
+						v0 = v
+					}
+				}
+				if relu && v0 < 0 {
+					v0 = 0
+				}
+				prow[t] = v0
+				if v0 > cmax {
+					cmax = v0
+				}
+				if v0 < cmin {
+					cmin = v0
+				}
+			}
+		}
+		mag := cmax
+		if -cmin > mag {
+			mag = -cmin
+		}
+		if f := float64(mag) * sa; f > realMax {
+			realMax = f
+		}
+	}
+	if realMax == 0 {
+		r.sx[bi] = 1
+		for p := range out {
+			out[p] = 128
+		}
+		return
+	}
+	sy := realMax / 127
+	r.sx[bi] = sy
+	for o := 0; o < st.outC; o++ {
+		minv := sxIn * st.wscale[o] / sy
+		prow := acc[o*st.outW : o*st.outW+st.pooledW]
+		orow := out[o*st.pooledW : (o+1)*st.pooledW]
+		for t, v := range prow {
+			orow[t] = uint8(clampRound127(float64(v)*minv) + 128)
+		}
+	}
+}
+
+// denseTail dequantizes sample bi's dense accumulators, applies bias and the
+// folded ReLU, then either emits float logits (last stage) or requantizes for
+// the next integer stage.
+func (q *QuantizedNetwork) denseTail(st *qstage, bi int, dst []uint8, last bool) {
+	r := &q.run
+	acc := r.acc[bi*st.out : (bi+1)*st.out]
+	sxIn := r.sx[bi]
+	if last {
+		lrow := r.logits[bi*q.Classes : (bi+1)*q.Classes]
+		for o, v := range acc {
+			f := float64(v)*(sxIn*st.wscale[o]) + st.bias[o]
+			if st.relu && f < 0 {
+				f = 0
+			}
+			lrow[o] = f
+		}
+		return
+	}
+	fb := r.fbuf[:st.out]
+	maxabs := 0.0
+	for o, v := range acc {
+		f := float64(v)*(sxIn*st.wscale[o]) + st.bias[o]
+		if st.relu && f < 0 {
+			f = 0
+		}
+		fb[o] = f
+		if a := math.Abs(f); a > maxabs {
+			maxabs = a
+		}
+	}
+	out := dst[bi*st.out : (bi+1)*st.out]
+	if maxabs == 0 {
+		r.sx[bi] = 1
+		for p := range out {
+			out[p] = 128
+		}
+		return
+	}
+	scale := maxabs / 127
+	r.sx[bi] = scale
+	inv := 1 / scale
+	for o, f := range fb {
+		out[o] = uint8(clampRound127(f*inv) + 128)
+	}
+}
+
+// quantBias folds a float bias into the int32 accumulator domain. Raw
+// accumulators are bounded by k·127² < 2²⁹ (enforced via maxInt8DotLen), so
+// clamping the bias to ±2³⁰ keeps the sum within int32; the clamp only fires
+// in the pathological near-zero activation-scale case, where the bias
+// dominates every accumulator regardless.
+func quantBias(b, sa float64) int32 {
+	f := math.RoundToEven(b / sa)
+	const lim = 1 << 30
+	if f > lim {
+		return lim
+	}
+	if f < -lim {
+		return -lim
+	}
+	return int32(f)
+}
+
+// PredictBatch mirrors Network.PredictBatch on the int8 path: argmax classes
+// and per-row softmax probabilities for a (batch, ...InShape) input. probs is
+// backed by reusable scratch and valid until the next call on this clone.
+func (q *QuantizedNetwork) PredictBatch(x *tensor.Tensor) (classes []int, probs *tensor.Tensor) {
+	logits := q.ForwardBatch(x)
+	batch := logits.Dim(0)
+	classes = make([]int, batch)
+	for bi := 0; bi < batch; bi++ {
+		row := logits.Row(bi)
+		tensor.SoftmaxInPlace(row)
+		classes[bi] = row.ArgMax()
+	}
+	return classes, logits
+}
+
+// Forward runs one (channels, width) window and returns its logits vector,
+// backed by reusable scratch like ForwardBatch.
+func (q *QuantizedNetwork) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("dnn: quantized Forward input %v does not match %v", x.Shape(), q.InShape))
+	}
+	logits := q.ForwardBatch(x.Reshape(1, x.Dim(0), x.Dim(1)))
+	return logits.Reshape(q.Classes)
+}
+
+// Predict classifies one window: argmax class plus softmax probabilities.
+// probs is backed by reusable scratch and valid until the next call on this
+// clone — callers that need it longer must Clone() the tensor.
+func (q *QuantizedNetwork) Predict(x *tensor.Tensor) (class int, probs *tensor.Tensor) {
+	logits := q.Forward(x)
+	tensor.SoftmaxInPlace(logits)
+	return logits.ArgMax(), logits
+}
+
+// EvaluateQuantized returns top-1 accuracy of the int8 path on a labelled
+// set — the quantized mirror of Evaluate, used by the accuracy-parity gates.
+func EvaluateQuantized(q *QuantizedNetwork, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if c, _ := q.Predict(s.X); c == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -3,6 +3,8 @@ package dnn
 import (
 	"fmt"
 	"math"
+
+	"origin/internal/tensor"
 )
 
 // Post-training weight quantization. EH nodes store their parameters in
@@ -39,11 +41,24 @@ func Quantize(n *Network, bits int) QuantReport {
 	levels := float64(int(1)<<(bits-1)) - 1 // e.g. 127 for 8 bits
 
 	weightCount, biasCount := 0, 0
-	for _, p := range n.Params() {
-		if p.Dims() != 2 { // bias
-			biasCount += p.Len()
+	for _, l := range n.Layers {
+		// Classify parameters by layer role, not tensor rank: a rank test
+		// (the old `Dims() != 2`) would silently quantize any future 2-D
+		// bias — or skip a 1-D weight — instead of failing loudly.
+		var w, b *tensor.Tensor
+		switch t := l.(type) {
+		case *Conv1D:
+			w, b = t.W, t.B
+		case *Dense:
+			w, b = t.W, t.B
+		default:
+			if len(l.Params()) > 0 {
+				panic(fmt.Sprintf("dnn: Quantize cannot classify parameters of %T", l))
+			}
 			continue
 		}
+		biasCount += b.Len()
+		p := w
 		weightCount += p.Len()
 		maxAbs := 0.0
 		for _, v := range p.Data() {

@@ -130,6 +130,70 @@ func TestQuantizeGridQuick(t *testing.T) {
 	}
 }
 
+// fakeParamLayer is a parameter-bearing layer Quantize has no classification
+// rule for.
+type fakeParamLayer struct{ p *tensor.Tensor }
+
+func (f *fakeParamLayer) Name() string                             { return "fake" }
+func (f *fakeParamLayer) Forward(x *tensor.Tensor) *tensor.Tensor  { return x }
+func (f *fakeParamLayer) Backward(g *tensor.Tensor) *tensor.Tensor { return g }
+func (f *fakeParamLayer) Params() []*tensor.Tensor                 { return []*tensor.Tensor{f.p} }
+func (f *fakeParamLayer) Grads() []*tensor.Tensor                  { return []*tensor.Tensor{f.p} }
+func (f *fakeParamLayer) MACs() int                                { return 0 }
+func (f *fakeParamLayer) OutShape(in []int) []int                  { return in }
+
+// prop (regression): Quantize classifies parameters by layer role, not
+// tensor rank — biases are never perturbed regardless of their shape, the
+// byte accounting matches the explicit per-layer weight/bias split, and a
+// layer it has no rule for fails loudly instead of guessing by rank.
+func TestQuantizeClassifiesParamsExplicitly(t *testing.T) {
+	n := buildTinyNet(t)
+	wantW, wantB := 0, 0
+	var biases [][]float64
+	for _, l := range n.Layers {
+		switch tl := l.(type) {
+		case *Conv1D:
+			wantW += tl.W.Len()
+			wantB += tl.B.Len()
+			biases = append(biases, append([]float64(nil), tl.B.Data()...))
+		case *Dense:
+			wantW += tl.W.Len()
+			wantB += tl.B.Len()
+			biases = append(biases, append([]float64(nil), tl.B.Data()...))
+		}
+	}
+	rep := Quantize(n, 8)
+	if want := wantW + wantB*4; rep.ModelBytes != want {
+		t.Errorf("ModelBytes = %d, want %d (weights %d + 4·biases %d)", rep.ModelBytes, want, wantW, wantB)
+	}
+	bi := 0
+	for _, l := range n.Layers {
+		var b *tensor.Tensor
+		switch tl := l.(type) {
+		case *Conv1D:
+			b = tl.B
+		case *Dense:
+			b = tl.B
+		default:
+			continue
+		}
+		for j, v := range b.Data() {
+			if v != biases[bi][j] {
+				t.Fatalf("layer %s bias[%d] perturbed: %v -> %v", l.Name(), j, biases[bi][j], v)
+			}
+		}
+		bi++
+	}
+
+	bad := &Network{Layers: []Layer{&fakeParamLayer{p: tensor.New(3)}}, InShape: []int{3}, Classes: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantize accepted a layer it cannot classify")
+		}
+	}()
+	Quantize(bad, 8)
+}
+
 func TestQuantizeZeroNetworkNoop(t *testing.T) {
 	n := buildTinyNet(t)
 	for _, p := range n.Params() {

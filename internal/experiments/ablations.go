@@ -266,6 +266,67 @@ func RunAblationQuantization(sys *System, slots int, seed int64) *AblationSet {
 	return set
 }
 
+// Int8ParityRow is one location's float-vs-int8 comparison on the held-out
+// split, with the resident model footprints.
+type Int8ParityRow struct {
+	Location   string
+	Float      float64
+	Int8       float64
+	ModelBytes int
+	FloatBytes int
+}
+
+// Int8ParityResult is the accuracy-parity gate of the quantized serving path
+// (origin-serve -quant): every deployed Baseline-2 net evaluated in float and
+// in its int8 compilation on the same held-out data.
+type Int8ParityResult struct {
+	Rows []Int8ParityRow
+	// MaxDrop is the worst per-location accuracy drop (positive = int8
+	// worse). The serving rollout bar is ≤ 0.005 (half a point).
+	MaxDrop float64
+}
+
+func (r *Int8ParityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Int8 parity — deployed (B2) nets, held-out split:\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s float=%s int8=%s  resident %d B (float64 %d B, %.1fx smaller)\n",
+			row.Location, pct(row.Float), pct(row.Int8), row.ModelBytes, row.FloatBytes,
+			float64(row.FloatBytes)/float64(row.ModelBytes))
+	}
+	fmt.Fprintf(&b, "  worst drop %.2f pt (bar: 0.50 pt)\n", 100*r.MaxDrop)
+	return b.String()
+}
+
+// RunInt8Parity evaluates each deployed (Baseline-2) net against its int8
+// compilation on the held-out split. It is the accuracy half of the int8
+// acceptance gate; the throughput half lives in the committed benchmark
+// baseline (benchdiff verify).
+func RunInt8Parity(sys *System) (*Int8ParityResult, error) {
+	res := &Int8ParityResult{}
+	for _, loc := range synth.Locations() {
+		n := sys.NetsB2[loc]
+		q, err := dnn.NewQuantizedNetwork(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: int8 compile of %s net: %w", loc, err)
+		}
+		_, test := trainTestFor(sys.Profile, loc)
+		facc := dnn.Evaluate(n, test)
+		qacc := dnn.EvaluateQuantized(q, test)
+		if drop := facc - qacc; drop > res.MaxDrop {
+			res.MaxDrop = drop
+		}
+		res.Rows = append(res.Rows, Int8ParityRow{
+			Location:   loc.String(),
+			Float:      facc,
+			Int8:       qacc,
+			ModelBytes: q.ModelBytes(),
+			FloatBytes: q.FloatBytes(),
+		})
+	}
+	return res, nil
+}
+
 // RunAblationCheckpoint compares checkpoint granularities at RR6 (scarcer
 // than RR12, so brown-outs actually happen): the idealised continuous NVP,
 // the SONIC/TAILS-style layer-boundary NVP, and the volatile processor.

@@ -372,6 +372,32 @@ func TestAblationQuantization(t *testing.T) {
 	}
 }
 
+// prop (ISSUE acceptance): the int8 compilation of every deployed net stays
+// within half an accuracy point of float on held-out data, and the resident
+// model is at least 7x smaller — the gates the -quant serving path ships
+// under.
+func TestInt8Parity(t *testing.T) {
+	s := mhealth(t)
+	r, err := RunInt8Parity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != synth.NumLocations {
+		t.Fatalf("parity rows = %d, want %d", len(r.Rows), synth.NumLocations)
+	}
+	if r.MaxDrop > 0.005 {
+		t.Errorf("worst int8 accuracy drop %.3f pt exceeds the 0.5 pt bar", 100*r.MaxDrop)
+	}
+	for _, row := range r.Rows {
+		if ratio := float64(row.FloatBytes) / float64(row.ModelBytes); ratio < 7.0 {
+			t.Errorf("%s: resident model only %.2fx smaller than float64, want >=7x", row.Location, ratio)
+		}
+	}
+	if !strings.Contains(r.String(), "worst drop") {
+		t.Error("String() missing content")
+	}
+}
+
 func TestCentralizedComparison(t *testing.T) {
 	s := mhealth(t)
 	r := RunCentralized(s, 3000, 3)

@@ -47,9 +47,18 @@ type directScorer struct {
 }
 
 func (d directScorer) scoreWindows(sensors []int, windows []*tensor.Tensor) []windowScore {
+	out := make([]windowScore, len(sensors))
+	if d.m.Int8() {
+		qnets := d.m.acquireQNets()
+		defer d.m.releaseQNets(qnets)
+		for i, w := range windows {
+			class, probs := qnets[sensors[i]].Predict(w)
+			out[i] = windowScore{class: class, conf: probs.Variance()}
+		}
+		return out
+	}
 	nets := d.m.acquireNets()
 	defer d.m.releaseNets(nets)
-	out := make([]windowScore, len(sensors))
 	for i, w := range windows {
 		class, probs := nets[sensors[i]].Predict(w)
 		out[i] = windowScore{class: class, conf: probs.Variance()}
@@ -85,9 +94,10 @@ type sensorBatcher struct {
 	hold     time.Duration
 	metrics  batcherMetrics
 
-	// slab is the reusable batch input buffer; it lives on the batcher
-	// goroutine only.
-	slab []float64
+	// slab is the reusable batch input buffer and scores the reusable
+	// per-flush result buffer; both live on the batcher goroutine only.
+	slab   []float64
+	scores []windowScore
 }
 
 func (b *sensorBatcher) run(done *sync.WaitGroup) {
@@ -158,13 +168,33 @@ func (b *sensorBatcher) flush(pending []scoreJob) {
 	}
 	input := tensor.FromSlice(slab, n, synth.Channels, b.model.Window)
 
-	nets := b.model.acquireNets()
-	classes, probs := nets[b.sensor].PredictBatch(input)
-	for i, j := range pending {
-		score := windowScore{class: classes[i], conf: probs.Row(i).Variance()}
-		j.reply <- scoredJob{idx: j.idx, score: score}
+	// Materialise every score, then release the borrowed nets, then demux.
+	// The probs tensor aliases the net's own scratch, and reply sends can
+	// block on slow consumers — holding a pooled net across the demux would
+	// both starve the pool under load and read scratch that another borrower
+	// could be overwriting.
+	if cap(b.scores) < n {
+		b.scores = make([]windowScore, n)
 	}
-	b.model.releaseNets(nets)
+	scores := b.scores[:n]
+	if b.model.Int8() {
+		qnets := b.model.acquireQNets()
+		classes, probs := qnets[b.sensor].PredictBatch(input)
+		for i := range pending {
+			scores[i] = windowScore{class: classes[i], conf: probs.Row(i).Variance()}
+		}
+		b.model.releaseQNets(qnets)
+	} else {
+		nets := b.model.acquireNets()
+		classes, probs := nets[b.sensor].PredictBatch(input)
+		for i := range pending {
+			scores[i] = windowScore{class: classes[i], conf: probs.Row(i).Variance()}
+		}
+		b.model.releaseNets(nets)
+	}
+	for i, j := range pending {
+		j.reply <- scoredJob{idx: j.idx, score: scores[i]}
+	}
 	if b.metrics != nil {
 		b.metrics.noteBatch(n)
 	}

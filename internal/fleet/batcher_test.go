@@ -157,6 +157,81 @@ func TestBatchedAndUnbatchedManagersAgree(t *testing.T) {
 	}
 }
 
+// prop: the int8 serving path preserves the determinism contract — a
+// quantized batched manager and a quantized unbatched manager given
+// identical concurrent window streams return identical classifications
+// (int8 batched and single-window scoring are bit-identical per window),
+// and Config.Quantized actually engages the int8 path.
+func TestQuantizedManagersAgree(t *testing.T) {
+	const users, rounds = 4, 8
+
+	run := func(batchSize int, hold time.Duration) [][]int {
+		mgr := fleet.NewManager(fleet.Config{
+			Registry:   fleettest.NewRegistry(),
+			QueueDepth: 64,
+			Workers:    8,
+			BatchSize:  batchSize,
+			BatchHold:  hold,
+			Quantized:  true,
+		})
+		defer mgr.Close()
+
+		ids := make([]string, users)
+		for i := range ids {
+			s, err := mgr.Create("MHEALTH", loadgen.UserID(i), fleet.Opts{})
+			if err != nil {
+				t.Fatalf("create %d: %v", i, err)
+			}
+			if !s.Model().Int8() {
+				t.Fatal("Quantized manager created a session without the int8 path enabled")
+			}
+			ids[i] = s.ID()
+		}
+		out := make([][]int, users)
+		var wg sync.WaitGroup
+		for i := 0; i < users; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cfg := replayConfig("", loadgen.ModeWindows, users, rounds)
+				st := loadgen.NewStream(&cfg, synth.MHEALTHProfile(), i)
+				classes := make([]int, rounds)
+				for k := 0; k < rounds; k++ {
+					req := st.Next(k)
+					inputs, err := serve.Inputs(&req)
+					if err != nil {
+						t.Errorf("user %d round %d: %v", i, k, err)
+						return
+					}
+					for {
+						res, err := mgr.Classify(context.Background(), ids[i], inputs)
+						if err == fleet.ErrSaturated {
+							continue
+						}
+						if err != nil {
+							t.Errorf("user %d round %d: %v", i, k, err)
+							return
+						}
+						classes[k] = res.Class
+						break
+					}
+				}
+				out[i] = classes
+			}(i)
+		}
+		wg.Wait()
+		return out
+	}
+
+	batched := run(6, time.Millisecond)
+	direct := run(1, 0)
+	for i := range batched {
+		if !reflect.DeepEqual(batched[i], direct[i]) {
+			t.Errorf("user %d: quantized batched %v vs quantized direct %v", i, batched[i], direct[i])
+		}
+	}
+}
+
 // Close with an idle batcher set must not hang or panic, and must be
 // idempotent.
 func TestManagerCloseWithBatchersIdempotent(t *testing.T) {

@@ -54,6 +54,13 @@ type Config struct {
 	// opportunistically — whatever is already queued goes in one pass, and an
 	// idle server pays no added latency, so p99 does not regress.
 	BatchHold time.Duration
+	// Quantized routes window scoring through the int8 inference hot path:
+	// each model's nets are compiled to integer stages the first time a
+	// session is created on it (Create fails if a net cannot be expressed in
+	// integer stages). Batched and single int8 scoring remain bit-identical
+	// per window; int8 vs float accuracy parity is gated separately (see
+	// internal/experiments and the dnn parity tests).
+	Quantized bool
 	// Now is the eviction clock (default time.Now; injectable for tests).
 	Now func() time.Time
 }
@@ -194,6 +201,11 @@ func (m *Manager) Create(profile string, user int64, o Opts) (*Session, error) {
 	model, err := m.reg.Get(profile)
 	if err != nil {
 		return nil, err
+	}
+	if m.cfg.Quantized {
+		if err := model.EnableInt8(); err != nil {
+			return nil, err
+		}
 	}
 	id := fmt.Sprintf("s-%d", m.nextID.Add(1))
 	s, err := NewSession(id, user, model, o)

@@ -35,6 +35,7 @@ package fleet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"origin/internal/dnn"
 	"origin/internal/ensemble"
@@ -56,6 +57,14 @@ type Model struct {
 	Window int
 
 	nets sync.Pool // of []*dnn.Network — B2 clones for concurrent Predict
+
+	// Int8 serving path (opt-in via Config.Quantized / EnableInt8): the
+	// per-location nets compiled to integer stages once, then cloned per
+	// borrow — a clone shares the frozen int8 weights and owns only scratch.
+	qonce sync.Once
+	qerr  error
+	qon   atomic.Bool
+	qnets sync.Pool // of []*dnn.QuantizedNetwork
 }
 
 // NewModel wraps a trained System for serving. The System must not be
@@ -93,6 +102,45 @@ func (m *Model) NewMatrix() *ensemble.Matrix { return m.System.Matrix.Clone() }
 func (m *Model) acquireNets() []*dnn.Network { return m.nets.Get().([]*dnn.Network) }
 
 func (m *Model) releaseNets(nets []*dnn.Network) { m.nets.Put(nets) }
+
+// EnableInt8 compiles the int8 twin of every per-location net and switches
+// the model's scorers onto the quantized hot path. Compilation happens once
+// per model (idempotent, concurrency-safe); the first error is sticky so a
+// model that cannot be expressed in integer stages never half-enables.
+func (m *Model) EnableInt8() error {
+	m.qonce.Do(func() {
+		qs := make([]*dnn.QuantizedNetwork, len(m.System.NetsB2))
+		for i, n := range m.System.NetsB2 {
+			q, err := dnn.NewQuantizedNetwork(n)
+			if err != nil {
+				m.qerr = fmt.Errorf("fleet: int8 compile of sensor %d net: %w", i, err)
+				return
+			}
+			qs[i] = q
+		}
+		m.qnets.New = func() any {
+			c := make([]*dnn.QuantizedNetwork, len(qs))
+			for i, q := range qs {
+				c[i] = q.Clone()
+			}
+			return c
+		}
+		m.qon.Store(true)
+	})
+	return m.qerr
+}
+
+// Int8 reports whether the int8 inference path is enabled for this model.
+func (m *Model) Int8() bool { return m.qon.Load() }
+
+// acquireQNets borrows a cloned int8 net set; only valid after a successful
+// EnableInt8. Clones share the frozen weights and own only per-borrow
+// scratch, so a borrow is cheap and safe for concurrent use.
+func (m *Model) acquireQNets() []*dnn.QuantizedNetwork {
+	return m.qnets.Get().([]*dnn.QuantizedNetwork)
+}
+
+func (m *Model) releaseQNets(nets []*dnn.QuantizedNetwork) { m.qnets.Put(nets) }
 
 // BuildFunc produces a served model for a profile name. The default
 // builder trains (or loads from cache) via experiments.BuildSystem.

@@ -180,9 +180,17 @@ func (s *Session) validate(in SensorInput) error {
 // An empty input slice is a valid round: the session classifies from
 // recall alone and performs no adaptation (nothing fresh arrived).
 func (s *Session) Classify(inputs []SensorInput) (ClassifyResult, error) {
-	for _, in := range inputs {
+	for i, in := range inputs {
 		if err := s.validate(in); err != nil {
 			return ClassifyResult{}, err
+		}
+		// One vote per sensor per round: a duplicate would double-count one
+		// location in the ensemble fusion and corrupt its recall entry. The
+		// scan is quadratic but rounds carry at most a handful of sensors.
+		for _, prev := range inputs[:i] {
+			if prev.Sensor == in.Sensor {
+				return ClassifyResult{}, fmt.Errorf("%w: duplicate sensor %d in round", ErrInvalid, in.Sensor)
+			}
 		}
 	}
 	// Score raw windows before taking the session lock: scoring is a pure

@@ -74,6 +74,77 @@ func TestSessionValidation(t *testing.T) {
 	}
 }
 
+// prop (regression): a round carrying two inputs for the same sensor is
+// rejected as ErrInvalid before any state moves — a duplicate vote would
+// double-count one location in the ensemble fusion and corrupt its recall
+// entry. Window and precomputed-vote inputs collide the same way.
+func TestSessionRejectsDuplicateSensor(t *testing.T) {
+	m := tinyModel()
+	s, err := NewSession("d", 1, m, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := [][]SensorInput{
+		{
+			{Sensor: 1, Class: 0, Confidence: 0.1},
+			{Sensor: 0, Class: 1, Confidence: 0.2},
+			{Sensor: 1, Class: 2, Confidence: 0.3},
+		},
+		{
+			{Sensor: 0, Window: tensor.New(synth.Channels, m.Window)},
+			{Sensor: 0, Class: 1, Confidence: 0.1},
+		},
+	}
+	for i, inputs := range dup {
+		if _, err := s.Classify(inputs); !errors.Is(err, ErrInvalid) {
+			t.Errorf("duplicate round %d accepted: err=%v", i, err)
+		}
+	}
+	if got := s.Info().Slots; got != 0 {
+		t.Errorf("slots after rejected duplicate rounds = %d, want 0", got)
+	}
+	// Distinct sensors in one round remain valid.
+	ok := []SensorInput{
+		{Sensor: 0, Class: 0, Confidence: 0.1},
+		{Sensor: 1, Class: 0, Confidence: 0.1},
+	}
+	if _, err := s.Classify(ok); err != nil {
+		t.Fatalf("distinct-sensor round rejected: %v", err)
+	}
+}
+
+// prop: Opts.Validate boundary cases — a quorum of exactly the sensor count
+// is the strictest valid setting (every sensor must vote), and a stale limit
+// of zero means "keep recalled votes indefinitely", not "reject".
+func TestOptsValidateEdges(t *testing.T) {
+	m := tinyModel()
+	if err := (Opts{Quorum: m.Sensors()}).Validate(m); err != nil {
+		t.Errorf("quorum == Sensors() rejected: %v", err)
+	}
+	if err := (Opts{Quorum: m.Sensors() + 1}).Validate(m); !errors.Is(err, ErrInvalid) {
+		t.Errorf("quorum == Sensors()+1 accepted: err=%v", err)
+	}
+	if err := (Opts{StaleLimit: 0}).Validate(m); err != nil {
+		t.Errorf("stale limit 0 rejected: %v", err)
+	}
+	if err := (Opts{StaleLimit: -1}).Validate(m); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative stale limit accepted: err=%v", err)
+	}
+	// A session honouring the full quorum abstains when only one of the
+	// sensors votes.
+	s, err := NewSession("q", 1, m, Opts{Quorum: m.Sensors()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Classify([]SensorInput{{Sensor: 0, Class: 1, Confidence: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != -1 {
+		t.Errorf("quorum %d with 1 vote classified %d, want abstain", m.Sensors(), res.Class)
+	}
+}
+
 // prop (determinism contract): a session's classification sequence depends
 // only on its own request order. Replaying the same stream on a fresh
 // session — serially or while other sessions hammer the same shared model

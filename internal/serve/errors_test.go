@@ -12,8 +12,9 @@ import (
 	"origin/internal/fleet"
 )
 
-// prop: every fleet error maps to its contractual HTTP status, and shed
-// responses carry a Retry-After hint.
+// prop: every fleet error maps to its contractual HTTP status, and the two
+// transient conditions — shed load and shutdown drain — carry a Retry-After
+// hint so clients back off instead of guessing.
 func TestWriteErrorMapping(t *testing.T) {
 	cases := []struct {
 		err        error
@@ -23,7 +24,7 @@ func TestWriteErrorMapping(t *testing.T) {
 		{fmt.Errorf("%w: sensor 9", fleet.ErrInvalid), http.StatusBadRequest, ""},
 		{fleet.ErrNotFound, http.StatusNotFound, ""},
 		{fleet.ErrSaturated, http.StatusTooManyRequests, "1"},
-		{fleet.ErrShutdown, http.StatusServiceUnavailable, ""},
+		{fleet.ErrShutdown, http.StatusServiceUnavailable, "1"},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, ""},
 		{errors.New("disk on fire"), http.StatusInternalServerError, ""},
 	}

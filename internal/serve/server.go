@@ -78,6 +78,10 @@ func writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", "1")
 		status = http.StatusTooManyRequests
 	case errors.Is(err, fleet.ErrShutdown):
+		// Draining for shutdown: a restart or another replica will accept
+		// the retry, so make the 503 explicitly retryable instead of
+		// leaving clients to guess.
+		w.Header().Set("Retry-After", "1")
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout

@@ -1,0 +1,469 @@
+package tensor
+
+import "fmt"
+
+// Integer kernels for the int8 inference hot path (see internal/dnn's
+// QuantizedNetwork). Activations arrive as *biased* uint8 — the quantized
+// signed value plus 128, so a' = q + 128 ∈ [1, 255] — and weights as plain
+// int8 in [-127, 127]. Accumulation is exact integer arithmetic; there is no
+// float in these kernels at all, so batched and single-window execution are
+// bit-identical by construction (integer addition is associative — unlike the
+// float kernels, no accumulation-order pinning is needed).
+//
+// The throughput trick: one scalar 64-bit multiply performs several 8-bit
+// MACs at once. For an output-channel triple (o, o+1, o+2), each tap packs
+// the three biased weights w' = w + 128 ∈ [1, 255] into 21-bit fields of one
+// word,
+//
+//	packed = w'_o | w'_{o+1} << 21 | w'_{o+2} << 42
+//
+// and one multiply a' · packed accumulates a'·w' for all three channels into
+// disjoint fields of a uint64 sum. Every field product is unsigned and at
+// most 255·255 = 65025, so a field holds up to ⌊(2²¹−1)/65025⌋ = 32
+// accumulated products before it could carry into its neighbour; the kernels
+// therefore flush the packed sum into per-channel int32 accumulators at
+// least every int8SegLen = 32 products. Biasing both operands makes every
+// partial product non-negative — that is what makes the packing carry-free —
+// and the true signed dot product is recovered once per output from two
+// cheap corrections:
+//
+//	Σ q·w = Σ a'·w' − 128·Σ a' + corr,   corr = −128·Σ w
+//
+// where Σ a' is one per-row (or sliding per-position) sum and corr is a
+// per-channel constant the caller precomputes from the quantized weights.
+// Leftover channels (count mod 3) use a two-channel variant with 32-bit
+// fields (capacity 2³²/65025 ≈ 66049 products, so no flushing) or a plain
+// signed loop.
+
+const (
+	int8FieldShift = 21
+	int8FieldMask  = 1<<int8FieldShift - 1
+	// int8SegLen is the maximum products accumulated per 21-bit field
+	// between flushes: 32·65025 = 2 080 800 < 2²¹ = 2 097 152.
+	int8SegLen = 32
+)
+
+// maxInt8DotLen bounds the reduction length k of one dot product so the
+// flushed int32 accumulators (and the pair path's 32-bit fields) cannot
+// overflow: k·65025 must stay below 2³¹. 32000·65025 ≈ 2.08e9 < 2³¹−1.
+const maxInt8DotLen = 32000
+
+// Int8Scratch holds the reusable scratch of the int8 kernels: the packed
+// weight buffer, the activation-sum buffer and the packed accumulator row.
+// The zero value is ready to use; buffers grow on demand and are retained
+// across calls. Like a dnn arena, a scratch is not safe for concurrent use —
+// one per goroutine.
+type Int8Scratch struct {
+	packed []uint64
+	sums   []int32
+	rowacc []uint64
+}
+
+func (s *Int8Scratch) grow(packedLen, sumsLen, rowLen int) {
+	if cap(s.packed) < packedLen {
+		s.packed = make([]uint64, packedLen)
+	}
+	if cap(s.sums) < sumsLen {
+		s.sums = make([]int32, sumsLen)
+	}
+	if cap(s.rowacc) < rowLen {
+		s.rowacc = make([]uint64, rowLen)
+	}
+}
+
+// Int8CorrectionFor returns the per-output-channel correction constants for
+// quantized weights stored row-major as (outC, k): corr[o] = −128·Σ_p w[o][p].
+// Callers compute this once at quantization time and pass it to every kernel
+// call.
+func Int8CorrectionFor(w []int8, outC, k int) []int32 {
+	if len(w) != outC*k {
+		panic(fmt.Sprintf("tensor: Int8CorrectionFor got %d weights, want %d×%d", len(w), outC, k))
+	}
+	corr := make([]int32, outC)
+	for o := 0; o < outC; o++ {
+		var s int32
+		for _, v := range w[o*k : (o+1)*k] {
+			s += int32(v)
+		}
+		corr[o] = -128 * s
+	}
+	return corr
+}
+
+// MatMulTInt8Into computes the int8 dense-layer product
+// c[i][j] = Σ_p (a[i][p]−128)·b[j][p] with int32 accumulation, where a is a
+// (m, k) biased-uint8 activation matrix, b a (n, k) int8 weight matrix read
+// as its transpose (the (out, in) dense weight layout), and corr the
+// precomputed Int8CorrectionFor(b, n, k) constants. c must hold m·n int32.
+func MatMulTInt8Into(c []int32, a []uint8, b []int8, corr []int32, m, k, n int, sc *Int8Scratch) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n || len(corr) < n {
+		panic(fmt.Sprintf("tensor: MatMulTInt8Into size mismatch (m=%d k=%d n=%d: a=%d b=%d c=%d corr=%d)",
+			m, k, n, len(a), len(b), len(c), len(corr)))
+	}
+	if k > maxInt8DotLen {
+		panic(fmt.Sprintf("tensor: MatMulTInt8Into reduction length %d exceeds %d (accumulator overflow)", k, maxInt8DotLen))
+	}
+	sc.grow(k, m, 0)
+	packed := sc.packed[:k]
+	asum := sc.sums[:m]
+	for i := 0; i < m; i++ {
+		var s int32
+		for _, av := range a[i*k : (i+1)*k] {
+			s += int32(av)
+		}
+		asum[i] = s
+	}
+	j := 0
+	for ; j+3 <= n; j += 3 {
+		b0 := b[j*k : (j+1)*k][:k]
+		b1 := b[(j+1)*k : (j+2)*k][:k]
+		b2 := b[(j+2)*k : (j+3)*k][:k]
+		for p := range packed {
+			packed[p] = uint64(int64(b0[p])+128) |
+				uint64(int64(b1[p])+128)<<int8FieldShift |
+				uint64(int64(b2[p])+128)<<(2*int8FieldShift)
+		}
+		c0, c1, c2 := corr[j], corr[j+1], corr[j+2]
+		i := 0
+		// Two-row blocking: four independent ≤16-product chains hide the
+		// 3-cycle multiply latency (two chains per row leave the multiplier
+		// idle a third of the time), and each packed word is loaded once for
+		// both rows.
+		for ; i+2 <= m; i += 2 {
+			arow := a[i*k : (i+1)*k][:k]
+			brow := a[(i+1)*k : (i+2)*k][:k]
+			var t0, t1, t2, u0, u1, u2 int32
+			for p0 := 0; p0 < k; p0 += int8SegLen {
+				end := p0 + int8SegLen
+				if end > k {
+					end = k
+				}
+				ap := arow[p0:end]
+				bp := brow[p0:end][:len(ap)]
+				pp := packed[p0:end][:len(ap)]
+				var s0, s1, s2, s3 uint64
+				p := 0
+				for ; p+2 <= len(ap); p += 2 {
+					w0, w1 := pp[p], pp[p+1]
+					s0 += uint64(ap[p]) * w0
+					s1 += uint64(ap[p+1]) * w1
+					s2 += uint64(bp[p]) * w0
+					s3 += uint64(bp[p+1]) * w1
+				}
+				if p < len(ap) {
+					s0 += uint64(ap[p]) * pp[p]
+					s2 += uint64(bp[p]) * pp[p]
+				}
+				s := s0 + s1
+				t0 += int32(s & int8FieldMask)
+				t1 += int32((s >> int8FieldShift) & int8FieldMask)
+				t2 += int32(s >> (2 * int8FieldShift))
+				s = s2 + s3
+				u0 += int32(s & int8FieldMask)
+				u1 += int32((s >> int8FieldShift) & int8FieldMask)
+				u2 += int32(s >> (2 * int8FieldShift))
+			}
+			as := 128 * asum[i]
+			c[i*n+j] = t0 - as + c0
+			c[i*n+j+1] = t1 - as + c1
+			c[i*n+j+2] = t2 - as + c2
+			as = 128 * asum[i+1]
+			c[(i+1)*n+j] = u0 - as + c0
+			c[(i+1)*n+j+1] = u1 - as + c1
+			c[(i+1)*n+j+2] = u2 - as + c2
+		}
+		for ; i < m; i++ {
+			arow := a[i*k : (i+1)*k][:k]
+			var t0, t1, t2 int32
+			for p0 := 0; p0 < k; p0 += int8SegLen {
+				end := p0 + int8SegLen
+				if end > k {
+					end = k
+				}
+				ap := arow[p0:end]
+				pp := packed[p0:end][:len(ap)]
+				// Two independent chains of ≤16 products each keep the
+				// multiplier busy; their sum stays within field capacity.
+				var sa, sb uint64
+				p := 0
+				for ; p+2 <= len(ap); p += 2 {
+					sa += uint64(ap[p]) * pp[p]
+					sb += uint64(ap[p+1]) * pp[p+1]
+				}
+				if p < len(ap) {
+					sa += uint64(ap[p]) * pp[p]
+				}
+				s := sa + sb
+				t0 += int32(s & int8FieldMask)
+				t1 += int32((s >> int8FieldShift) & int8FieldMask)
+				t2 += int32(s >> (2 * int8FieldShift))
+			}
+			as := 128 * asum[i]
+			c[i*n+j] = t0 - as + c0
+			c[i*n+j+1] = t1 - as + c1
+			c[i*n+j+2] = t2 - as + c2
+		}
+	}
+	if n-j == 2 {
+		// Two-channel tail: 32-bit fields need no flushing.
+		b0 := b[j*k : (j+1)*k][:k]
+		b1 := b[(j+1)*k : (j+2)*k][:k]
+		for p := range packed {
+			packed[p] = uint64(int64(b0[p])+128) | uint64(int64(b1[p])+128)<<32
+		}
+		c0, c1 := corr[j], corr[j+1]
+		for i := 0; i < m; i++ {
+			arow := a[i*k : (i+1)*k][:k]
+			var sa, sb uint64
+			p := 0
+			for ; p+2 <= k; p += 2 {
+				sa += uint64(arow[p]) * packed[p]
+				sb += uint64(arow[p+1]) * packed[p+1]
+			}
+			if p < k {
+				sa += uint64(arow[p]) * packed[p]
+			}
+			s := sa + sb
+			as := 128 * asum[i]
+			c[i*n+j] = int32(uint32(s)) - as + c0
+			c[i*n+j+1] = int32(uint32(s>>32)) - as + c1
+		}
+	} else if n-j == 1 {
+		brow := b[j*k : (j+1)*k][:k]
+		for i := 0; i < m; i++ {
+			arow := a[i*k : (i+1)*k][:k]
+			var s int32
+			for p, av := range arow {
+				s += (int32(av) - 128) * int32(brow[p])
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// Conv1DInt8BatchInto computes a batched direct (no im2col) 1-D convolution
+// over biased-uint8 activations: x is (batch, inC, inW) flat, w the (outC,
+// inC·kernel) int8 weights, corr the Int8CorrectionFor(w, outC, inC·kernel)
+// constants, and acc receives (batch, outC, outW) raw int32 accumulator
+// values — no bias, activation or pooling; the caller fuses those in the
+// requantization pass. outW = (inW−kernel)/stride + 1.
+func Conv1DInt8BatchInto(acc []int32, x []uint8, w []int8, corr []int32, batch, inC, inW, kernel, stride, outC int, sc *Int8Scratch) {
+	if kernel <= 0 || stride <= 0 || inW < kernel {
+		panic(fmt.Sprintf("tensor: Conv1DInt8BatchInto bad geometry inW=%d kernel=%d stride=%d", inW, kernel, stride))
+	}
+	outW := (inW-kernel)/stride + 1
+	ck := inC * kernel
+	if len(x) < batch*inC*inW || len(w) < outC*ck || len(acc) < batch*outC*outW || len(corr) < outC {
+		panic(fmt.Sprintf("tensor: Conv1DInt8BatchInto size mismatch (batch=%d inC=%d inW=%d outC=%d: x=%d w=%d acc=%d corr=%d)",
+			batch, inC, inW, outC, len(x), len(w), len(acc), len(corr)))
+	}
+	if ck > maxInt8DotLen {
+		panic(fmt.Sprintf("tensor: Conv1DInt8BatchInto receptive field %d exceeds %d (accumulator overflow)", ck, maxInt8DotLen))
+	}
+	sc.grow(ck, batch*outW+inW, outW)
+	packed := sc.packed[:ck]
+	winsum := sc.sums[:batch*outW]
+	colsum := sc.sums[batch*outW : batch*outW+inW]
+	rowacc := sc.rowacc[:outW]
+
+	// Per-position activation sums Σ a' over each receptive field, shared by
+	// every output-channel group. For stride 1 this is a sliding-window sum
+	// over per-column channel totals; otherwise it is computed directly.
+	for bi := 0; bi < batch; bi++ {
+		xoff := bi * inC * inW
+		ws := winsum[bi*outW : (bi+1)*outW]
+		if stride == 1 {
+			for jj := range colsum {
+				colsum[jj] = 0
+			}
+			for c := 0; c < inC; c++ {
+				xr := x[xoff+c*inW : xoff+(c+1)*inW]
+				for jj, v := range xr {
+					colsum[jj] += int32(v)
+				}
+			}
+			var run int32
+			for kk := 0; kk < kernel; kk++ {
+				run += colsum[kk]
+			}
+			ws[0] = run
+			for t := 1; t < outW; t++ {
+				run += colsum[t+kernel-1] - colsum[t-1]
+				ws[t] = run
+			}
+			continue
+		}
+		for t := 0; t < outW; t++ {
+			base := xoff + t*stride
+			var s int32
+			for c := 0; c < inC; c++ {
+				for _, v := range x[base+c*inW : base+c*inW+kernel] {
+					s += int32(v)
+				}
+			}
+			ws[t] = s
+		}
+	}
+
+	o := 0
+	// Channels per flush segment so a field never accumulates more than
+	// int8SegLen products. kernel > int8SegLen would make this zero; those
+	// (unused here) run on the flush-free two-channel path below.
+	chanChunk := int8SegLen / kernel
+	for ; chanChunk > 0 && o+3 <= outC; o += 3 {
+		w0r := w[o*ck : (o+1)*ck]
+		w1r := w[(o+1)*ck : (o+2)*ck][:ck]
+		w2r := w[(o+2)*ck : (o+3)*ck][:ck]
+		for p := range packed {
+			packed[p] = uint64(int64(w0r[p])+128) |
+				uint64(int64(w1r[p])+128)<<int8FieldShift |
+				uint64(int64(w2r[p])+128)<<(2*int8FieldShift)
+		}
+		c0, c1, c2 := corr[o], corr[o+1], corr[o+2]
+		for bi := 0; bi < batch; bi++ {
+			xoff := bi * inC * inW
+			aoff := bi*outC*outW + o*outW
+			a0 := acc[aoff : aoff+outW]
+			a1 := acc[aoff+outW : aoff+2*outW]
+			a2 := acc[aoff+2*outW : aoff+3*outW]
+			first := true
+			for cs := 0; cs < inC; cs += chanChunk {
+				ce := cs + chanChunk
+				if ce > inC {
+					ce = inC
+				}
+				for t := range rowacc {
+					rowacc[t] = 0
+				}
+				for c := cs; c < ce; c++ {
+					xr := x[xoff+c*inW : xoff+(c+1)*inW]
+					wp := packed[c*kernel : (c+1)*kernel]
+					if kernel == 5 && stride == 1 {
+						// Sliding-register fast path for the HAR width:
+						// each activation byte is loaded once and reused
+						// across the five taps it overlaps. xr4 is sliced to
+						// exactly outW elements so the range loop carries no
+						// bounds checks.
+						v0, v1, v2, v3, v4 := wp[0], wp[1], wp[2], wp[3], wp[4]
+						x0, x1, x2, x3 := uint64(xr[0]), uint64(xr[1]), uint64(xr[2]), uint64(xr[3])
+						xr4 := xr[4 : 4+outW]
+						for t, xb := range xr4 {
+							x4 := uint64(xb)
+							rowacc[t] += x0*v0 + x1*v1 + x2*v2 + x3*v3 + x4*v4
+							x0, x1, x2, x3 = x1, x2, x3, x4
+						}
+					} else {
+						for t := 0; t < outW; t++ {
+							base := t * stride
+							var s uint64
+							for kk, wv := range wp {
+								s += uint64(xr[base+kk]) * wv
+							}
+							rowacc[t] += s
+						}
+					}
+				}
+				if first {
+					for t, s := range rowacc {
+						a0[t] = int32(s & int8FieldMask)
+						a1[t] = int32((s >> int8FieldShift) & int8FieldMask)
+						a2[t] = int32(s >> (2 * int8FieldShift))
+					}
+					first = false
+				} else {
+					for t, s := range rowacc {
+						a0[t] += int32(s & int8FieldMask)
+						a1[t] += int32((s >> int8FieldShift) & int8FieldMask)
+						a2[t] += int32(s >> (2 * int8FieldShift))
+					}
+				}
+			}
+			ws := winsum[bi*outW : (bi+1)*outW]
+			for t, wv := range ws {
+				as := 128 * wv
+				a0[t] += c0 - as
+				a1[t] += c1 - as
+				a2[t] += c2 - as
+			}
+		}
+	}
+	// Two-channel tail (and the kernel > int8SegLen fallback): 32-bit
+	// fields, flush-free, four output positions per packed weight load.
+	for ; o+2 <= outC; o += 2 {
+		w0r := w[o*ck : (o+1)*ck]
+		w1r := w[(o+1)*ck : (o+2)*ck][:ck]
+		for p := range packed {
+			packed[p] = uint64(int64(w0r[p])+128) | uint64(int64(w1r[p])+128)<<32
+		}
+		c0, c1 := corr[o], corr[o+1]
+		for bi := 0; bi < batch; bi++ {
+			xoff := bi * inC * inW
+			aoff := bi*outC*outW + o*outW
+			a0 := acc[aoff : aoff+outW]
+			a1 := acc[aoff+outW : aoff+2*outW]
+			ws := winsum[bi*outW : (bi+1)*outW]
+			t := 0
+			if stride == 1 && kernel == 5 {
+				for ; t+4 <= outW; t += 4 {
+					var s0, s1, s2, s3 uint64
+					base := xoff + t
+					for c := 0; c < inC; c++ {
+						cb := base + c*inW
+						xc := x[cb : cb+8 : cb+8]
+						wp := packed[c*5 : c*5+5 : c*5+5]
+						v0, v1, v2, v3, v4 := wp[0], wp[1], wp[2], wp[3], wp[4]
+						x0, x1, x2, x3 := uint64(xc[0]), uint64(xc[1]), uint64(xc[2]), uint64(xc[3])
+						x4, x5, x6, x7 := uint64(xc[4]), uint64(xc[5]), uint64(xc[6]), uint64(xc[7])
+						s0 += x0*v0 + x1*v1 + x2*v2 + x3*v3 + x4*v4
+						s1 += x1*v0 + x2*v1 + x3*v2 + x4*v3 + x5*v4
+						s2 += x2*v0 + x3*v1 + x4*v2 + x5*v3 + x6*v4
+						s3 += x3*v0 + x4*v1 + x5*v2 + x6*v3 + x7*v4
+					}
+					a0[t] = int32(uint32(s0)) - 128*ws[t] + c0
+					a1[t] = int32(uint32(s0>>32)) - 128*ws[t] + c1
+					a0[t+1] = int32(uint32(s1)) - 128*ws[t+1] + c0
+					a1[t+1] = int32(uint32(s1>>32)) - 128*ws[t+1] + c1
+					a0[t+2] = int32(uint32(s2)) - 128*ws[t+2] + c0
+					a1[t+2] = int32(uint32(s2>>32)) - 128*ws[t+2] + c1
+					a0[t+3] = int32(uint32(s3)) - 128*ws[t+3] + c0
+					a1[t+3] = int32(uint32(s3>>32)) - 128*ws[t+3] + c1
+				}
+			}
+			for ; t < outW; t++ {
+				var s uint64
+				base := xoff + t*stride
+				for c := 0; c < inC; c++ {
+					cb := base + c*inW
+					xc := x[cb : cb+kernel : cb+kernel]
+					wp := packed[c*kernel : (c+1)*kernel]
+					for kk, wv := range wp {
+						s += uint64(xc[kk]) * wv
+					}
+				}
+				a0[t] = int32(uint32(s)) - 128*ws[t] + c0
+				a1[t] = int32(uint32(s>>32)) - 128*ws[t] + c1
+			}
+		}
+	}
+	// Odd final channel: plain signed taps.
+	for ; o < outC; o++ {
+		wr := w[o*ck : (o+1)*ck]
+		for bi := 0; bi < batch; bi++ {
+			xoff := bi * inC * inW
+			arow := acc[bi*outC*outW+o*outW : bi*outC*outW+(o+1)*outW]
+			for t := 0; t < outW; t++ {
+				var s int32
+				base := xoff + t*stride
+				for c := 0; c < inC; c++ {
+					cb := base + c*inW
+					xc := x[cb : cb+kernel : cb+kernel]
+					wk := wr[c*kernel : (c+1)*kernel]
+					for kk, wv := range wk {
+						s += (int32(xc[kk]) - 128) * int32(wv)
+					}
+				}
+				arow[t] = s
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMatMulTInt8 is the obvious signed reference for MatMulTInt8Into.
+func refMatMulTInt8(a []uint8, b []int8, m, k, n int) []int32 {
+	c := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for p := 0; p < k; p++ {
+				s += (int32(a[i*k+p]) - 128) * int32(b[j*k+p])
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// refConv1DInt8 is the obvious signed reference for Conv1DInt8BatchInto.
+func refConv1DInt8(x []uint8, w []int8, batch, inC, inW, kernel, stride, outC int) []int32 {
+	outW := (inW-kernel)/stride + 1
+	acc := make([]int32, batch*outC*outW)
+	for bi := 0; bi < batch; bi++ {
+		for o := 0; o < outC; o++ {
+			for t := 0; t < outW; t++ {
+				var s int32
+				for c := 0; c < inC; c++ {
+					for kk := 0; kk < kernel; kk++ {
+						xv := int32(x[bi*inC*inW+c*inW+t*stride+kk]) - 128
+						s += xv * int32(w[o*inC*kernel+c*kernel+kk])
+					}
+				}
+				acc[bi*outC*outW+o*outW+t] = s
+			}
+		}
+	}
+	return acc
+}
+
+func randActs(rng *rand.Rand, n int) []uint8 {
+	a := make([]uint8, n)
+	for i := range a {
+		// Biased encoding of q ∈ [-127, 127]: a' = q+128 ∈ [1, 255].
+		a[i] = uint8(rng.Intn(255) + 1)
+	}
+	return a
+}
+
+func randWeights(rng *rand.Rand, n int) []int8 {
+	w := make([]int8, n)
+	for i := range w {
+		w[i] = int8(rng.Intn(255) - 127)
+	}
+	return w
+}
+
+// prop: the packed-pair dense kernel is exactly equal to the naive signed
+// reference for every shape, including odd output counts and k=1, and the
+// scratch can be reused across differently-sized calls.
+func TestMatMulTInt8IntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc Int8Scratch
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {1, 5, 3}, {2, 7, 2}, {3, 240, 24}, {16, 156, 24},
+		{16, 24, 5}, {4, 31, 7}, {8, 64, 13}, {32, 240, 12}, {5, 2, 9},
+	}
+	for _, sh := range shapes {
+		a := randActs(rng, sh.m*sh.k)
+		b := randWeights(rng, sh.n*sh.k)
+		corr := Int8CorrectionFor(b, sh.n, sh.k)
+		got := make([]int32, sh.m*sh.n)
+		MatMulTInt8Into(got, a, b, corr, sh.m, sh.k, sh.n, &sc)
+		want := refMatMulTInt8(a, b, sh.m, sh.k, sh.n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d k=%d n=%d: c[%d] = %d, want %d", sh.m, sh.k, sh.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// prop: the extreme operand corners (all-max activations × all-max weights,
+// and the most negative combinations) accumulate without overflow at the
+// deepest reduction length the models use.
+func TestMatMulTInt8IntoExtremes(t *testing.T) {
+	const k = 240
+	var sc Int8Scratch
+	for _, tc := range []struct {
+		act uint8
+		w   int8
+	}{{255, 127}, {255, -127}, {1, 127}, {1, -127}} {
+		a := make([]uint8, k)
+		b := make([]int8, 2*k)
+		for i := range a {
+			a[i] = tc.act
+		}
+		for i := range b {
+			b[i] = tc.w
+		}
+		corr := Int8CorrectionFor(b, 2, k)
+		got := make([]int32, 2)
+		MatMulTInt8Into(got, a, b, corr, 1, k, 2, &sc)
+		want := int32(int(tc.act)-128) * int32(tc.w) * k
+		if got[0] != want || got[1] != want {
+			t.Fatalf("act=%d w=%d: got %v, want %d", tc.act, tc.w, got, want)
+		}
+	}
+}
+
+// prop: the direct int8 convolution matches the naive reference across
+// strides, kernel widths, odd channel counts and batch sizes — including the
+// exact HAR geometries the serving path runs.
+func TestConv1DInt8BatchIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var sc Int8Scratch
+	shapes := []struct{ batch, inC, inW, kernel, stride, outC int }{
+		{1, 1, 5, 5, 1, 1},   // minimal
+		{1, 6, 64, 5, 1, 8},  // HAR conv1
+		{16, 6, 64, 5, 1, 8}, // HAR conv1, serving batch
+		{4, 8, 30, 5, 1, 12}, // HAR conv2
+		{2, 3, 17, 4, 2, 5},  // stride 2, odd outC
+		{3, 2, 11, 3, 3, 3},  // stride 3
+		{7, 4, 9, 1, 1, 2},   // kernel 1
+		{1, 5, 23, 7, 1, 7},  // odd everything
+		{32, 6, 64, 5, 1, 8}, // wide batch
+		{2, 1, 6, 5, 1, 4},   // outW=2 (below the 4-wide tile)
+	}
+	for _, sh := range shapes {
+		x := randActs(rng, sh.batch*sh.inC*sh.inW)
+		w := randWeights(rng, sh.outC*sh.inC*sh.kernel)
+		corr := Int8CorrectionFor(w, sh.outC, sh.inC*sh.kernel)
+		outW := (sh.inW-sh.kernel)/sh.stride + 1
+		got := make([]int32, sh.batch*sh.outC*outW)
+		Conv1DInt8BatchInto(got, x, w, corr, sh.batch, sh.inC, sh.inW, sh.kernel, sh.stride, sh.outC, &sc)
+		want := refConv1DInt8(x, w, sh.batch, sh.inC, sh.inW, sh.kernel, sh.stride, sh.outC)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: acc[%d] = %d, want %d", sh, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// prop: both kernels reject reduction lengths that could overflow the packed
+// low field instead of silently corrupting results.
+func TestInt8KernelsRejectOversizedReduction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized reduction length")
+		}
+	}()
+	k := maxInt8DotLen + 1
+	var sc Int8Scratch
+	MatMulTInt8Into(make([]int32, 1), make([]uint8, k), make([]int8, k), []int32{0}, 1, k, 1, &sc)
+}
