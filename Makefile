@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test bench bench-forward verify-bench verify-obs verify-fault verify-serve fuzz-smoke lint
+# Recipes pipe gate output through tee into bench_diff.txt; without pipefail
+# the pipe would swallow a failing gate's exit status.
+SHELL = /bin/bash -o pipefail
+
+.PHONY: build test bench bench-forward bench-serve verify-bench verify-bench-serve verify-obs verify-fault verify-serve fuzz-smoke lint
 
 BENCH_FORWARD = -run '^$$' -bench 'BenchmarkForward|BenchmarkKernelReference' \
 	-benchtime 1s -count 5 . ./internal/tensor
@@ -32,6 +36,35 @@ verify-bench:
 	$(GO) run ./cmd/benchdiff compare -o bench_diff.txt BENCH_forward.json /tmp/BENCH_forward_new.json
 	$(GO) run ./cmd/benchdiff verify -min 2.0 -min-int8 3.0 /tmp/BENCH_forward_new.json
 
+# Re-record the committed serve-side wire baseline: one loadgen report per
+# payload mode (JSON votes, JSON windows, binary stream) over the same
+# (users, requests, seed) grid, merged into BENCH_serve.json. Uses the real
+# MHEALTH fleet; set ORIGIN_CACHE to reuse a warm model cache.
+SERVE_GRID = -users 16 -requests 200 -seed 1
+bench-serve:
+	$(GO) run ./cmd/origin-loadgen $(SERVE_GRID) -mode votes -json /tmp/serve_votes.json
+	$(GO) run ./cmd/origin-loadgen $(SERVE_GRID) -mode windows -json /tmp/serve_windows.json
+	$(GO) run ./cmd/origin-loadgen $(SERVE_GRID) -mode stream -json /tmp/serve_stream.json
+	$(GO) run ./cmd/benchdiff serve-extract -o BENCH_serve.json \
+		/tmp/serve_votes.json /tmp/serve_windows.json /tmp/serve_stream.json
+	$(GO) run ./cmd/benchdiff serve-verify BENCH_serve.json
+
+# Serve wire-bytes gate (run by the bench-regression CI job): re-run the
+# windows and stream loadgen grids on tiny deterministic models (fast; the
+# wire format does not depend on model weights), then enforce >=10x fewer
+# uplink bytes per classification than JSON windows at equal accuracy. The
+# committed BENCH_serve.json is verified too, so the recorded real-model
+# numbers cannot rot below the bar. Appends to the bench_diff.txt report
+# that verify-bench starts.
+verify-bench-serve:
+	$(GO) run ./cmd/origin-loadgen $(SERVE_GRID) -tiny-model -mode windows -json /tmp/serve_windows_tiny.json
+	$(GO) run ./cmd/origin-loadgen $(SERVE_GRID) -tiny-model -mode stream -json /tmp/serve_stream_tiny.json
+	$(GO) run ./cmd/benchdiff serve-extract -o /tmp/BENCH_serve_tiny.json \
+		/tmp/serve_windows_tiny.json /tmp/serve_stream_tiny.json
+	$(GO) run ./cmd/benchdiff serve-verify /tmp/BENCH_serve_tiny.json | tee -a bench_diff.txt
+	$(GO) run ./cmd/benchdiff serve-verify BENCH_serve.json | tee -a bench_diff.txt
+	$(GO) test -race -run 'TestStreamLoadgenMatchesSerialReplay' ./internal/fleet
+
 # Formatting and static analysis, mirroring the CI lint job. staticcheck is
 # optional locally (the CI job installs it); gofmt failures list the files.
 lint:
@@ -61,7 +94,10 @@ verify-serve:
 		./internal/ensemble ./internal/obs
 
 # Short fuzz pass over the wire codec (go test allows one -fuzz target per
-# invocation, so the two decoders run back to back).
+# invocation, so the decoders run back to back). Covers the fixed-size uplink
+# records and the variable-length stream frames.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeResult -fuzztime=5s ./internal/comm
 	$(GO) test -fuzz=FuzzDecodeActivation -fuzztime=5s ./internal/comm
+	$(GO) test -fuzz=FuzzDecodeStreamFrame -fuzztime=5s ./internal/comm
+	$(GO) test -fuzz=FuzzIMURoundTrip -fuzztime=5s ./internal/comm

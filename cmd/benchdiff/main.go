@@ -4,6 +4,8 @@
 //	go test -bench ... | benchdiff extract -o BENCH_forward.json
 //	benchdiff compare -threshold 0.15 -o bench_diff.txt old.json new.json
 //	benchdiff verify -min 2.0 -min-int8 3.0 new.json
+//	benchdiff serve-extract -o BENCH_serve.json windows.json stream.json
+//	benchdiff serve-verify -min-wire-compression 10 BENCH_serve.json
 //
 // Raw nanoseconds are not comparable across machines, so compare normalises
 // every benchmark against an anchor benchmark recorded in the same run
@@ -68,6 +70,10 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "serve-extract":
+		err = cmdServeExtract(os.Args[2:])
+	case "serve-verify":
+		err = cmdServeVerify(os.Args[2:])
 	default:
 		usage()
 	}
@@ -81,7 +87,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   benchdiff extract [-anchor name] [-o out.json] [bench.txt]
   benchdiff compare [-threshold frac] [-o report.txt] old.json new.json
-  benchdiff verify [-min factor] [-min-int8 factor] new.json`)
+  benchdiff verify [-min factor] [-min-int8 factor] new.json
+  benchdiff serve-extract [-o serve.json] report.json...
+  benchdiff serve-verify [-min-wire-compression factor] [-max-accuracy-drop frac] serve.json`)
 	os.Exit(2)
 }
 

@@ -115,6 +115,7 @@ func TestOriginServeBadFlags(t *testing.T) {
 		{"-request-timeout", "-1s"},
 		{"-batch-size", "0"},
 		{"-batch-hold", "-1ms"},
+		{"-stream-idle-timeout", "-1s"},
 	} {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
 			runExpect2(t, "origin-serve", args...)
@@ -128,8 +129,13 @@ func TestOriginLoadgenBadFlags(t *testing.T) {
 		{"-users", "0"},
 		{"-requests", "-5"},
 		{"-mode", "bursts"},
+		{"-mode", "stream "},
 		{"-sensors-per-request", "0"},
 		{"-flip", "1.5"},
+		{"-mode", "stream", "-stream-hop", "0"},
+		{"-mode", "stream", "-stream-hop", "65"},
+		{"-mode", "stream", "-addr", "http://127.0.0.1:1"}, // external server needs -stream-addr too
+		{"-mode", "windows", "-tiny-model", "-addr", "http://127.0.0.1:1"},
 	} {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
 			runExpect2(t, "origin-loadgen", args...)

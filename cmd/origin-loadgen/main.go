@@ -21,6 +21,7 @@ import (
 
 	"origin/internal/experiments"
 	"origin/internal/fleet"
+	"origin/internal/fleet/fleettest"
 	"origin/internal/loadgen"
 	"origin/internal/serve"
 )
@@ -32,7 +33,7 @@ func main() {
 		users      = flag.Int("users", 16, "concurrent closed-loop users")
 		requests   = flag.Int("requests", 200, "classify rounds per user")
 		seed       = flag.Int64("seed", 1, "load stream seed (fixes every user's payload sequence)")
-		mode       = flag.String("mode", "votes", "payload kind: votes or windows")
+		mode       = flag.String("mode", "votes", "payload kind: votes, windows or stream")
 		sensorsPer = flag.Int("sensors-per-request", 1, "sensors reporting fresh data per round (1..3)")
 		flip       = flag.Float64("flip", 0.2, "synthetic vote mislabel probability (votes mode)")
 		quorum     = flag.Int("quorum", 0, "session vote quorum (0 = off)")
@@ -43,6 +44,9 @@ func main() {
 		queueDepth = flag.Int("queue", 256, "in-process server: classification queue depth")
 		workers    = flag.Int("workers", 0, "in-process server: classification workers (0 = GOMAXPROCS)")
 		cache      = flag.String("cache", "", "model cache directory")
+		streamAddr = flag.String("stream-addr", "", "stream front host:port (stream mode against an external -addr; the in-process server starts its own)")
+		streamHop  = flag.Int("stream-hop", loadgen.DefaultStreamHop, "new samples per steady-state stream frame (1..64)")
+		tinyModel  = flag.Bool("tiny-model", false, "serve tiny deterministic untrained models (CI wire-bytes gate; in-process server only)")
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -54,8 +58,8 @@ func main() {
 	if *users <= 0 || *requests <= 0 {
 		usageError("-users and -requests must be positive, got %d and %d", *users, *requests)
 	}
-	if *mode != string(loadgen.ModeVotes) && *mode != string(loadgen.ModeWindows) {
-		usageError("unknown -mode %q (want votes or windows)", *mode)
+	if !loadgen.KnownMode(*mode) {
+		usageError("unknown -mode %q (want one of %v)", *mode, loadgen.ModeNames())
 	}
 	if *sensorsPer < 1 || *sensorsPer > fleet.NumSensors {
 		usageError("-sensors-per-request must be in [1,%d], got %d", fleet.NumSensors, *sensorsPer)
@@ -63,10 +67,23 @@ func main() {
 	if *flip < 0 || *flip >= 1 {
 		usageError("-flip must be in [0,1), got %v", *flip)
 	}
+	if *streamHop < 1 || *streamHop > experiments.Window {
+		usageError("-stream-hop must be in [1,%d], got %d", experiments.Window, *streamHop)
+	}
+	if *addr != "" && loadgen.Mode(*mode) == loadgen.ModeStream && *streamAddr == "" {
+		usageError("-mode stream against an external -addr needs -stream-addr")
+	}
+	if *tinyModel && *addr != "" {
+		usageError("-tiny-model only applies to the in-process server (drop -addr)")
+	}
 
-	base := *addr
+	base, streamBase := *addr, *streamAddr
 	if base == "" {
-		mgr := fleet.NewManager(fleet.Config{QueueDepth: *queueDepth, Workers: *workers})
+		mgrCfg := fleet.Config{QueueDepth: *queueDepth, Workers: *workers}
+		if *tinyModel {
+			mgrCfg.Registry = fleettest.NewRegistry()
+		}
+		mgr := fleet.NewManager(mgrCfg)
 		if _, err := mgr.Registry().Get(*profile); err != nil {
 			fmt.Fprintf(os.Stderr, "origin-loadgen: build %s: %v\n", *profile, err)
 			os.Exit(1)
@@ -76,11 +93,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origin-loadgen: listen: %v\n", err)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: serve.New(serve.Config{Manager: mgr})}
+		// One Metrics instance across both fronts, so the /metrics parse
+		// counters cover whichever path the run exercises.
+		metrics := &serve.Metrics{}
+		srv := &http.Server{Handler: serve.New(serve.Config{Manager: mgr, Metrics: metrics})}
 		go func() { _ = srv.Serve(ln) }()
 		defer func() { _ = srv.Close(); mgr.Close() }()
 		base = "http://" + ln.Addr().String()
 		fmt.Printf("in-process origin-serve on %s\n", base)
+		if loadgen.Mode(*mode) == loadgen.ModeStream {
+			sln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "origin-loadgen: stream listen: %v\n", err)
+				os.Exit(1)
+			}
+			ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, Metrics: metrics})
+			go func() { _ = ss.Serve(sln) }()
+			defer ss.Close()
+			streamBase = sln.Addr().String()
+			fmt.Printf("in-process stream front on %s\n", streamBase)
+		}
 	}
 
 	rep, err := loadgen.Run(loadgen.Config{
@@ -88,6 +120,7 @@ func main() {
 		Users: *users, Requests: *requests, Seed: *seed,
 		Mode: loadgen.Mode(*mode), SensorsPerRequest: *sensorsPer, VoteFlip: *flip,
 		Quorum: *quorum, StaleLimit: *staleLimit, Freeze: *freeze,
+		StreamAddr: streamBase, StreamHop: *streamHop,
 		Traces: *traces,
 		Client: &http.Client{Timeout: 60 * time.Second},
 	})
@@ -99,6 +132,11 @@ func main() {
 		fmt.Printf("  latency     p50=%.2fms  p95=%.2fms  p99=%.2fms\n",
 			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
 		fmt.Printf("  accuracy    %.2f%% vs synthetic ground truth\n", 100*rep.Accuracy)
+		fmt.Printf("  uplink      %d bytes total, %.1f bytes/classification\n",
+			rep.UplinkBytes, rep.UplinkBytesPerClassification)
+		if rep.ParseNsPerClassification > 0 {
+			fmt.Printf("  parse       %.0f ns/classification server-side\n", rep.ParseNsPerClassification)
+		}
 		if *jsonOut != "" {
 			if werr := writeReport(rep, *jsonOut); werr != nil {
 				fmt.Fprintf(os.Stderr, "origin-loadgen: %v\n", werr)

@@ -5,6 +5,7 @@
 //	origin-serve -addr :8080 -max-sessions 10000 -session-ttl 30m -queue 512
 //	origin-serve -addr :8080 -batch-size 32 -batch-hold 200us
 //	origin-serve -addr :8080 -quant
+//	origin-serve -addr :8080 -stream-addr :8081
 //
 // Sessions hold per-wearer ensemble state (recall store + adaptive
 // confidence matrix) over models built once per profile; classify traffic
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +48,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight work on shutdown")
 		janitorEvery = flag.Duration("janitor-every", time.Minute, "TTL eviction sweep interval")
 		cache        = flag.String("cache", "", "model cache directory")
+		streamAddr   = flag.String("stream-addr", "", "binary stream front listen address (empty = HTTP only)")
+		idleTimeout  = flag.Duration("stream-idle-timeout", 5*time.Minute, "close stream connections idle longer than this")
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -83,6 +87,9 @@ func main() {
 	if *batchHold < 0 {
 		usageError("-batch-hold must not be negative, got %s", *batchHold)
 	}
+	if *idleTimeout <= 0 {
+		usageError("-stream-idle-timeout must be positive, got %s", *idleTimeout)
+	}
 
 	mgr := fleet.NewManager(fleet.Config{
 		Shards:      *shards,
@@ -113,9 +120,31 @@ func main() {
 		log.Printf("profile %s ready", p)
 	}
 
+	metrics := &serve.Metrics{}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(serve.Config{Manager: mgr, RequestTimeout: *reqTimeout}),
+		Handler: serve.New(serve.Config{Manager: mgr, RequestTimeout: *reqTimeout, Metrics: metrics}),
+	}
+
+	// Stream front: the persistent binary uplink shares the manager (and the
+	// metrics instance) with the HTTP API, so both fronts serve the same
+	// sessions and /metrics covers both.
+	var streamSrv *serve.StreamServer
+	if *streamAddr != "" {
+		ln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			log.Fatalf("origin-serve: stream listen: %v", err)
+		}
+		streamSrv = serve.NewStreamServer(serve.StreamConfig{
+			Manager: mgr, Metrics: metrics,
+			RoundTimeout: *reqTimeout, IdleTimeout: *idleTimeout,
+		})
+		go func() {
+			if err := streamSrv.Serve(ln); err != nil {
+				log.Printf("origin-serve: stream front: %v", err)
+			}
+		}()
+		log.Printf("stream front listening on %s", *streamAddr)
 	}
 
 	// Janitor: periodic TTL sweeps (eviction is otherwise lazy).
@@ -154,6 +183,11 @@ func main() {
 	// stop the workers.
 	log.Printf("shutting down: draining in-flight work (max %s)", *drainTimeout)
 	close(stopJanitor)
+	if streamSrv != nil {
+		// Close the stream front before the manager so in-flight rounds
+		// finish against live workers.
+		streamSrv.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

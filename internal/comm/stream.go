@@ -1,0 +1,513 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Stream wire format — the persistent per-session binary uplink.
+//
+// Where the 6-byte result message carries one already-classified vote, the
+// stream protocol carries the raw IMU samples themselves, so the host can
+// assemble sliding windows server-side and the client never retransmits the
+// overlap between consecutive windows. Samples are int16-quantised with a
+// per-frame scale, delta-encoded within each channel, and varint-packed —
+// a window's worth of float64 JSON (~7 KiB) becomes a few hundred bytes,
+// and a steady-state frame (one hop of new samples) a fraction of that.
+//
+// Every frame travels in a self-delimiting envelope:
+//
+//	0     frame type (uint8)
+//	1–2   payload length (uint16 LE)
+//	3..   payload
+//	+4    CRC-32 (IEEE, LE) over type, length and payload
+//
+// The CRC extends the wire-codec corruption discipline to variable-length
+// frames: a flipped bit anywhere in the envelope is detected before any
+// payload field is trusted, and the decoder rejects (never panics on)
+// damaged input. Payload fields use unsigned varints (uvarint) and zigzag
+// varints as noted per frame type.
+//
+// Frame payloads:
+//
+//	Hello (client→server, first frame on a connection):
+//	  uvarint   protocol version (must be StreamVersion)
+//	  uvarint   session id length, then that many bytes of session id
+//
+//	IMU (client→server):
+//	  0         sensor id (uint8)
+//	  1         flags (bit 0: end of round — classify after ingest)
+//	  uvarint   per-sensor frame sequence number (starts at 0)
+//	  uvarint   samples per channel (n)
+//	  float32   quantisation scale (LE; sample ≈ scale × int16)
+//	  per channel (Channels channels, channel-major):
+//	    zigzag varint  first quantised sample (absolute)
+//	    zigzag varint  n−1 deltas against the previous quantised sample
+//
+//	Result (server→client):
+//	  uvarint   slot (session round index)
+//	  uvarint   class + 1 (0 encodes the abstain class −1)
+//
+//	Heartbeat (either direction): empty payload.
+//
+//	Error (server→client, before close):
+//	  0         code (uint8)
+//	  uvarint   message length, then that many bytes of message
+type streamDoc struct{} //nolint:unused // anchor for the format comment
+
+// StreamVersion is the protocol version Hello must carry.
+const StreamVersion = 1
+
+// StreamMagic is the 4-byte connection preamble a client sends before its
+// first frame, so a misdirected HTTP request fails fast instead of being
+// misparsed as a frame.
+var StreamMagic = [4]byte{'O', 'S', 't', '1'}
+
+// Frame types.
+const (
+	FrameHello     = 1
+	FrameIMU       = 2
+	FrameResult    = 3
+	FrameHeartbeat = 4
+	FrameError     = 5
+)
+
+// Stream error codes (FrameError payloads).
+const (
+	StreamErrProtocol  = 1 // malformed or out-of-contract frame
+	StreamErrSession   = 2 // unknown or evicted session
+	StreamErrInternal  = 3 // server-side failure (shutdown, classify error)
+	StreamErrSaturated = 4 // round shed after retries (server overloaded)
+)
+
+// Envelope geometry.
+const (
+	streamHeaderBytes      = 3
+	streamCRCBytes         = 4
+	StreamEnvelopeOverhead = streamHeaderBytes + streamCRCBytes
+
+	// MaxStreamPayload is the largest payload the 16-bit length field
+	// admits; MaxStreamSamples bounds the per-channel sample count of one
+	// IMU frame (64 windows' worth — far beyond any sane hop) so a
+	// corrupted count cannot drive a huge allocation.
+	MaxStreamPayload = 1<<16 - 1
+	MaxStreamSamples = 4096
+)
+
+// StreamChannels is the per-sensor channel count the IMU frame layout is
+// fixed to. It mirrors synth.Channels (pinned by a test) without importing
+// the synth package into the codec.
+const StreamChannels = 6
+
+// Frame is one decoded envelope: a type tag and its raw payload.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// crcTable is the IEEE CRC-32 table (the stdlib default polynomial).
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// AppendFrame appends the enveloped frame (header, payload, CRC) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxStreamPayload {
+		return dst, fmt.Errorf("comm: stream payload %d bytes exceeds %d", len(payload), MaxStreamPayload)
+	}
+	start := len(dst)
+	dst = append(dst, typ, byte(len(payload)), byte(len(payload)>>8))
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+// ReadFrame reads one enveloped frame from r, verifying the CRC before any
+// payload byte is trusted. It distinguishes a clean EOF (io.EOF before the
+// first header byte) from a truncated frame (io.ErrUnexpectedEOF).
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [streamHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[1:3]))
+	body := make([]byte, n+streamCRCBytes)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	want := binary.LittleEndian.Uint32(body[n:])
+	crc := crc32.Checksum(hdr[:], crcTable)
+	crc = crc32.Update(crc, crcTable, body[:n])
+	if crc != want {
+		return Frame{}, fmt.Errorf("comm: stream frame CRC mismatch (type %d, %d payload bytes)", hdr[0], n)
+	}
+	return Frame{Type: hdr[0], Payload: body[:n]}, nil
+}
+
+// DecodeFrameBytes decodes exactly one enveloped frame from b, rejecting
+// trailing bytes — the entry point for fault-injection tests that carry
+// whole frames through a comm.Link.
+func DecodeFrameBytes(b []byte) (Frame, error) {
+	if len(b) < StreamEnvelopeOverhead {
+		return Frame{}, fmt.Errorf("comm: stream frame is %d bytes, want at least %d", len(b), StreamEnvelopeOverhead)
+	}
+	n := int(binary.LittleEndian.Uint16(b[1:3]))
+	if len(b) != StreamEnvelopeOverhead+n {
+		return Frame{}, fmt.Errorf("comm: stream frame is %d bytes, envelope says %d", len(b), StreamEnvelopeOverhead+n)
+	}
+	want := binary.LittleEndian.Uint32(b[streamHeaderBytes+n:])
+	if crc32.Checksum(b[:streamHeaderBytes+n], crcTable) != want {
+		return Frame{}, fmt.Errorf("comm: stream frame CRC mismatch (type %d, %d payload bytes)", b[0], n)
+	}
+	return Frame{Type: b[0], Payload: b[streamHeaderBytes : streamHeaderBytes+n]}, nil
+}
+
+// Hello is the decoded hello payload.
+type Hello struct {
+	Version int
+	Session string
+}
+
+// EncodeHello appends an enveloped hello frame to dst.
+func EncodeHello(dst []byte, h Hello) ([]byte, error) {
+	if h.Version < 0 || h.Session == "" || len(h.Session) > 255 {
+		return dst, fmt.Errorf("comm: invalid hello %+v", h)
+	}
+	p := binary.AppendUvarint(nil, uint64(h.Version))
+	p = binary.AppendUvarint(p, uint64(len(h.Session)))
+	p = append(p, h.Session...)
+	return AppendFrame(dst, FrameHello, p)
+}
+
+// DecodeHello parses a hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	d := payloadReader{b: p}
+	v := d.uvarint()
+	n := d.uvarint()
+	if d.err != nil || n > 255 {
+		return Hello{}, fmt.Errorf("comm: malformed hello")
+	}
+	id := d.bytes(int(n))
+	if d.err != nil || !d.done() {
+		return Hello{}, fmt.Errorf("comm: malformed hello")
+	}
+	if v != StreamVersion {
+		return Hello{}, fmt.Errorf("comm: unsupported stream version %d (want %d)", v, StreamVersion)
+	}
+	return Hello{Version: int(v), Session: string(id)}, nil
+}
+
+// IMUFrame is one decoded sample batch: n new samples per channel for one
+// sensor, already dequantised. Samples is channel-major (StreamChannels
+// rows of equal length), the layout of a synth window.
+type IMUFrame struct {
+	// Sensor is the reporting sensor id (0–255, validated against the
+	// model geometry by the receiver).
+	Sensor int
+	// Seq is the per-sensor frame sequence number. The receiver requires
+	// consecutive sequence numbers: duplicates are dropped, gaps rejected.
+	Seq int
+	// EndRound marks the last frame of a classify round.
+	EndRound bool
+	// Samples holds the dequantised samples, channel-major.
+	Samples [][]float64
+}
+
+// imuFlagEndRound is the IMU frame flags bit marking the end of a round.
+const imuFlagEndRound = 0x01
+
+// QuantizeScale returns the per-frame quantisation scale for a sample batch:
+// the smallest scale that fits the largest magnitude into int16 range. A
+// silent (all-zero) batch quantises with scale 0.
+func QuantizeScale(samples [][]float64) float32 {
+	maxAbs := 0.0
+	for _, row := range samples {
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	return float32(maxAbs / 32767)
+}
+
+// EncodeIMU appends an enveloped IMU frame to dst: samples are quantised to
+// int16 with the frame scale, delta-encoded per channel, and zigzag-varint
+// packed. The encoding is lossy (quantisation); decoding is exact given the
+// wire bytes, which is what the determinism contract needs — both the
+// server and a serial replay decode identical bytes to identical floats.
+func EncodeIMU(dst []byte, f IMUFrame) ([]byte, error) {
+	if f.Sensor < 0 || f.Sensor > 255 {
+		return dst, fmt.Errorf("comm: sensor id %d does not fit the stream format", f.Sensor)
+	}
+	if f.Seq < 0 {
+		return dst, fmt.Errorf("comm: negative stream seq %d", f.Seq)
+	}
+	if len(f.Samples) != StreamChannels {
+		return dst, fmt.Errorf("comm: IMU frame has %d channels, want %d", len(f.Samples), StreamChannels)
+	}
+	n := len(f.Samples[0])
+	if n == 0 || n > MaxStreamSamples {
+		return dst, fmt.Errorf("comm: IMU frame sample count %d outside [1,%d]", n, MaxStreamSamples)
+	}
+	for c, row := range f.Samples {
+		if len(row) != n {
+			return dst, fmt.Errorf("comm: IMU frame channel %d has %d samples, want %d", c, len(row), n)
+		}
+		for t, v := range row {
+			// Non-finite samples are rejected up front: converting NaN to an
+			// integer grid is implementation-defined, which would break the
+			// bit-identical replay contract.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return dst, fmt.Errorf("comm: IMU frame channel %d sample %d is not finite", c, t)
+			}
+		}
+	}
+	scale := QuantizeScale(f.Samples)
+	var flags byte
+	if f.EndRound {
+		flags |= imuFlagEndRound
+	}
+	p := make([]byte, 0, 2+2*binary.MaxVarintLen64+4+StreamChannels*n*2)
+	p = append(p, byte(f.Sensor), flags)
+	p = binary.AppendUvarint(p, uint64(f.Seq))
+	p = binary.AppendUvarint(p, uint64(n))
+	p = binary.LittleEndian.AppendUint32(p, math.Float32bits(scale))
+	for _, row := range f.Samples {
+		prev := int64(0)
+		for t, v := range row {
+			q := quantize(v, scale)
+			if t == 0 {
+				p = appendZigzag(p, q)
+			} else {
+				p = appendZigzag(p, q-prev)
+			}
+			prev = q
+		}
+	}
+	return AppendFrame(dst, FrameIMU, p)
+}
+
+// quantize maps a sample onto the int16 grid of the given scale.
+func quantize(v float64, scale float32) int64 {
+	if scale == 0 {
+		return 0
+	}
+	q := math.Round(v / float64(scale))
+	if q > 32767 {
+		q = 32767
+	}
+	if q < -32767 {
+		q = -32767
+	}
+	return int64(q)
+}
+
+// DecodeIMU parses an IMU payload, reconstructing the dequantised samples.
+// Every accumulated quantised value must stay within int16 range and the
+// payload must be exactly consumed — out-of-range accumulators and trailing
+// bytes both mark corruption that slipped past the CRC odds.
+func DecodeIMU(p []byte) (IMUFrame, error) {
+	d := payloadReader{b: p}
+	sensor := d.byte()
+	flags := d.byte()
+	seq := d.uvarint()
+	n := d.uvarint()
+	if d.err != nil {
+		return IMUFrame{}, fmt.Errorf("comm: malformed IMU frame header")
+	}
+	if n == 0 || n > MaxStreamSamples {
+		return IMUFrame{}, fmt.Errorf("comm: IMU frame sample count %d outside [1,%d]", n, MaxStreamSamples)
+	}
+	if flags&^imuFlagEndRound != 0 {
+		return IMUFrame{}, fmt.Errorf("comm: IMU frame has unknown flags %#x", flags)
+	}
+	scaleBits := d.uint32()
+	scale := math.Float32frombits(scaleBits)
+	if d.err != nil {
+		return IMUFrame{}, fmt.Errorf("comm: malformed IMU frame header")
+	}
+	if scale < 0 || math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
+		return IMUFrame{}, fmt.Errorf("comm: IMU frame scale %v invalid", scale)
+	}
+	f := IMUFrame{
+		Sensor:   int(sensor),
+		Seq:      int(seq),
+		EndRound: flags&imuFlagEndRound != 0,
+		Samples:  make([][]float64, StreamChannels),
+	}
+	if seq > math.MaxInt32 {
+		return IMUFrame{}, fmt.Errorf("comm: IMU frame seq %d out of range", seq)
+	}
+	flat := make([]float64, StreamChannels*int(n))
+	for c := 0; c < StreamChannels; c++ {
+		row := flat[c*int(n) : (c+1)*int(n)]
+		q := int64(0)
+		for t := range row {
+			dq := d.zigzag()
+			if t == 0 {
+				q = dq
+			} else {
+				q += dq
+			}
+			if q > 32767 || q < -32767 {
+				return IMUFrame{}, fmt.Errorf("comm: IMU frame channel %d sample %d overflows int16", c, t)
+			}
+			row[t] = float64(scale) * float64(q)
+		}
+		if d.err != nil {
+			return IMUFrame{}, fmt.Errorf("comm: truncated IMU frame samples")
+		}
+		f.Samples[c] = row
+	}
+	if !d.done() {
+		return IMUFrame{}, fmt.Errorf("comm: %d trailing bytes after IMU frame", len(d.b)-d.off)
+	}
+	return f, nil
+}
+
+// StreamResult is the decoded result-push payload.
+type StreamResult struct {
+	// Slot is the session round the result answers.
+	Slot int
+	// Class is the fused classification (-1 = abstained).
+	Class int
+}
+
+// EncodeStreamResult appends an enveloped result frame to dst.
+func EncodeStreamResult(dst []byte, r StreamResult) ([]byte, error) {
+	if r.Slot < 0 || r.Class < -1 {
+		return dst, fmt.Errorf("comm: invalid stream result %+v", r)
+	}
+	p := binary.AppendUvarint(nil, uint64(r.Slot))
+	p = binary.AppendUvarint(p, uint64(r.Class+1))
+	return AppendFrame(dst, FrameResult, p)
+}
+
+// DecodeStreamResult parses a result payload.
+func DecodeStreamResult(p []byte) (StreamResult, error) {
+	d := payloadReader{b: p}
+	slot := d.uvarint()
+	class := d.uvarint()
+	if d.err != nil || !d.done() {
+		return StreamResult{}, fmt.Errorf("comm: malformed stream result")
+	}
+	if slot > math.MaxInt32 || class > 256 {
+		return StreamResult{}, fmt.Errorf("comm: stream result out of range")
+	}
+	return StreamResult{Slot: int(slot), Class: int(class) - 1}, nil
+}
+
+// StreamError is the decoded error payload.
+type StreamError struct {
+	Code int
+	Msg  string
+}
+
+// EncodeStreamError appends an enveloped error frame to dst.
+func EncodeStreamError(dst []byte, e StreamError) ([]byte, error) {
+	if e.Code < 0 || e.Code > 255 || len(e.Msg) > 1024 {
+		return dst, fmt.Errorf("comm: invalid stream error %+v", e)
+	}
+	p := []byte{byte(e.Code)}
+	p = binary.AppendUvarint(p, uint64(len(e.Msg)))
+	p = append(p, e.Msg...)
+	return AppendFrame(dst, FrameError, p)
+}
+
+// DecodeStreamError parses an error payload.
+func DecodeStreamError(p []byte) (StreamError, error) {
+	d := payloadReader{b: p}
+	code := d.byte()
+	n := d.uvarint()
+	if d.err != nil || n > 1024 {
+		return StreamError{}, fmt.Errorf("comm: malformed stream error")
+	}
+	msg := d.bytes(int(n))
+	if d.err != nil || !d.done() {
+		return StreamError{}, fmt.Errorf("comm: malformed stream error")
+	}
+	return StreamError{Code: int(code), Msg: string(msg)}, nil
+}
+
+// EncodeHeartbeat appends an enveloped heartbeat frame to dst.
+func EncodeHeartbeat(dst []byte) ([]byte, error) {
+	return AppendFrame(dst, FrameHeartbeat, nil)
+}
+
+// appendZigzag appends a zigzag-coded signed varint.
+func appendZigzag(p []byte, v int64) []byte {
+	return binary.AppendUvarint(p, uint64((v<<1)^(v>>63)))
+}
+
+// payloadReader is a tiny cursor over a frame payload with sticky errors,
+// so decoders read fields linearly and check once.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *payloadReader) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("comm: truncated payload")
+	}
+}
+
+func (d *payloadReader) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *payloadReader) uint32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *payloadReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *payloadReader) zigzag() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (d *payloadReader) bytes(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *payloadReader) done() bool { return d.err == nil && d.off == len(d.b) }

@@ -1,0 +1,18 @@
+package comm_test
+
+import (
+	"testing"
+
+	"origin/internal/comm"
+	"origin/internal/synth"
+)
+
+// TestStreamChannelsPinned: the stream IMU frame layout hard-codes the
+// channel count instead of importing synth into the codec; this pin fails
+// the moment the two constants drift.
+func TestStreamChannelsPinned(t *testing.T) {
+	if comm.StreamChannels != synth.Channels {
+		t.Fatalf("comm.StreamChannels = %d, synth.Channels = %d — the IMU frame layout no longer matches the sensor geometry",
+			comm.StreamChannels, synth.Channels)
+	}
+}

@@ -1,0 +1,418 @@
+package comm
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden stream wire vectors")
+
+// goldenFrames returns the fixture frame set: one of each frame type, with
+// samples that sit exactly on the quantisation grid (max |sample| = 32767 →
+// scale 1.0) so the decoded values are written down verbatim below.
+func goldenFrames(t testing.TB) [][]byte {
+	t.Helper()
+	imu := IMUFrame{
+		Sensor: 1, Seq: 0, EndRound: true,
+		Samples: [][]float64{
+			{0, 1, -1, 2},
+			{100, 99, 101, 98},
+			{-32767, 32767, 0, -5},
+			{7, 7, 7, 7},
+			{-250, 0, 250, 500},
+			{32000, -32000, 16000, -16000},
+		},
+	}
+	var frames [][]byte
+	for _, enc := range []func() ([]byte, error){
+		func() ([]byte, error) { return EncodeHello(nil, Hello{Version: StreamVersion, Session: "sess-42"}) },
+		func() ([]byte, error) { return EncodeIMU(nil, imu) },
+		func() ([]byte, error) { return EncodeStreamResult(nil, StreamResult{Slot: 7, Class: 3}) },
+		func() ([]byte, error) { return EncodeStreamResult(nil, StreamResult{Slot: 8, Class: -1}) },
+		func() ([]byte, error) { return EncodeHeartbeat(nil) },
+		func() ([]byte, error) {
+			return EncodeStreamError(nil, StreamError{Code: StreamErrSession, Msg: "no such session"})
+		},
+	} {
+		b, err := enc()
+		if err != nil {
+			t.Fatalf("golden encode: %v", err)
+		}
+		frames = append(frames, b)
+	}
+	return frames
+}
+
+const goldenPath = "testdata/stream_golden.bin"
+
+// TestStreamGoldenVectors pins the wire format: the committed fixture bytes
+// must decode to the expected values and re-encode byte-identically. A
+// failure here means an encoder change broke compatibility with already
+// deployed senders — bump StreamVersion instead of updating the fixture
+// unless the format change is deliberate (then: go test -run Golden -update).
+func TestStreamGoldenVectors(t *testing.T) {
+	frames := goldenFrames(t)
+	if *updateGolden {
+		var all []byte
+		for _, f := range frames {
+			all = append(all, f...)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, all, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden fixture (regenerate with -update): %v", err)
+	}
+
+	// Re-encoding today's frames must reproduce the committed bytes exactly.
+	var all []byte
+	for _, f := range frames {
+		all = append(all, f...)
+	}
+	if !bytes.Equal(all, data) {
+		t.Fatalf("encoder no longer reproduces the committed wire bytes (%d vs %d bytes)", len(all), len(data))
+	}
+
+	// And the committed bytes must decode to the expected values.
+	r := bytes.NewReader(data)
+	next := func(wantType byte) Frame {
+		t.Helper()
+		f, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("read golden frame: %v", err)
+		}
+		if f.Type != wantType {
+			t.Fatalf("golden frame type %d, want %d", f.Type, wantType)
+		}
+		return f
+	}
+
+	h, err := DecodeHello(next(FrameHello).Payload)
+	if err != nil || h.Version != StreamVersion || h.Session != "sess-42" {
+		t.Fatalf("golden hello = %+v, %v", h, err)
+	}
+	imu, err := DecodeIMU(next(FrameIMU).Payload)
+	if err != nil {
+		t.Fatalf("golden IMU: %v", err)
+	}
+	if imu.Sensor != 1 || imu.Seq != 0 || !imu.EndRound {
+		t.Fatalf("golden IMU header = %+v", imu)
+	}
+	want := [][]float64{
+		{0, 1, -1, 2},
+		{100, 99, 101, 98},
+		{-32767, 32767, 0, -5},
+		{7, 7, 7, 7},
+		{-250, 0, 250, 500},
+		{32000, -32000, 16000, -16000},
+	}
+	for c := range want {
+		for s := range want[c] {
+			if imu.Samples[c][s] != want[c][s] {
+				t.Fatalf("golden IMU sample [%d][%d] = %v, want %v", c, s, imu.Samples[c][s], want[c][s])
+			}
+		}
+	}
+	res, err := DecodeStreamResult(next(FrameResult).Payload)
+	if err != nil || res.Slot != 7 || res.Class != 3 {
+		t.Fatalf("golden result = %+v, %v", res, err)
+	}
+	res, err = DecodeStreamResult(next(FrameResult).Payload)
+	if err != nil || res.Slot != 8 || res.Class != -1 {
+		t.Fatalf("golden abstain result = %+v, %v", res, err)
+	}
+	if f := next(FrameHeartbeat); len(f.Payload) != 0 {
+		t.Fatalf("golden heartbeat has %d payload bytes", len(f.Payload))
+	}
+	se, err := DecodeStreamError(next(FrameError).Payload)
+	if err != nil || se.Code != StreamErrSession || se.Msg != "no such session" {
+		t.Fatalf("golden error = %+v, %v", se, err)
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("trailing golden bytes: %v", err)
+	}
+}
+
+func TestStreamFrameRoundTrips(t *testing.T) {
+	h := Hello{Version: StreamVersion, Session: "abcdef-123"}
+	b, err := EncodeHello(nil, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrameBytes(b)
+	if err != nil || f.Type != FrameHello {
+		t.Fatalf("frame = %+v, %v", f, err)
+	}
+	got, err := DecodeHello(f.Payload)
+	if err != nil || got != h {
+		t.Fatalf("hello = %+v, %v", got, err)
+	}
+
+	r := StreamResult{Slot: 12345, Class: 9}
+	b, err = EncodeStreamResult(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ = DecodeFrameBytes(b)
+	gotR, err := DecodeStreamResult(f.Payload)
+	if err != nil || gotR != r {
+		t.Fatalf("result = %+v, %v", gotR, err)
+	}
+
+	e := StreamError{Code: StreamErrSaturated, Msg: "queue full"}
+	b, err = EncodeStreamError(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ = DecodeFrameBytes(b)
+	gotE, err := DecodeStreamError(f.Payload)
+	if err != nil || gotE != e {
+		t.Fatalf("error = %+v, %v", gotE, err)
+	}
+}
+
+// TestIMUQuantizationError bounds the lossy step: every decoded sample must
+// sit within one quantisation step of its input.
+func TestIMUQuantizationError(t *testing.T) {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = make([]float64, 32)
+		for s := range samples[c] {
+			samples[c][s] = 10*math.Sin(float64(c*32+s)/5) + float64(c)
+		}
+	}
+	scale := QuantizeScale(samples)
+	b, err := EncodeIMU(nil, IMUFrame{Sensor: 0, Seq: 3, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrameBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imu, err := DecodeIMU(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imu.Seq != 3 || imu.EndRound {
+		t.Fatalf("imu header = %+v", imu)
+	}
+	for c := range samples {
+		for s := range samples[c] {
+			if d := math.Abs(imu.Samples[c][s] - samples[c][s]); d > float64(scale) {
+				t.Fatalf("sample [%d][%d]: error %v beyond one step %v", c, s, d, scale)
+			}
+		}
+	}
+}
+
+// TestIMUDecodeDeterminism: the wire bytes, not the pre-quantisation floats,
+// define the decoded values — two decodes of the same bytes must agree
+// exactly (the property the replay contract leans on).
+func TestIMUDecodeDeterminism(t *testing.T) {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = make([]float64, 16)
+		for s := range samples[c] {
+			samples[c][s] = math.Sqrt(float64(c+1)) * float64(s-8)
+		}
+	}
+	b, err := EncodeIMU(nil, IMUFrame{Sensor: 2, Seq: 0, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := DecodeFrameBytes(b)
+	a1, err1 := DecodeIMU(f.Payload)
+	a2, err2 := DecodeIMU(f.Payload)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for c := range a1.Samples {
+		for s := range a1.Samples[c] {
+			if a1.Samples[c][s] != a2.Samples[c][s] {
+				t.Fatalf("decode not deterministic at [%d][%d]", c, s)
+			}
+		}
+	}
+}
+
+func TestEncodeIMURejects(t *testing.T) {
+	good := func() IMUFrame {
+		s := make([][]float64, StreamChannels)
+		for c := range s {
+			s[c] = []float64{1, 2}
+		}
+		return IMUFrame{Sensor: 0, Seq: 0, Samples: s}
+	}
+	cases := map[string]IMUFrame{
+		"bad sensor":   func() IMUFrame { f := good(); f.Sensor = 256; return f }(),
+		"neg seq":      func() IMUFrame { f := good(); f.Seq = -1; return f }(),
+		"few channels": func() IMUFrame { f := good(); f.Samples = f.Samples[:2]; return f }(),
+		"ragged":       func() IMUFrame { f := good(); f.Samples[3] = []float64{1}; return f }(),
+		"empty": func() IMUFrame {
+			f := good()
+			for c := range f.Samples {
+				f.Samples[c] = nil
+			}
+			return f
+		}(),
+		"NaN": func() IMUFrame { f := good(); f.Samples[1][0] = math.NaN(); return f }(),
+		"Inf": func() IMUFrame { f := good(); f.Samples[5][1] = math.Inf(-1); return f }(),
+	}
+	for name, frame := range cases {
+		if _, err := EncodeIMU(nil, frame); err == nil {
+			t.Errorf("%s: encode accepted", name)
+		}
+	}
+	if _, err := EncodeIMU(nil, good()); err != nil {
+		t.Fatalf("good frame rejected: %v", err)
+	}
+}
+
+// TestStreamFrameBitFlips: every single-bit corruption of an enveloped frame
+// must be rejected — CRC-32 detects all single-bit errors, so a flipped bit
+// can never decode as a clean frame.
+func TestStreamFrameBitFlips(t *testing.T) {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = []float64{1.5, -2.25, 3, 0}
+	}
+	b, err := EncodeIMU(nil, IMUFrame{Sensor: 3, Seq: 17, EndRound: true, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(b)*8; bit++ {
+		damaged := append([]byte(nil), b...)
+		FlipBit(damaged, bit)
+		if _, err := DecodeFrameBytes(damaged); err == nil {
+			t.Fatalf("bit flip %d decoded cleanly", bit)
+		}
+	}
+	if _, err := DecodeFrameBytes(b); err != nil {
+		t.Fatalf("undamaged frame rejected: %v", err)
+	}
+}
+
+func TestReadFrameEOFDiscipline(t *testing.T) {
+	b, err := EncodeHeartbeat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := append(append([]byte(nil), b...), b...)
+	r := bytes.NewReader(two)
+	for i := 0; i < 2; i++ {
+		if _, err := ReadFrame(r); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("clean end = %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(b[:cut])); err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncation at %d = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestDecodeFrameBytesRejectsTrailing(t *testing.T) {
+	b, err := EncodeHeartbeat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrameBytes(append(b, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeFrameBytes(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// TestStreamSteadyStateFrameSize documents the compression claim at the
+// frame level: a 32-sample hop frame of realistic IMU magnitudes must be an
+// order of magnitude smaller than its JSON equivalent (~3.7 KB).
+func TestStreamSteadyStateFrameSize(t *testing.T) {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = make([]float64, 32)
+		for s := range samples[c] {
+			samples[c][s] = 9.81*math.Sin(float64(s)/6+float64(c)) + 0.3*float64(c)
+		}
+	}
+	b, err := EncodeIMU(nil, IMUFrame{Sensor: 0, Seq: 100, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) > 700 {
+		t.Fatalf("steady-state frame is %d bytes; delta coding regressed", len(b))
+	}
+}
+
+func BenchmarkEncodeIMU(b *testing.B) {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = make([]float64, 32)
+		for s := range samples[c] {
+			samples[c][s] = 9.81 * math.Sin(float64(s)/6+float64(c))
+		}
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = EncodeIMU(buf[:0], IMUFrame{Sensor: 0, Seq: i, Samples: samples})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeIMU(b *testing.B) {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = make([]float64, 32)
+		for s := range samples[c] {
+			samples[c][s] = 9.81 * math.Sin(float64(s)/6+float64(c))
+		}
+	}
+	enc, err := EncodeIMU(nil, IMUFrame{Sensor: 0, Seq: 0, Samples: samples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := DecodeFrameBytes(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeIMU(f.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleEncodeIMU() {
+	samples := make([][]float64, StreamChannels)
+	for c := range samples {
+		samples[c] = []float64{0, 1, 2, 3}
+	}
+	b, _ := EncodeIMU(nil, IMUFrame{Sensor: 1, Seq: 0, EndRound: true, Samples: samples})
+	f, _ := DecodeFrameBytes(b)
+	imu, _ := DecodeIMU(f.Payload)
+	fmt.Println(imu.Sensor, imu.EndRound, len(imu.Samples), len(b))
+	// Output: 1 true 6 75
+}

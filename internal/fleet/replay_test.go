@@ -1,12 +1,14 @@
 package fleet_test
 
 import (
+	"net"
 	"net/http/httptest"
 	"reflect"
 	"testing"
 	"time"
 
 	"origin"
+	"origin/internal/comm"
 	"origin/internal/fleet"
 	"origin/internal/fleet/fleettest"
 	"origin/internal/loadgen"
@@ -29,6 +31,20 @@ func newTestServer(t *testing.T, queueDepth, workers int) (*httptest.Server, *fl
 		mgr.Close()
 	})
 	return ts, mgr
+}
+
+// newStreamFront attaches a binary stream front to the same manager and
+// returns its address.
+func newStreamFront(t *testing.T, mgr *fleet.Manager) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, RoundTimeout: 30 * time.Second})
+	go func() { _ = ss.Serve(ln) }()
+	t.Cleanup(ss.Close)
+	return ln.Addr().String()
 }
 
 // replayConfig fills every field Run would default, so the streams the
@@ -76,6 +92,87 @@ func serialReplay(t *testing.T, cfg *loadgen.Config, i int) []int {
 		classes[k] = res.Class
 	}
 	return classes
+}
+
+// serialStreamReplay rebuilds user i's stream-mode classification sequence
+// without a network: regenerate the exact frame bytes the live client sent
+// (FrameSource is deterministic), decode them through the wire codec, run
+// them through the same StreamAssembler the server uses, and classify each
+// completed round on a fresh facade session. Byte-identical inputs on both
+// paths — the quantisation loss happens before the wire, never differently
+// on either side of it.
+func serialStreamReplay(t *testing.T, cfg *loadgen.Config, i int) []int {
+	t.Helper()
+	model, err := fleettest.NewModel(cfg.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := origin.OpenSession(model, "replay", loadgen.UserID(i), origin.ServeOpts{
+		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := loadgen.NewFrameSource(cfg, synth.MHEALTHProfile(), i)
+	asm := serve.NewStreamAssembler(model.Sensors(), model.Window)
+	var classes []int
+	for k := 0; k < cfg.Requests; k++ {
+		frames, err := fs.Next(k)
+		if err != nil {
+			t.Fatalf("user %d round %d: %v", i, k, err)
+		}
+		for _, b := range frames {
+			f, err := comm.DecodeFrameBytes(b)
+			if err != nil {
+				t.Fatalf("user %d round %d: %v", i, k, err)
+			}
+			imu, err := comm.DecodeIMU(f.Payload)
+			if err != nil {
+				t.Fatalf("user %d round %d: %v", i, k, err)
+			}
+			end, err := asm.Ingest(imu)
+			if err != nil {
+				t.Fatalf("user %d round %d: %v", i, k, err)
+			}
+			if !end {
+				continue
+			}
+			res, err := sess.Classify(asm.TakeRound())
+			if err != nil {
+				t.Fatalf("user %d round %d: %v", i, k, err)
+			}
+			classes = append(classes, res.Class)
+		}
+	}
+	return classes
+}
+
+// prop (ISSUE acceptance): a concurrent stream-mode loadgen run yields
+// per-session classification sequences bit-identical to serially replaying
+// each session's frame stream through the assembler + facade. Runs in CI
+// under -race via the serve verification target.
+func TestStreamLoadgenMatchesSerialReplay(t *testing.T) {
+	ts, mgr := newTestServer(t, 64, 4)
+	cfg := replayConfig(ts.URL, loadgen.ModeStream, 4, 24)
+	cfg.StreamAddr = newStreamFront(t, mgr)
+	cfg.StreamHop = loadgen.DefaultStreamHop // Run defaults this on its own copy; the replay needs it too
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if len(rep.Sessions) != cfg.Users {
+		t.Fatalf("traced %d sessions, want %d", len(rep.Sessions), cfg.Users)
+	}
+	for i, tr := range rep.Sessions {
+		want := serialStreamReplay(t, &cfg, i)
+		if !reflect.DeepEqual(tr.Classes, want) {
+			t.Errorf("user %d: stream sequence diverged from serial replay:\n got %v\nwant %v",
+				i, tr.Classes, want)
+		}
+	}
+	if rep.UplinkBytes <= 0 || rep.UplinkBytesPerClassification <= 0 {
+		t.Fatalf("stream run recorded no uplink bytes: %+v", rep)
+	}
 }
 
 // prop (ISSUE acceptance): for a fixed seed set, a concurrent loadgen run

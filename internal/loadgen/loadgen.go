@@ -38,7 +38,26 @@ const (
 	// ModeWindows sends raw IMU windows classified server-side on the
 	// model's nets.
 	ModeWindows Mode = "windows"
+	// ModeStream sends delta-quantized binary IMU frames over a persistent
+	// per-session stream connection; the server assembles sliding windows
+	// host-side and pushes results back on the same stream (see
+	// internal/loadgen/stream.go).
+	ModeStream Mode = "stream"
 )
+
+// KnownMode reports whether name is a valid payload mode.
+func KnownMode(name string) bool {
+	switch Mode(name) {
+	case ModeVotes, ModeWindows, ModeStream:
+		return true
+	}
+	return false
+}
+
+// ModeNames lists the valid payload modes for usage diagnostics.
+func ModeNames() []string {
+	return []string{string(ModeVotes), string(ModeWindows), string(ModeStream)}
+}
 
 // Config parameterises one load run.
 type Config struct {
@@ -63,6 +82,13 @@ type Config struct {
 	// Quorum / StaleLimit / Freeze forward to session creation.
 	Quorum, StaleLimit int
 	Freeze             bool
+	// StreamAddr is the stream front's TCP address (host:port), required
+	// for ModeStream.
+	StreamAddr string
+	// StreamHop is how many new samples per channel each steady-state
+	// stream frame carries (the sliding-window hop; the first frame per
+	// sensor always carries a full window). Default DefaultStreamHop.
+	StreamHop int
 	// Client is the HTTP client (default: 30 s timeout).
 	Client *http.Client
 	// Traces records every session's classification sequence in the
@@ -102,6 +128,20 @@ type Report struct {
 	// ground-truth activity timeline (the client knows the truth it
 	// synthesised — a live deployment would not).
 	Accuracy float64 `json:"accuracy"`
+
+	// UplinkBytes is the total request payload bytes shipped uplink: JSON
+	// bodies in votes/windows mode, enveloped frames (payload + header +
+	// CRC) in stream mode. HTTP header overhead is excluded, which flatters
+	// the JSON modes — the stream compression numbers are a floor.
+	UplinkBytes int64 `json:"uplinkBytes"`
+	// UplinkBytesPerClassification is UplinkBytes over successful rounds —
+	// the column the wire-compression gate compares across modes.
+	UplinkBytesPerClassification float64 `json:"uplinkBytesPerClassification"`
+	// ParseNsPerClassification is the server-side request-decode cost per
+	// round (JSON decode + input shaping, or frame decode + window
+	// assembly), read as a /metrics counter delta around the run. Zero when
+	// the server does not export parse counters.
+	ParseNsPerClassification float64 `json:"parseNsPerClassification,omitempty"`
 
 	Sessions []SessionTrace `json:"sessions,omitempty"`
 }
@@ -209,14 +249,15 @@ func profileByName(name string) (*synth.Profile, error) {
 
 // userResult is one user goroutine's tally.
 type userResult struct {
-	trace     SessionTrace
-	sent      int
-	ok        int
-	shed      int
-	errs      int
-	correct   int
-	latencies []time.Duration
-	err       error
+	trace       SessionTrace
+	sent        int
+	ok          int
+	shed        int
+	errs        int
+	correct     int
+	uplinkBytes int64
+	latencies   []time.Duration
+	err         error
 }
 
 // Run executes the load run and aggregates the report.
@@ -233,6 +274,18 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = ModeVotes
 	}
+	if !KnownMode(string(cfg.Mode)) {
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want one of %v)", cfg.Mode, ModeNames())
+	}
+	if cfg.Mode == ModeStream && cfg.StreamAddr == "" {
+		return nil, fmt.Errorf("loadgen: stream mode requires StreamAddr")
+	}
+	if cfg.StreamHop == 0 {
+		cfg.StreamHop = DefaultStreamHop
+	}
+	if cfg.StreamHop < 1 || cfg.StreamHop > windowLen {
+		return nil, fmt.Errorf("loadgen: stream hop %d outside [1,%d]", cfg.StreamHop, windowLen)
+	}
 	if cfg.VoteFlip == 0 {
 		cfg.VoteFlip = 0.2
 	}
@@ -244,6 +297,7 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	parseNanos0, parseRounds0 := fetchParseCounters(cfg.Client, cfg.BaseURL)
 	results := make([]userResult, cfg.Users)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -251,11 +305,16 @@ func Run(cfg Config) (*Report, error) {
 	for i := 0; i < cfg.Users; i++ {
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runUser(&cfg, profile, i)
+			if cfg.Mode == ModeStream {
+				results[i] = runStreamUser(&cfg, profile, i)
+			} else {
+				results[i] = runUser(&cfg, profile, i)
+			}
 		}(i)
 	}
 	wg.Wait()
 	dur := time.Since(start)
+	parseNanos1, parseRounds1 := fetchParseCounters(cfg.Client, cfg.BaseURL)
 
 	rep := &Report{
 		Profile: cfg.Profile, Mode: string(cfg.Mode),
@@ -273,6 +332,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.OK += r.ok
 		rep.Shed += r.shed
 		rep.Errors += r.errs
+		rep.UplinkBytes += r.uplinkBytes
 		lats = append(lats, r.latencies...)
 		total += len(r.trace.Classes)
 		correct += r.correct
@@ -288,6 +348,12 @@ func Run(cfg Config) (*Report, error) {
 	rep.LatencyP99Ms = percentileMs(lats, 0.99)
 	if total > 0 {
 		rep.Accuracy = float64(correct) / float64(total)
+	}
+	if rep.OK > 0 {
+		rep.UplinkBytesPerClassification = float64(rep.UplinkBytes) / float64(rep.OK)
+	}
+	if dn, dr := parseNanos1-parseNanos0, parseRounds1-parseRounds0; dn > 0 && dr > 0 {
+		rep.ParseNsPerClassification = float64(dn) / float64(dr)
 	}
 	if rep.Errors > 0 && err == nil {
 		err = fmt.Errorf("loadgen: %d requests failed", rep.Errors)
@@ -305,7 +371,7 @@ func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
 		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
 	}
 	var created serve.CreateSessionResponse
-	status, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
+	status, _, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
 	if err != nil || status != http.StatusCreated {
 		r.errs++
 		r.err = fmt.Errorf("loadgen: user %d create session: status %d err %v", i, status, err)
@@ -319,9 +385,11 @@ func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
 		for attempt := 0; ; attempt++ {
 			var res serve.ClassifyResponse
 			t0 := time.Now()
-			status, err := postJSON(cfg.Client, url, req, &res)
+			status, reqBytes, err := postJSON(cfg.Client, url, req, &res)
 			lat := time.Since(t0)
 			r.sent++
+			// Every send is real uplink, including retries of shed rounds.
+			r.uplinkBytes += int64(reqBytes)
 			if err != nil {
 				r.errs++
 				r.err = fmt.Errorf("loadgen: user %d round %d: %v", i, k, err)
@@ -351,25 +419,26 @@ func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
 }
 
 // postJSON posts v as JSON and decodes the response into out (when the
-// body is JSON). It returns the HTTP status.
-func postJSON(c *http.Client, url string, v, out any) (int, error) {
+// body is JSON). It returns the HTTP status and the request body size —
+// the uplink-bytes accounting unit for the JSON modes.
+func postJSON(c *http.Client, url string, v, out any) (int, int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, len(body), err
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, len(body), err
 		}
-		return resp.StatusCode, nil
+		return resp.StatusCode, len(body), nil
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, len(body), nil
 }
 
 // percentileMs returns the q-th latency percentile in milliseconds

@@ -1,0 +1,236 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"origin/internal/comm"
+	"origin/internal/serve"
+	"origin/internal/synth"
+)
+
+// DefaultStreamHop is the steady-state sliding-window hop: how many new
+// samples per channel a stream frame ships once the sensor's first frame has
+// filled the window. Half-window overlap keeps activity-transition
+// contamination to a round or two while still re-sending nothing.
+const DefaultStreamHop = 32
+
+// FrameSource generates one user's deterministic stream-mode frame
+// sequence. It is the binary-uplink twin of Stream: frame k depends only on
+// (profile, seed, user index, k), and the encoded bytes are what both the
+// live client ships and the serial replay re-derives — the determinism
+// contract compares classification sequences produced from identical frame
+// bytes on both paths.
+//
+// Unlike Stream (whose windows are i.i.d. draws), a FrameSource owns one
+// synth.SensorStream per sensor, so consecutive frames of a sensor join
+// contiguously and the server-side sliding-window assembly sees a real
+// continuous signal.
+type FrameSource struct {
+	profile  *synth.Profile
+	timeline *synth.Timeline
+	cfg      *Config
+	sensors  [synth.NumLocations]sensorFrames
+	step     int
+}
+
+// sensorFrames is one sensor's stream progress: its continuous signal
+// source, the next frame sequence number, and whether the priming
+// (full-window) frame has been sent.
+type sensorFrames struct {
+	stream *synth.SensorStream
+	seq    int
+	primed bool
+}
+
+// NewFrameSource builds the i-th user's frame source. The seeding mirrors
+// NewStream exactly (same timeline, same wearer id), so votes/windows/stream
+// runs over the same (seed, user) grid classify the same ground-truth
+// activity sequence.
+func NewFrameSource(cfg *Config, profile *synth.Profile, i int) *FrameSource {
+	seed := streamSeed(cfg.Seed, i)
+	tl := synth.GenerateTimeline(profile, synth.TimelineConfig{
+		Slots: cfg.Requests, MeanSegment: 40, MinSegment: 10, Seed: seed,
+	})
+	u := synth.NewUser(UserID(i))
+	fs := &FrameSource{profile: profile, timeline: tl, cfg: cfg}
+	for s := 0; s < synth.NumLocations; s++ {
+		// seed+3+s keeps the per-sensor RNG streams disjoint from the
+		// timeline (seed), generator (seed+1) and vote (seed+2) streams.
+		fs.sensors[s].stream = synth.NewSensorStream(profile, u, synth.Location(s), seed+3+int64(s))
+	}
+	return fs
+}
+
+// Truth returns the ground-truth activity of round k.
+func (fs *FrameSource) Truth(k int) int { return fs.timeline.PerSlot[k] }
+
+// Next returns round k's encoded (enveloped) IMU frames in send order. The
+// last frame carries the end-of-round flag. Must be called sequentially —
+// the sensor streams advance with each round.
+func (fs *FrameSource) Next(k int) ([][]byte, error) {
+	if k != fs.step {
+		panic(fmt.Sprintf("loadgen: frame source stepped out of order: got %d want %d", k, fs.step))
+	}
+	fs.step++
+	truth := fs.timeline.PerSlot[k]
+	n := fs.cfg.SensorsPerRequest
+	frames := make([][]byte, 0, n)
+	for j := 0; j < n; j++ {
+		sensorID := (k*n + j) % synth.NumLocations
+		st := &fs.sensors[sensorID]
+		count := fs.cfg.StreamHop
+		if !st.primed {
+			// The first frame must fill the server-side window outright:
+			// there is no history to slide over yet.
+			count = windowLen
+			st.primed = true
+		}
+		samples := st.stream.Next(truth, count, nil)
+		rows := make([][]float64, synth.Channels)
+		for c := 0; c < synth.Channels; c++ {
+			rows[c] = samples[c*count : (c+1)*count]
+		}
+		enc, err := comm.EncodeIMU(nil, comm.IMUFrame{
+			Sensor: sensorID, Seq: st.seq, EndRound: j == n-1, Samples: rows,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: encode frame (round %d sensor %d): %w", k, sensorID, err)
+		}
+		st.seq++
+		frames = append(frames, enc)
+	}
+	return frames, nil
+}
+
+// runStreamUser is one closed-loop stream-mode user: create a session over
+// HTTP, open the persistent binary connection, then for every round send the
+// frames and wait for the pushed result before the next round. The server
+// absorbs shed rounds internally, so unlike the HTTP loop there is no
+// client-side retry — every round classifies exactly once.
+func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
+	var r userResult
+	fail := func(err error) userResult {
+		r.errs++
+		r.err = err
+		return r
+	}
+	create := serve.CreateSessionRequest{
+		Profile: cfg.Profile, User: UserID(i),
+		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
+	}
+	var created serve.CreateSessionResponse
+	status, _, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
+	if err != nil || status != http.StatusCreated {
+		return fail(fmt.Errorf("loadgen: user %d create session: status %d err %v", i, status, err))
+	}
+	r.trace = SessionTrace{User: UserID(i), ID: created.ID}
+
+	conn, err := net.DialTimeout("tcp", cfg.StreamAddr, 10*time.Second)
+	if err != nil {
+		return fail(fmt.Errorf("loadgen: user %d dial stream %s: %v", i, cfg.StreamAddr, err))
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 32<<10)
+
+	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...),
+		comm.Hello{Version: comm.StreamVersion, Session: created.ID})
+	if err != nil {
+		return fail(fmt.Errorf("loadgen: user %d encode hello: %v", i, err))
+	}
+	if _, err := conn.Write(hello); err != nil {
+		return fail(fmt.Errorf("loadgen: user %d send hello: %v", i, err))
+	}
+	// The preamble and hello are uplink too; amortised over the run they
+	// vanish, but counting them keeps the bytes column honest.
+	r.uplinkBytes += int64(len(hello))
+
+	fs := NewFrameSource(cfg, profile, i)
+	for k := 0; k < cfg.Requests; k++ {
+		frames, err := fs.Next(k)
+		if err != nil {
+			return fail(err)
+		}
+		t0 := time.Now()
+		for _, f := range frames {
+			if _, err := conn.Write(f); err != nil {
+				return fail(fmt.Errorf("loadgen: user %d round %d: send frame: %v", i, k, err))
+			}
+			r.uplinkBytes += int64(len(f))
+		}
+		r.sent++
+		frame, err := comm.ReadFrame(br)
+		if err != nil {
+			return fail(fmt.Errorf("loadgen: user %d round %d: read result: %v", i, k, err))
+		}
+		switch frame.Type {
+		case comm.FrameResult:
+		case comm.FrameError:
+			se, derr := comm.DecodeStreamError(frame.Payload)
+			if derr != nil {
+				return fail(fmt.Errorf("loadgen: user %d round %d: undecodable error frame: %v", i, k, derr))
+			}
+			return fail(fmt.Errorf("loadgen: user %d round %d: stream error %d: %s", i, k, se.Code, se.Msg))
+		default:
+			return fail(fmt.Errorf("loadgen: user %d round %d: unexpected frame type %d", i, k, frame.Type))
+		}
+		res, err := comm.DecodeStreamResult(frame.Payload)
+		if err != nil {
+			return fail(fmt.Errorf("loadgen: user %d round %d: %v", i, k, err))
+		}
+		if res.Slot != k {
+			return fail(fmt.Errorf("loadgen: user %d round %d: result answers slot %d", i, k, res.Slot))
+		}
+		lat := time.Since(t0)
+		r.ok++
+		r.latencies = append(r.latencies, lat)
+		r.trace.Classes = append(r.trace.Classes, res.Class)
+		if res.Class == fs.Truth(k) {
+			r.correct++
+		}
+	}
+	return r
+}
+
+// fetchParseCounters scrapes the server's parse-cost counters from
+// /metrics. A server without the counters (or an unreachable endpoint)
+// yields zeros, which Run treats as "no parse column".
+func fetchParseCounters(c *http.Client, baseURL string) (nanos, rounds int64) {
+	resp, err := c.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := metricValue(line, "origin_serve_parse_nanos_total"); ok {
+			nanos = v
+		}
+		if v, ok := metricValue(line, "origin_serve_parse_rounds_total"); ok {
+			rounds = v
+		}
+	}
+	return nanos, rounds
+}
+
+// metricValue parses "name value" Prometheus exposition lines.
+func metricValue(line, name string) (int64, bool) {
+	rest, ok := strings.CutPrefix(line, name+" ")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

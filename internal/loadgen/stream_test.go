@@ -1,0 +1,142 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"origin/internal/fleet"
+	"origin/internal/fleet/fleettest"
+	"origin/internal/loadgen"
+	"origin/internal/serve"
+	"origin/internal/synth"
+)
+
+// newStack stands up the full serving stack over tiny deterministic models:
+// HTTP front, stream front, shared metrics.
+func newStack(t *testing.T) (baseURL, streamAddr string) {
+	t.Helper()
+	mgr := fleet.NewManager(fleet.Config{Registry: fleettest.NewRegistry(), QueueDepth: 64, Workers: 4})
+	metrics := &serve.Metrics{}
+	ts := httptest.NewServer(serve.New(serve.Config{Manager: mgr, RequestTimeout: 30 * time.Second, Metrics: metrics}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, Metrics: metrics, RoundTimeout: 30 * time.Second})
+	go func() { _ = ss.Serve(ln) }()
+	t.Cleanup(func() {
+		ss.Close()
+		ts.Close()
+		mgr.Close()
+	})
+	return ts.URL, ln.Addr().String()
+}
+
+func runMode(t *testing.T, baseURL, streamAddr string, mode loadgen.Mode) *loadgen.Report {
+	t.Helper()
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL: baseURL, Profile: "MHEALTH",
+		Users: 4, Requests: 30, Seed: 11,
+		Mode: mode, SensorsPerRequest: 1,
+		StreamAddr: streamAddr,
+	})
+	if err != nil {
+		t.Fatalf("loadgen %s: %v", mode, err)
+	}
+	if rep.OK != 4*30 || rep.Errors != 0 {
+		t.Fatalf("loadgen %s: %+v", mode, rep)
+	}
+	return rep
+}
+
+// prop (ISSUE acceptance): stream mode ships at least 10x fewer uplink
+// bytes per classification than JSON windows mode on the same grid — the
+// wire-compression bar the benchdiff serve gate enforces on the committed
+// BENCH_serve.json.
+func TestStreamWireCompression(t *testing.T) {
+	baseURL, streamAddr := newStack(t)
+	windows := runMode(t, baseURL, streamAddr, loadgen.ModeWindows)
+	stream := runMode(t, baseURL, streamAddr, loadgen.ModeStream)
+
+	if windows.UplinkBytesPerClassification <= 0 || stream.UplinkBytesPerClassification <= 0 {
+		t.Fatalf("missing uplink columns: windows=%v stream=%v",
+			windows.UplinkBytesPerClassification, stream.UplinkBytesPerClassification)
+	}
+	ratio := windows.UplinkBytesPerClassification / stream.UplinkBytesPerClassification
+	t.Logf("uplink bytes/classification: windows=%.1f stream=%.1f ratio=%.1fx",
+		windows.UplinkBytesPerClassification, stream.UplinkBytesPerClassification, ratio)
+	if ratio < 10 {
+		t.Fatalf("stream compression %.2fx below the 10x bar", ratio)
+	}
+	if windows.ParseNsPerClassification <= 0 || stream.ParseNsPerClassification <= 0 {
+		t.Fatalf("missing parse columns: windows=%v stream=%v",
+			windows.ParseNsPerClassification, stream.ParseNsPerClassification)
+	}
+}
+
+// prop: FrameSource is deterministic — two sources over the same config
+// emit byte-identical frame sequences (the replay contract's foundation).
+func TestFrameSourceDeterministic(t *testing.T) {
+	cfg := loadgen.Config{
+		Profile: "MHEALTH", Users: 2, Requests: 20, Seed: 5,
+		Mode: loadgen.ModeStream, SensorsPerRequest: 2,
+		StreamHop: loadgen.DefaultStreamHop,
+	}
+	p := synth.MHEALTHProfile()
+	a := loadgen.NewFrameSource(&cfg, p, 1)
+	b := loadgen.NewFrameSource(&cfg, p, 1)
+	other := loadgen.NewFrameSource(&cfg, p, 0)
+	differed := false
+	for k := 0; k < cfg.Requests; k++ {
+		fa, errA := a.Next(k)
+		fb, errB := b.Next(k)
+		fo, errO := other.Next(k)
+		if errA != nil || errB != nil || errO != nil {
+			t.Fatal(errA, errB, errO)
+		}
+		if len(fa) != cfg.SensorsPerRequest {
+			t.Fatalf("round %d: %d frames, want %d", k, len(fa), cfg.SensorsPerRequest)
+		}
+		for j := range fa {
+			if !bytes.Equal(fa[j], fb[j]) {
+				t.Fatalf("round %d frame %d: same user differs", k, j)
+			}
+			if !bytes.Equal(fa[j], fo[j]) {
+				differed = true
+			}
+		}
+	}
+	if !differed {
+		t.Fatal("distinct users emitted identical frames")
+	}
+}
+
+// prop: mode validation fails fast, before any traffic.
+func TestRunRejectsBadConfig(t *testing.T) {
+	base := loadgen.Config{BaseURL: "http://127.0.0.1:1", Profile: "MHEALTH", Users: 1, Requests: 1}
+	for name, mutate := range map[string]func(*loadgen.Config){
+		"unknown mode":        func(c *loadgen.Config) { c.Mode = "grpc" },
+		"stream without addr": func(c *loadgen.Config) { c.Mode = loadgen.ModeStream },
+		"hop too large":       func(c *loadgen.Config) { c.Mode = loadgen.ModeStream; c.StreamAddr = "x"; c.StreamHop = 65 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := loadgen.Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestKnownMode(t *testing.T) {
+	for _, m := range loadgen.ModeNames() {
+		if !loadgen.KnownMode(m) {
+			t.Errorf("ModeNames entry %q not known", m)
+		}
+	}
+	if loadgen.KnownMode("") || loadgen.KnownMode("stream ") {
+		t.Error("bogus modes accepted")
+	}
+}

@@ -22,6 +22,9 @@ type Config struct {
 	// windows are ~10 KiB of JSON, so this is generous headroom, not a
 	// working size).
 	MaxBodyBytes int64
+	// Metrics receives parse-cost instrumentation (optional; share one
+	// instance with a StreamServer so /metrics covers both fronts).
+	Metrics *Metrics
 }
 
 // Server is the HTTP front of a fleet.Manager.
@@ -163,6 +166,9 @@ func Inputs(req *ClassifyRequest) ([]fleet.SensorInput, error) {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	// The parse clock covers JSON decode plus input shaping — the cost the
+	// binary stream path amortises away (see Metrics.ParseNanos).
+	parseStart := time.Now()
 	var req ClassifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, fmt.Errorf("%w: %v", fleet.ErrInvalid, err))
@@ -173,6 +179,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.cfg.Metrics.noteParse(time.Since(parseStart))
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	res, err := s.cfg.Manager.Classify(ctx, r.PathValue("id"), inputs)
@@ -211,4 +218,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("queue_depth", "Queued (not yet started) classify jobs.", int64(snap.QueueDepth))
 	counter("windows_batched_total", "Windows scored through the micro-batcher.", snap.WindowsBatched)
 	counter("batch_flushes_total", "Micro-batch inference flushes.", snap.BatchFlushes)
+	if m := s.cfg.Metrics; m != nil {
+		counter("parse_nanos_total", "Request-decode time (JSON or stream frames) in nanoseconds.", m.ParseNanos.Load())
+		counter("parse_rounds_total", "Classify rounds whose request decode was timed.", m.ParseRounds.Load())
+		counter("stream_conns_total", "Stream connections accepted.", m.StreamConns.Load())
+		counter("stream_frames_total", "Stream frames ingested.", m.StreamFrames.Load())
+		counter("stream_bytes_total", "Stream uplink bytes ingested (payload plus envelope).", m.StreamBytes.Load())
+		counter("stream_rejects_total", "Stream frames or rounds rejected (protocol errors, shed retries).", m.StreamRejects.Load())
+		counter("stream_rounds_total", "Classify rounds completed over the stream front.", m.StreamRounds.Load())
+	}
 }

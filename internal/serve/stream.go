@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"origin/internal/comm"
+	"origin/internal/fleet"
+	"origin/internal/synth"
+	"origin/internal/tensor"
+)
+
+// Streaming ingest path.
+//
+// The HTTP/JSON classify path re-ships a full float64 IMU window per round
+// and pays a fresh parse for each one. The stream path replaces both costs:
+// a persistent TCP connection carries delta-quantised binary IMU frames
+// (see the format comment in internal/comm/stream.go), and the server owns
+// the sliding-window state — the client sends each sample once and the
+// overlap between consecutive windows is reconstructed host-side from a
+// per-(session, sensor) ring buffer. Completed rounds flow through the same
+// fleet.Manager queue (and micro-batcher) as HTTP traffic, and results are
+// pushed back as binary frames on the same connection.
+//
+// Determinism: a connection is serviced by one goroutine, a session's rounds
+// arrive in connection order, and Manager.Classify serialises per session —
+// so a session's classification sequence is a pure function of its frame
+// stream, which is what lets the replay tests rebuild it serially.
+
+// Metrics is the serving-side instrumentation shared by the HTTP and stream
+// fronts, rendered by GET /metrics. ParseNanos/ParseRounds measure request
+// decoding only (JSON decode + input shaping, or frame decode + window
+// assembly), excluding inference — the amortised-parsing claim of the
+// stream protocol is gated on exactly this counter pair.
+type Metrics struct {
+	ParseNanos  atomic.Int64
+	ParseRounds atomic.Int64
+
+	StreamConns   atomic.Int64
+	StreamFrames  atomic.Int64
+	StreamBytes   atomic.Int64
+	StreamRejects atomic.Int64
+	StreamRounds  atomic.Int64
+}
+
+// noteParse records the decode cost of one classify round.
+func (m *Metrics) noteParse(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ParseNanos.Add(d.Nanoseconds())
+	m.ParseRounds.Add(1)
+}
+
+// StreamConfig assembles a StreamServer.
+type StreamConfig struct {
+	// Manager is the fleet session service (required).
+	Manager *fleet.Manager
+	// Metrics receives stream/parse instrumentation (optional; share one
+	// instance with the HTTP Server so /metrics covers both fronts).
+	Metrics *Metrics
+	// RoundTimeout bounds one classify round end to end (default 10s).
+	RoundTimeout time.Duration
+	// IdleTimeout closes connections with no inbound frame for this long
+	// (default 5m) so dead wearables do not pin session state forever.
+	IdleTimeout time.Duration
+}
+
+// StreamServer owns the persistent-connection binary ingest front. Serve
+// accepts connections until Close; each connection is handled by one
+// goroutine end to end.
+type StreamServer struct {
+	cfg    StreamConfig
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewStreamServer builds a stream server over a manager.
+func NewStreamServer(cfg StreamConfig) *StreamServer {
+	if cfg.Manager == nil {
+		panic("serve: StreamConfig.Manager is required")
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 10 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	return &StreamServer{cfg: cfg, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts stream connections on ln until Close. It returns nil after
+// Close, or the first accept error otherwise.
+func (s *StreamServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting connections and closes the live ones, then waits
+// for their handlers to return.
+func (s *StreamServer) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// streamAbort carries a protocol violation out of the per-frame handlers to
+// the connection loop, which reports it as an error frame and closes.
+type streamAbort struct {
+	code int
+	msg  string
+}
+
+func (e *streamAbort) Error() string { return e.msg }
+
+// handle services one connection: preamble, hello, then the frame loop.
+func (s *StreamServer) handle(conn net.Conn) {
+	defer conn.Close()
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.StreamConns.Add(1)
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != comm.StreamMagic {
+		s.reject(conn, comm.StreamErrProtocol, "bad stream preamble")
+		return
+	}
+	frame, err := comm.ReadFrame(br)
+	if err != nil || frame.Type != comm.FrameHello {
+		s.reject(conn, comm.StreamErrProtocol, "expected hello frame")
+		return
+	}
+	hello, err := comm.DecodeHello(frame.Payload)
+	if err != nil {
+		s.reject(conn, comm.StreamErrProtocol, err.Error())
+		return
+	}
+	sess, err := s.cfg.Manager.Get(hello.Session)
+	if err != nil {
+		s.reject(conn, comm.StreamErrSession, fmt.Sprintf("session %q: %v", hello.Session, err))
+		return
+	}
+	asm := NewStreamAssembler(sess.Model().Sensors(), sess.Model().Window)
+
+	out := make([]byte, 0, 64)
+	var roundParse time.Duration // decode+assembly cost of the round so far
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		// The blocking read sits outside the parse clock: parse time is the
+		// CPU cost of turning delivered bytes into classify inputs, not the
+		// closed-loop client's think time.
+		frame, err := comm.ReadFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				s.reject(conn, comm.StreamErrProtocol, err.Error())
+			}
+			return
+		}
+		parseStart := time.Now()
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.StreamFrames.Add(1)
+			s.cfg.Metrics.StreamBytes.Add(int64(len(frame.Payload) + comm.StreamEnvelopeOverhead))
+		}
+		switch frame.Type {
+		case comm.FrameHeartbeat:
+			continue
+		case comm.FrameIMU:
+			imu, err := comm.DecodeIMU(frame.Payload)
+			if err != nil {
+				s.reject(conn, comm.StreamErrProtocol, err.Error())
+				return
+			}
+			endRound, err := asm.Ingest(imu)
+			roundParse += time.Since(parseStart)
+			if err != nil {
+				s.reject(conn, comm.StreamErrProtocol, err.Error())
+				return
+			}
+			if !endRound {
+				continue
+			}
+			inputs := asm.TakeRound()
+			s.cfg.Metrics.noteParse(roundParse)
+			roundParse = 0
+			res, err := s.classify(hello.Session, inputs)
+			if err != nil {
+				var abort *streamAbort
+				if errors.As(err, &abort) {
+					s.reject(conn, abort.code, abort.msg)
+				} else {
+					s.reject(conn, comm.StreamErrInternal, err.Error())
+				}
+				return
+			}
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.StreamRounds.Add(1)
+			}
+			out, err = comm.EncodeStreamResult(out[:0], comm.StreamResult{Slot: res.Slot, Class: res.Class})
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		default:
+			s.reject(conn, comm.StreamErrProtocol, fmt.Sprintf("unexpected frame type %d", frame.Type))
+			return
+		}
+	}
+}
+
+// classify routes one assembled round through the manager, absorbing
+// transient saturation: a persistent stream must deliver every round of its
+// session in order, so shed rounds are retried with backoff rather than
+// surfaced (the HTTP client does the identical retry from its side).
+func (s *StreamServer) classify(session string, inputs []fleet.SensorInput) (fleet.ClassifyResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RoundTimeout)
+	defer cancel()
+	for attempt := 0; ; attempt++ {
+		res, err := s.cfg.Manager.Classify(ctx, session, inputs)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, fleet.ErrSaturated):
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.StreamRejects.Add(1)
+			}
+			select {
+			case <-ctx.Done():
+				return fleet.ClassifyResult{}, &streamAbort{comm.StreamErrSaturated, "round shed past deadline"}
+			case <-time.After(time.Duration(1+attempt) * 2 * time.Millisecond):
+			}
+		case errors.Is(err, fleet.ErrNotFound):
+			return fleet.ClassifyResult{}, &streamAbort{comm.StreamErrSession, err.Error()}
+		default:
+			return fleet.ClassifyResult{}, err
+		}
+	}
+}
+
+// reject best-effort pushes an error frame before the connection drops, so
+// clients can distinguish protocol mistakes from network failures.
+func (s *StreamServer) reject(conn net.Conn, code int, msg string) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.StreamRejects.Add(1)
+	}
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	out, err := comm.EncodeStreamError(nil, comm.StreamError{Code: code, Msg: msg})
+	if err != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_, _ = conn.Write(out)
+}
+
+// StreamAssembler reconstructs sliding windows from one connection's IMU
+// frames: per-sensor ring buffers of the last Window samples plus the
+// dup/reorder discipline of the frame sequence numbers. It is the exact
+// state machine the stream server runs per connection, exported so serial
+// replay tests can rebuild a session's rounds from the same frame bytes.
+//
+// Sequence discipline (mirroring the duplicate-sensor fix at the session
+// layer): frames must arrive with consecutive per-sensor sequence numbers.
+// A re-delivered frame (seq ≤ last seen) is dropped — including its
+// end-of-round flag, so a duplicated frame can never classify twice. A gap
+// (seq > last+1) is rejected: samples are missing, so every later window
+// of that sensor would silently be built from a torn signal.
+type StreamAssembler struct {
+	window  int
+	sensors []streamSensor
+	// round is the reporting order of sensors with fresh samples since the
+	// last TakeRound; pending counts frames ingested since then.
+	round   []int
+	inRound []bool
+}
+
+type streamSensor struct {
+	nextSeq int
+	filled  int
+	ring    []float64 // window samples per channel, channel-major, oldest first
+}
+
+// NewStreamAssembler builds an assembler for a model geometry.
+func NewStreamAssembler(sensors, window int) *StreamAssembler {
+	if sensors <= 0 || window <= 0 {
+		panic("serve: invalid stream assembler geometry")
+	}
+	return &StreamAssembler{
+		window:  window,
+		sensors: make([]streamSensor, sensors),
+		inRound: make([]bool, sensors),
+	}
+}
+
+// Ingest feeds one decoded IMU frame into the assembler. It returns whether
+// a round is now complete (the frame carried the end-of-round flag and was
+// not a duplicate). Duplicate frames return (false, nil); malformed or
+// gapped frames return an error — the receiver must drop the connection,
+// never classify on a torn signal.
+func (a *StreamAssembler) Ingest(f comm.IMUFrame) (endRound bool, err error) {
+	if f.Sensor < 0 || f.Sensor >= len(a.sensors) {
+		return false, fmt.Errorf("stream: frame from unknown sensor %d (have %d)", f.Sensor, len(a.sensors))
+	}
+	if len(f.Samples) != synth.Channels {
+		return false, fmt.Errorf("stream: frame has %d channels, want %d", len(f.Samples), synth.Channels)
+	}
+	st := &a.sensors[f.Sensor]
+	if f.Seq < st.nextSeq {
+		// Radio-level duplicate: the samples (and any end-of-round flag)
+		// were already ingested. Dropping the copy is what keeps a
+		// duplicated frame from double-classifying a round.
+		return false, nil
+	}
+	if f.Seq > st.nextSeq {
+		return false, fmt.Errorf("stream: sensor %d frame gap: got seq %d, want %d", f.Sensor, f.Seq, st.nextSeq)
+	}
+	n := len(f.Samples[0])
+	if st.filled == 0 && n < a.window {
+		return false, fmt.Errorf("stream: sensor %d first frame carries %d samples, want at least the window (%d)", f.Sensor, n, a.window)
+	}
+	st.nextSeq++
+	if st.ring == nil {
+		st.ring = make([]float64, synth.Channels*a.window)
+	}
+	for c, row := range f.Samples {
+		dst := st.ring[c*a.window : (c+1)*a.window]
+		if n >= a.window {
+			copy(dst, row[n-a.window:])
+		} else {
+			copy(dst, dst[n:])
+			copy(dst[a.window-n:], row)
+		}
+	}
+	if st.filled < a.window {
+		st.filled += n
+		if st.filled > a.window {
+			st.filled = a.window
+		}
+	}
+	if !a.inRound[f.Sensor] {
+		a.inRound[f.Sensor] = true
+		a.round = append(a.round, f.Sensor)
+	}
+	return f.EndRound, nil
+}
+
+// TakeRound returns the classify inputs of the completed round — one
+// assembled window per sensor that reported since the last round, in
+// first-report order — and resets the round state. The windows are copies;
+// later frames do not mutate them.
+func (a *StreamAssembler) TakeRound() []fleet.SensorInput {
+	inputs := make([]fleet.SensorInput, 0, len(a.round))
+	for _, sensor := range a.round {
+		st := &a.sensors[sensor]
+		w := tensor.New(synth.Channels, a.window)
+		copy(w.Data(), st.ring)
+		inputs = append(inputs, fleet.SensorInput{Sensor: sensor, Window: w})
+		a.inRound[sensor] = false
+	}
+	a.round = a.round[:0]
+	return inputs
+}

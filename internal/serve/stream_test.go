@@ -1,0 +1,595 @@
+package serve_test
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"origin/internal/comm"
+	"origin/internal/fleet"
+	"origin/internal/fleet/fleettest"
+	"origin/internal/serve"
+	"origin/internal/synth"
+)
+
+// streamStack is a full stream-serving fixture over tiny deterministic
+// models: manager, stream front on a loopback listener, shared metrics.
+type streamStack struct {
+	mgr     *fleet.Manager
+	metrics *serve.Metrics
+	addr    string
+}
+
+func newStreamStack(t *testing.T) *streamStack {
+	t.Helper()
+	mgr := fleet.NewManager(fleet.Config{Registry: fleettest.NewRegistry(), QueueDepth: 64, Workers: 2})
+	metrics := &serve.Metrics{}
+	ss := serve.NewStreamServer(serve.StreamConfig{
+		Manager: mgr, Metrics: metrics,
+		RoundTimeout: 30 * time.Second, IdleTimeout: 30 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ss.Serve(ln) }()
+	t.Cleanup(func() {
+		ss.Close()
+		mgr.Close()
+	})
+	return &streamStack{mgr: mgr, metrics: metrics, addr: ln.Addr().String()}
+}
+
+// dial opens a stream connection and performs the preamble + hello
+// handshake for the given session.
+func (s *streamStack) dial(t *testing.T, session string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", s.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...),
+		comm.Hello{Version: comm.StreamVersion, Session: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	return conn, bufio.NewReader(conn)
+}
+
+// testSamples builds a deterministic channel-major sample batch.
+func testSamples(n int, phase float64) [][]float64 {
+	rows := make([][]float64, synth.Channels)
+	for c := range rows {
+		rows[c] = make([]float64, n)
+		for t := range rows[c] {
+			rows[c][t] = float64(c+1) + 0.25*float64(t) + phase
+		}
+	}
+	return rows
+}
+
+// imuFrame encodes one IMU frame with deterministic samples.
+func imuFrame(t *testing.T, sensor, seq, n int, end bool) []byte {
+	t.Helper()
+	b, err := comm.EncodeIMU(nil, comm.IMUFrame{
+		Sensor: sensor, Seq: seq, EndRound: end,
+		Samples: testSamples(n, float64(seq)*10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// readResult reads one frame and requires it to be a result push.
+func readResult(t *testing.T, br *bufio.Reader) comm.StreamResult {
+	t.Helper()
+	f, err := comm.ReadFrame(br)
+	if err != nil {
+		t.Fatalf("read result: %v", err)
+	}
+	if f.Type == comm.FrameError {
+		se, _ := comm.DecodeStreamError(f.Payload)
+		t.Fatalf("server rejected: %+v", se)
+	}
+	if f.Type != comm.FrameResult {
+		t.Fatalf("frame type %d, want result", f.Type)
+	}
+	res, err := comm.DecodeStreamResult(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// readError reads one frame and requires it to be an error push with the
+// given code, followed by connection close.
+func readError(t *testing.T, br *bufio.Reader, code int) {
+	t.Helper()
+	f, err := comm.ReadFrame(br)
+	if err != nil {
+		t.Fatalf("read error frame: %v", err)
+	}
+	if f.Type != comm.FrameError {
+		t.Fatalf("frame type %d, want error", f.Type)
+	}
+	se, err := comm.DecodeStreamError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Code != code {
+		t.Fatalf("error code %d (%s), want %d", se.Code, se.Msg, code)
+	}
+	if _, err := comm.ReadFrame(br); err != io.EOF && err != io.ErrUnexpectedEOF {
+		t.Fatalf("connection not closed after error: %v", err)
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	s := newStreamStack(t)
+	sess, err := s.mgr.Create("MHEALTH", 7, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br := s.dial(t, sess.ID())
+
+	// Round 0 primes the window; rounds 1..3 ship hop-sized deltas.
+	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	if res := readResult(t, br); res.Slot != 0 {
+		t.Fatalf("round 0 answered slot %d", res.Slot)
+	}
+	for k := 1; k <= 3; k++ {
+		if _, err := conn.Write(imuFrame(t, 0, k, 32, true)); err != nil {
+			t.Fatal(err)
+		}
+		res := readResult(t, br)
+		if res.Slot != k {
+			t.Fatalf("round %d answered slot %d", k, res.Slot)
+		}
+		if res.Class < -1 || res.Class >= sess.Model().Classes() {
+			t.Fatalf("round %d class %d out of range", k, res.Class)
+		}
+	}
+	if got := sess.Info().Slots; got != 4 {
+		t.Fatalf("session served %d slots, want 4", got)
+	}
+	if s.metrics.StreamRounds.Load() != 4 || s.metrics.StreamConns.Load() != 1 {
+		t.Fatalf("metrics rounds=%d conns=%d", s.metrics.StreamRounds.Load(), s.metrics.StreamConns.Load())
+	}
+	if s.metrics.ParseRounds.Load() != 4 || s.metrics.ParseNanos.Load() <= 0 {
+		t.Fatalf("parse counters rounds=%d nanos=%d", s.metrics.ParseRounds.Load(), s.metrics.ParseNanos.Load())
+	}
+}
+
+// TestStreamMultiSensorRound: several sensors feed one round; only the
+// end-of-round frame triggers classification, and the round carries every
+// reporting sensor.
+func TestStreamMultiSensorRound(t *testing.T) {
+	s := newStreamStack(t)
+	sess, err := s.mgr.Create("MHEALTH", 8, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br := s.dial(t, sess.ID())
+	for sensor := 0; sensor < 3; sensor++ {
+		if _, err := conn.Write(imuFrame(t, sensor, 0, window, sensor == 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := readResult(t, br); res.Slot != 0 {
+		t.Fatalf("slot %d", res.Slot)
+	}
+	if got := sess.Info().Slots; got != 1 {
+		t.Fatalf("three sensor frames classified %d rounds, want 1", got)
+	}
+}
+
+// TestStreamDuplicateNeverDoubleClassifies: a re-delivered end-of-round
+// frame must not classify a second time — the radio-level dup is absorbed by
+// the per-sensor sequence discipline.
+func TestStreamDuplicateNeverDoubleClassifies(t *testing.T) {
+	s := newStreamStack(t)
+	sess, err := s.mgr.Create("MHEALTH", 9, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br := s.dial(t, sess.ID())
+
+	first := imuFrame(t, 0, 0, window, true)
+	if _, err := conn.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if res := readResult(t, br); res.Slot != 0 {
+		t.Fatalf("slot %d", res.Slot)
+	}
+	// Radio retransmit: the same bytes arrive again, then the next round.
+	if _, err := conn.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(imuFrame(t, 0, 1, 32, true)); err != nil {
+		t.Fatal(err)
+	}
+	res := readResult(t, br)
+	if res.Slot != 1 {
+		t.Fatalf("after dup, result answers slot %d, want 1 (dup must not classify)", res.Slot)
+	}
+	if got := sess.Info().Slots; got != 2 {
+		t.Fatalf("session served %d slots, want 2", got)
+	}
+}
+
+func TestStreamRejects(t *testing.T) {
+	s := newStreamStack(t)
+	sess, err := s.mgr.Create("MHEALTH", 10, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+
+	t.Run("bad preamble", func(t *testing.T) {
+		conn, err := net.DialTimeout("tcp", s.addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("GET / HT")); err != nil {
+			t.Fatal(err)
+		}
+		readError(t, bufio.NewReader(conn), comm.StreamErrProtocol)
+	})
+	t.Run("unknown session", func(t *testing.T) {
+		_, br := s.dial(t, "no-such-session")
+		readError(t, br, comm.StreamErrSession)
+	})
+	t.Run("seq gap", func(t *testing.T) {
+		conn, br := s.dial(t, sess.ID())
+		if _, err := conn.Write(imuFrame(t, 0, 1, window, true)); err != nil {
+			t.Fatal(err)
+		}
+		readError(t, br, comm.StreamErrProtocol)
+	})
+	t.Run("first frame below window", func(t *testing.T) {
+		conn, br := s.dial(t, sess.ID())
+		if _, err := conn.Write(imuFrame(t, 1, 0, window/2, true)); err != nil {
+			t.Fatal(err)
+		}
+		readError(t, br, comm.StreamErrProtocol)
+	})
+	t.Run("unknown sensor", func(t *testing.T) {
+		conn, br := s.dial(t, sess.ID())
+		if _, err := conn.Write(imuFrame(t, 250, 0, window, true)); err != nil {
+			t.Fatal(err)
+		}
+		readError(t, br, comm.StreamErrProtocol)
+	})
+	t.Run("corrupt frame", func(t *testing.T) {
+		conn, br := s.dial(t, sess.ID())
+		frame := imuFrame(t, 0, 0, window, true)
+		comm.FlipBit(frame, 40)
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		readError(t, br, comm.StreamErrProtocol)
+	})
+	t.Run("unexpected frame type", func(t *testing.T) {
+		conn, br := s.dial(t, sess.ID())
+		res, err := comm.EncodeStreamResult(nil, comm.StreamResult{Slot: 0, Class: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(res); err != nil {
+			t.Fatal(err)
+		}
+		readError(t, br, comm.StreamErrProtocol)
+	})
+	if rejects := s.metrics.StreamRejects.Load(); rejects < 7 {
+		t.Fatalf("rejects counter %d, want >= 7", rejects)
+	}
+}
+
+// TestStreamHeartbeatIgnored: heartbeats keep the connection alive without
+// touching round state.
+func TestStreamHeartbeatIgnored(t *testing.T) {
+	s := newStreamStack(t)
+	sess, err := s.mgr.Create("MHEALTH", 11, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, br := s.dial(t, sess.ID())
+	hb, err := comm.EncodeHeartbeat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(imuFrame(t, 0, 0, sess.Model().Window, true)); err != nil {
+		t.Fatal(err)
+	}
+	if res := readResult(t, br); res.Slot != 0 {
+		t.Fatalf("slot %d", res.Slot)
+	}
+}
+
+// --- StreamAssembler unit tests -----------------------------------------
+
+func ingestFrame(t *testing.T, a *serve.StreamAssembler, sensor, seq, n int, end bool, phase float64) bool {
+	t.Helper()
+	// Round-trip through the codec so the assembler sees wire-derived
+	// floats, exactly as the server does.
+	b, err := comm.EncodeIMU(nil, comm.IMUFrame{
+		Sensor: sensor, Seq: seq, EndRound: end, Samples: testSamples(n, phase),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := comm.DecodeFrameBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imu, err := comm.DecodeIMU(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endRound, err := a.Ingest(imu)
+	if err != nil {
+		t.Fatalf("ingest sensor %d seq %d: %v", sensor, seq, err)
+	}
+	return endRound
+}
+
+func TestAssemblerSlidingWindow(t *testing.T) {
+	const window = 8
+	a := serve.NewStreamAssembler(1, window)
+
+	// Prime with a full window, then slide by 3.
+	full := comm.IMUFrame{Sensor: 0, Seq: 0, EndRound: true, Samples: make([][]float64, synth.Channels)}
+	hop := comm.IMUFrame{Sensor: 0, Seq: 1, EndRound: true, Samples: make([][]float64, synth.Channels)}
+	for c := 0; c < synth.Channels; c++ {
+		full.Samples[c] = make([]float64, window)
+		for i := range full.Samples[c] {
+			full.Samples[c][i] = float64(i) // 0..7
+		}
+		hop.Samples[c] = []float64{100, 101, 102}
+	}
+	if end, err := a.Ingest(full); err != nil || !end {
+		t.Fatalf("prime: end=%v err=%v", end, err)
+	}
+	a.TakeRound()
+	if end, err := a.Ingest(hop); err != nil || !end {
+		t.Fatalf("hop: end=%v err=%v", end, err)
+	}
+	inputs := a.TakeRound()
+	if len(inputs) != 1 || inputs[0].Sensor != 0 {
+		t.Fatalf("round inputs: %+v", inputs)
+	}
+	got := inputs[0].Window.Data()[:window] // channel 0
+	want := []float64{3, 4, 5, 6, 7, 100, 101, 102}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slid window[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestAssemblerOversizedFrameKeepsTail(t *testing.T) {
+	const window = 4
+	a := serve.NewStreamAssembler(1, window)
+	f := comm.IMUFrame{Sensor: 0, Seq: 0, EndRound: true, Samples: make([][]float64, synth.Channels)}
+	for c := 0; c < synth.Channels; c++ {
+		f.Samples[c] = []float64{1, 2, 3, 4, 5, 6}
+	}
+	if _, err := a.Ingest(f); err != nil {
+		t.Fatal(err)
+	}
+	got := a.TakeRound()[0].Window.Data()[:window]
+	want := []float64{3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tail window[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAssemblerDupAndGap(t *testing.T) {
+	const window = 8
+	a := serve.NewStreamAssembler(2, window)
+	if end := ingestFrame(t, a, 0, 0, window, true, 0); !end {
+		t.Fatal("prime frame did not end round")
+	}
+	a.TakeRound()
+	// Duplicate (seq 0 again): silently dropped, end-of-round flag included.
+	b, err := comm.EncodeIMU(nil, comm.IMUFrame{Sensor: 0, Seq: 0, EndRound: true, Samples: testSamples(window, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := comm.DecodeFrameBytes(b)
+	imu, _ := comm.DecodeIMU(f.Payload)
+	if end, err := a.Ingest(imu); err != nil || end {
+		t.Fatalf("dup: end=%v err=%v, want silent drop", end, err)
+	}
+	// Gap (seq 2 when 1 is expected): hard error.
+	imu.Seq = 2
+	if _, err := a.Ingest(imu); err == nil {
+		t.Fatal("gap accepted")
+	}
+	// Unknown sensor: hard error.
+	imu.Sensor = 5
+	imu.Seq = 0
+	if _, err := a.Ingest(imu); err == nil {
+		t.Fatal("unknown sensor accepted")
+	}
+}
+
+func TestAssemblerRoundOrderAndCopy(t *testing.T) {
+	const window = 4
+	a := serve.NewStreamAssembler(3, window)
+	// Sensors report 2, then 0 — TakeRound must preserve first-report order.
+	ingestFrame(t, a, 2, 0, window, false, 1)
+	if end := ingestFrame(t, a, 0, 0, window, true, 2); !end {
+		t.Fatal("no end of round")
+	}
+	inputs := a.TakeRound()
+	if len(inputs) != 2 || inputs[0].Sensor != 2 || inputs[1].Sensor != 0 {
+		t.Fatalf("round order: %+v", inputs)
+	}
+	before := inputs[0].Window.Data()[0]
+	// Later frames must not mutate an already-taken round's windows.
+	ingestFrame(t, a, 2, 1, window, true, 99)
+	a.TakeRound()
+	if inputs[0].Window.Data()[0] != before {
+		t.Fatal("taken round window mutated by a later frame")
+	}
+}
+
+// --- Link fault-injection interaction -----------------------------------
+
+// TestStreamFramesThroughFaultyLink carries encoded frames through the
+// comm.Link fault injectors and checks the framer discipline holds:
+// corrupted frames are rejected by the CRC before decoding, duplicated
+// frames never complete a round twice, and reordered frames surface as a
+// sequence gap (reject) rather than a silently torn window.
+func TestStreamFramesThroughFaultyLink(t *testing.T) {
+	const window, rounds = 8, 40
+
+	t.Run("duplicates dedupe", func(t *testing.T) {
+		link := comm.NewLink[[]byte](comm.Config{Seed: 5, DupRate: 0.4})
+		for k := 0; k < rounds; k++ {
+			n := window
+			if k > 0 {
+				n = 3
+			}
+			b, err := comm.EncodeIMU(nil, comm.IMUFrame{
+				Sensor: 0, Seq: k, EndRound: true, Samples: testSamples(n, float64(k)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			link.Send(k, b)
+		}
+		a := serve.NewStreamAssembler(1, window)
+		classified := 0
+		for _, b := range link.Deliver(rounds + 10) {
+			f, err := comm.DecodeFrameBytes(b)
+			if err != nil {
+				t.Fatalf("clean frame rejected: %v", err)
+			}
+			imu, err := comm.DecodeIMU(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			end, err := a.Ingest(imu)
+			if err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+			if end {
+				classified++
+				a.TakeRound()
+			}
+		}
+		if st := link.Stats(); st.Duplicated == 0 {
+			t.Fatal("fault injector never duplicated — test is vacuous")
+		}
+		if classified != rounds {
+			t.Fatalf("classified %d rounds from %d sent (+%d dups): duplicates double- or under-classified",
+				classified, rounds, link.Stats().Duplicated)
+		}
+	})
+
+	t.Run("corruption rejected by CRC", func(t *testing.T) {
+		link := comm.NewLink[[]byte](comm.Config{Seed: 7, CorruptRate: 0.5})
+		link.SetCorrupter(func(b []byte) []byte {
+			d := append([]byte(nil), b...)
+			comm.FlipBit(d, 17)
+			return d
+		})
+		sent := 0
+		for k := 0; k < rounds; k++ {
+			b, err := comm.EncodeIMU(nil, comm.IMUFrame{
+				Sensor: 0, Seq: k, EndRound: true, Samples: testSamples(window, float64(k)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			link.Send(k, b)
+			sent++
+		}
+		bad := 0
+		for _, b := range link.Deliver(rounds + 10) {
+			if _, err := comm.DecodeFrameBytes(b); err != nil {
+				bad++
+			}
+		}
+		st := link.Stats()
+		if st.Corrupted == 0 {
+			t.Fatal("fault injector never corrupted — test is vacuous")
+		}
+		if bad != st.Corrupted {
+			t.Fatalf("CRC caught %d of %d corrupted frames", bad, st.Corrupted)
+		}
+	})
+
+	t.Run("reorder surfaces as gap", func(t *testing.T) {
+		link := comm.NewLink[[]byte](comm.Config{Seed: 3, ReorderRate: 0.5, ReorderJitterTicks: 4})
+		for k := 0; k < rounds; k++ {
+			n := window
+			if k > 0 {
+				n = 3
+			}
+			b, err := comm.EncodeIMU(nil, comm.IMUFrame{
+				Sensor: 0, Seq: k, EndRound: true, Samples: testSamples(n, float64(k)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			link.Send(k, b)
+		}
+		a := serve.NewStreamAssembler(1, window)
+		sawGap := false
+		swapped := false
+		expect := 0
+	deliver:
+		// Tick-by-tick delivery exposes the reordering (a single late
+		// Deliver would restore send order).
+		for tick := 0; tick <= rounds+10; tick++ {
+			for _, b := range link.Deliver(tick) {
+				f, err := comm.DecodeFrameBytes(b)
+				if err != nil {
+					t.Fatalf("clean frame rejected: %v", err)
+				}
+				imu, err := comm.DecodeIMU(f.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if imu.Seq != expect {
+					swapped = true
+				}
+				expect++
+				if _, err := a.Ingest(imu); err != nil {
+					// The gap is detected the moment a later frame overtakes
+					// an earlier one — the receiver rejects rather than
+					// classifying on a torn signal.
+					sawGap = true
+					break deliver
+				}
+			}
+		}
+		if link.Stats().Reordered == 0 || !swapped {
+			t.Fatal("fault injector never reordered — test is vacuous")
+		}
+		if !sawGap {
+			t.Fatal("out-of-order frame ingested without a gap error")
+		}
+	})
+}

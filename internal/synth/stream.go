@@ -1,0 +1,109 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SensorStream synthesises one sensor's IMU signal as a continuous sample
+// stream instead of i.i.d. windows. Where Generator.WindowFor draws a fresh
+// body state (and therefore a fresh gait phase) for every window, a
+// SensorStream integrates the gait phase across calls, so consecutive
+// sample chunks join seamlessly — exactly the signal shape a streaming
+// uplink transmits and a host-side sliding-window assembler re-windows.
+//
+// The per-sample model matches Generator.WindowWithState: per-activity
+// signature (fundamental + second harmonic + optional burst gating + noise),
+// perturbed by the user's gait parameters and mount quality. Activity
+// changes redraw the body state and per-channel jitters (a transition is a
+// new movement), but the gait phase keeps integrating, so there is no
+// discontinuity artefact at the chunk boundary itself.
+//
+// Streams are deterministic: a (profile, user, location, seed) quadruple
+// plus the sequence of Next calls fully determines every sample. Not safe
+// for concurrent use.
+type SensorStream struct {
+	profile *Profile
+	user    *User
+	loc     Location
+	rng     *rand.Rand
+
+	activity int     // current activity (-1 before the first chunk)
+	phase    float64 // integrated gait phase in radians
+
+	st       BodyState
+	chJitter [Channels]float64
+	dcJitter [Channels]float64
+}
+
+// NewSensorStream returns a deterministic continuous stream for one
+// (profile, user, location) sensor.
+func NewSensorStream(p *Profile, u *User, loc Location, seed int64) *SensorStream {
+	return &SensorStream{
+		profile:  p,
+		user:     u,
+		loc:      loc,
+		rng:      rand.New(rand.NewSource(seed)),
+		activity: -1,
+	}
+}
+
+// Next appends n samples of the given activity to out and returns the
+// extended slice, channel-major: n samples of channel 0, then n of channel
+// 1, and so on (the same layout as a Generator window). The stream's gait
+// phase advances by n samples regardless of activity changes.
+func (s *SensorStream) Next(activity, n int, out []float64) []float64 {
+	if activity < 0 || activity >= s.profile.NumClasses() {
+		panic(fmt.Sprintf("synth: activity %d out of range for %s", activity, s.profile.Name))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("synth: stream chunk of %d samples", n))
+	}
+	if activity != s.activity {
+		// A new movement: redraw the whole-body state and the slow
+		// per-channel jitters, like a fresh WindowFor would.
+		s.activity = activity
+		s.st = DrawBodyState(s.rng)
+		for c := 0; c < Channels; c++ {
+			s.chJitter[c] = 1 + 0.10*s.rng.NormFloat64()
+			s.dcJitter[c] = 0.08 * s.rng.NormFloat64()
+		}
+	}
+	sig := s.profile.sigs[activity][s.loc]
+	freq := sig.freq * s.user.freqScale * s.st.Tempo
+	mount := s.user.mountScale[s.loc]
+	extraNoise := s.user.mountNoise[s.loc]
+
+	base := len(out)
+	out = append(out, make([]float64, Channels*n)...)
+	chunk := out[base:]
+
+	var amp, amp2, dc, ph [Channels]float64
+	for c := 0; c < Channels; c++ {
+		amp[c] = sig.amp[c] * s.user.ampScale[c] * s.st.Effort * s.chJitter[c] * mount
+		amp2[c] = sig.second[c] * s.user.ampScale[c] * s.st.Effort * s.chJitter[c] * mount
+		dc[c] = sig.dc[c] + s.user.dcShift[c] + s.dcJitter[c]
+		ph[c] = s.st.CyclePhase + s.user.phase[c]*0.25
+	}
+	step := 2 * math.Pi * freq / SampleRate
+	for t := 0; t < n; t++ {
+		w := s.phase
+		s.phase += step
+		// Keep the burst gate phase-locked to the carrier exactly as
+		// WindowWithState does (its gate cycle includes the body state's
+		// CyclePhase): a gate drifting against the carrier would put burst
+		// activities off the training distribution.
+		cycle := (w + s.st.CyclePhase) / (2 * math.Pi)
+		cycle -= math.Floor(cycle)
+		for c := 0; c < Channels; c++ {
+			v := dc[c] + amp[c]*math.Sin(w+ph[c]) + amp2[c]*math.Sin(2*w+ph[c]*1.7)
+			if sig.burst > 0 && cycle > sig.burst {
+				v = dc[c] + 0.15*amp[c]*math.Sin(w+ph[c])
+			}
+			v += s.rng.NormFloat64() * (sig.noise + extraNoise)
+			chunk[c*n+t] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+// prop: a SensorStream is a pure function of (profile, user, location,
+// seed) and the Next call sequence.
+func TestSensorStreamDeterministic(t *testing.T) {
+	p := MHEALTHProfile()
+	u := NewUser(1001)
+	mk := func() *SensorStream { return NewSensorStream(p, u, Chest, 99) }
+	a, b := mk(), mk()
+	var outA, outB []float64
+	for k := 0; k < 5; k++ {
+		act := k % 3
+		outA = a.Next(act, 32, outA)
+		outB = b.Next(act, 32, outB)
+	}
+	if len(outA) != 5*32*Channels {
+		t.Fatalf("stream produced %d samples", len(outA))
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("streams diverge at sample %d", i)
+		}
+	}
+}
+
+// prop: chunking does not change the signal — two hops of the same activity
+// concatenate to exactly the samples one double-length call produces. This
+// is the continuity property the server-side sliding-window assembly relies
+// on: windows spanning a chunk boundary see one continuous signal, not two
+// stitched i.i.d. windows.
+func TestSensorStreamChunksJoinSeamlessly(t *testing.T) {
+	p := MHEALTHProfile()
+	u := NewUser(1002)
+	split := NewSensorStream(p, u, RightWrist, 7)
+	whole := NewSensorStream(p, u, RightWrist, 7)
+
+	const n1, n2 = 24, 40
+	var chunk1, chunk2, big []float64
+	chunk1 = split.Next(2, n1, nil)
+	chunk2 = split.Next(2, n2, nil)
+	big = whole.Next(2, n1+n2, nil)
+
+	for c := 0; c < Channels; c++ {
+		for s := 0; s < n1+n2; s++ {
+			want := big[c*(n1+n2)+s]
+			var got float64
+			if s < n1 {
+				got = chunk1[c*n1+s]
+			} else {
+				got = chunk2[c*n2+(s-n1)]
+			}
+			if got != want {
+				t.Fatalf("channel %d sample %d: chunked %v != whole %v", c, s, got, want)
+			}
+		}
+	}
+}
+
+// prop: an activity transition redraws the body state but keeps integrating
+// the gait phase — the stream never rewinds.
+func TestSensorStreamTransitionKeepsPhase(t *testing.T) {
+	p := MHEALTHProfile()
+	u := NewUser(1003)
+	s := NewSensorStream(p, u, LeftAnkle, 11)
+	out := s.Next(0, 64, nil)
+	phaseAfterFirst := s.phase
+	out = s.Next(1, 32, out)
+	if s.phase <= phaseAfterFirst {
+		t.Fatalf("phase went backwards across a transition: %v -> %v", phaseAfterFirst, s.phase)
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("stream produced a non-finite sample")
+		}
+	}
+}
+
+func TestSensorStreamPanics(t *testing.T) {
+	p := MHEALTHProfile()
+	s := NewSensorStream(p, NewUser(1), Chest, 1)
+	for name, f := range map[string]func(){
+		"bad activity": func() { s.Next(p.NumClasses(), 8, nil) },
+		"neg activity": func() { s.Next(-1, 8, nil) },
+		"zero chunk":   func() { s.Next(0, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
