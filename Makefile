@@ -4,7 +4,7 @@ GO ?= go
 # the pipe would swallow a failing gate's exit status.
 SHELL = /bin/bash -o pipefail
 
-.PHONY: build test bench bench-forward bench-serve verify-bench verify-bench-serve verify-obs verify-fault verify-serve fuzz-smoke lint
+.PHONY: build test bench bench-forward bench-serve verify-bench verify-bench-serve verify-chaos verify-obs verify-fault verify-serve fuzz-smoke lint
 
 BENCH_FORWARD = -run '^$$' -bench 'BenchmarkForward|BenchmarkKernelReference' \
 	-benchtime 1s -count 5 . ./internal/tensor
@@ -64,6 +64,18 @@ verify-bench-serve:
 	$(GO) run ./cmd/benchdiff serve-verify /tmp/BENCH_serve_tiny.json | tee -a bench_diff.txt
 	$(GO) run ./cmd/benchdiff serve-verify BENCH_serve.json | tee -a bench_diff.txt
 	$(GO) test -race -run 'TestStreamLoadgenMatchesSerialReplay' ./internal/fleet
+
+# Connection-chaos gate (run by the chaos-smoke CI job): drive the stream
+# protocol through a fault-injecting listener that kills every connection
+# after a seeded uplink-byte budget, under the race detector, then hold the
+# report to the resilience bars — every round classified exactly once
+# (no losses, no double-classifies), 100% resume success, >=99%
+# availability. The replay/resume regression tests ride along.
+verify-chaos:
+	$(GO) run -race ./cmd/origin-loadgen -users 8 -requests 80 -seed 1 -tiny-model \
+		-mode stream -chaos -json /tmp/chaos_report.json
+	$(GO) run ./cmd/benchdiff chaos-verify /tmp/chaos_report.json | tee -a bench_diff.txt
+	$(GO) test -race -run 'TestStreamChaos|TestStreamResume' ./internal/fleet ./internal/serve
 
 # Formatting and static analysis, mirroring the CI lint job. staticcheck is
 # optional locally (the CI job installs it); gofmt failures list the files.

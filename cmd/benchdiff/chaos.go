@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Chaos gating (chaos-verify).
+//
+// A chaos drill runs origin-loadgen in stream mode against a fault-injecting
+// stream front (-chaos) and writes the report JSON. chaos-verify holds that
+// report to the resilience bars: every round classified exactly once despite
+// the injected disconnects (zero errors, zero double-classifies), every
+// resume attempt honoured, and availability — the fraction of user wall time
+// not spent reconnecting — at least -min-availability.
+
+const defaultMinAvailability = 0.99
+
+// chaosReport is the slice of a loadgen report the chaos gate reads.
+type chaosReport struct {
+	Mode              string  `json:"mode"`
+	Users             int     `json:"users"`
+	RequestsPerUser   int     `json:"requestsPerUser"`
+	OK                int     `json:"ok"`
+	Errors            int     `json:"errors"`
+	Reconnects        int     `json:"reconnects"`
+	ResumeAttempts    int     `json:"resumeAttempts"`
+	ResumeMisses      int     `json:"resumeMisses"`
+	DoubleClassifies  int     `json:"doubleClassifies"`
+	ResumeSuccessRate float64 `json:"resumeSuccessRate"`
+	Availability      float64 `json:"availability"`
+}
+
+func cmdChaosVerify(args []string) error {
+	minAvailStr := ""
+	rest, err := parseFlags(args, map[string]*string{"-min-availability": &minAvailStr})
+	if err != nil {
+		return err
+	}
+	minAvail := defaultMinAvailability
+	if minAvailStr != "" {
+		if minAvail, err = strconv.ParseFloat(minAvailStr, 64); err != nil {
+			return fmt.Errorf("bad -min-availability: %w", err)
+		}
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("chaos-verify needs exactly one loadgen report")
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		return err
+	}
+	var rep chaosReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", rest[0], err)
+	}
+	if rep.Mode != "stream" {
+		return fmt.Errorf("%s: chaos-verify gates stream-mode reports, got mode %q", rest[0], rep.Mode)
+	}
+	want := rep.Users * rep.RequestsPerUser
+	fmt.Printf("benchdiff: chaos ok=%d/%d errors=%d reconnects=%d resume=%d/%d double-classifies=%d availability=%.4f (min %.4f)\n",
+		rep.OK, want, rep.Errors, rep.Reconnects,
+		rep.ResumeAttempts-rep.ResumeMisses, rep.ResumeAttempts,
+		rep.DoubleClassifies, rep.Availability, minAvail)
+	if rep.Reconnects < 1 {
+		return fmt.Errorf("no reconnects recorded — the drill injected no faults, the gate is vacuous")
+	}
+	if rep.Errors != 0 || rep.OK != want {
+		return fmt.Errorf("chaos run lost rounds: ok=%d want=%d errors=%d", rep.OK, want, rep.Errors)
+	}
+	if rep.DoubleClassifies != 0 {
+		return fmt.Errorf("%d round(s) double-classified across reconnects", rep.DoubleClassifies)
+	}
+	if rep.ResumeSuccessRate != 1.0 {
+		return fmt.Errorf("resume success rate %.4f, want 1.0 (%d miss(es) in %d attempts)",
+			rep.ResumeSuccessRate, rep.ResumeMisses, rep.ResumeAttempts)
+	}
+	if rep.Availability < minAvail {
+		return fmt.Errorf("availability %.4f below required %.4f", rep.Availability, minAvail)
+	}
+	return nil
+}

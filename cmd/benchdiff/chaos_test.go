@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodChaosReport is a drill that passed: faults were injected, every round
+// classified exactly once, all resumes landed.
+func goodChaosReport() chaosReport {
+	return chaosReport{
+		Mode: "stream", Users: 8, RequestsPerUser: 80,
+		OK: 640, Errors: 0,
+		Reconnects: 12, ResumeAttempts: 12, ResumeMisses: 0,
+		DoubleClassifies: 0, ResumeSuccessRate: 1.0, Availability: 0.998,
+	}
+}
+
+func writeChaosReport(t *testing.T, rep chaosReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestChaosVerifyPasses(t *testing.T) {
+	path := writeChaosReport(t, goodChaosReport())
+	if err := cmdChaosVerify([]string{path}); err != nil {
+		t.Fatalf("clean drill rejected: %v", err)
+	}
+}
+
+func TestChaosVerifyRejects(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mutate func(*chaosReport)
+		want   string
+	}{
+		"wrong mode":        {func(r *chaosReport) { r.Mode = "votes" }, "stream-mode"},
+		"vacuous drill":     {func(r *chaosReport) { r.Reconnects = 0 }, "vacuous"},
+		"lost rounds":       {func(r *chaosReport) { r.OK = 639 }, "lost rounds"},
+		"errors":            {func(r *chaosReport) { r.Errors = 1 }, "lost rounds"},
+		"double classify":   {func(r *chaosReport) { r.DoubleClassifies = 2 }, "double-classified"},
+		"resume miss":       {func(r *chaosReport) { r.ResumeMisses = 1; r.ResumeSuccessRate = 11.0 / 12.0 }, "resume success rate"},
+		"poor availability": {func(r *chaosReport) { r.Availability = 0.9 }, "availability"},
+	} {
+		rep := goodChaosReport()
+		tc.mutate(&rep)
+		path := writeChaosReport(t, rep)
+		err := cmdChaosVerify([]string{path})
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestChaosVerifyMinAvailabilityFlag(t *testing.T) {
+	rep := goodChaosReport()
+	rep.Availability = 0.95
+	path := writeChaosReport(t, rep)
+	if err := cmdChaosVerify([]string{path}); err == nil {
+		t.Fatal("0.95 availability passed the default 0.99 bar")
+	}
+	if err := cmdChaosVerify([]string{"-min-availability", "0.9", path}); err != nil {
+		t.Fatalf("relaxed bar rejected: %v", err)
+	}
+	if err := cmdChaosVerify([]string{"-min-availability", "nope", path}); err == nil {
+		t.Fatal("bad -min-availability accepted")
+	}
+}

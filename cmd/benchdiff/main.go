@@ -6,6 +6,7 @@
 //	benchdiff verify -min 2.0 -min-int8 3.0 new.json
 //	benchdiff serve-extract -o BENCH_serve.json windows.json stream.json
 //	benchdiff serve-verify -min-wire-compression 10 BENCH_serve.json
+//	benchdiff chaos-verify -min-availability 0.99 chaos_report.json
 //
 // Raw nanoseconds are not comparable across machines, so compare normalises
 // every benchmark against an anchor benchmark recorded in the same run
@@ -74,6 +75,8 @@ func main() {
 		err = cmdServeExtract(os.Args[2:])
 	case "serve-verify":
 		err = cmdServeVerify(os.Args[2:])
+	case "chaos-verify":
+		err = cmdChaosVerify(os.Args[2:])
 	default:
 		usage()
 	}
@@ -89,7 +92,8 @@ func usage() {
   benchdiff compare [-threshold frac] [-o report.txt] old.json new.json
   benchdiff verify [-min factor] [-min-int8 factor] new.json
   benchdiff serve-extract [-o serve.json] report.json...
-  benchdiff serve-verify [-min-wire-compression factor] [-max-accuracy-drop frac] serve.json`)
+  benchdiff serve-verify [-min-wire-compression factor] [-max-accuracy-drop frac] serve.json
+  benchdiff chaos-verify [-min-availability frac] chaos_report.json`)
 	os.Exit(2)
 }
 

@@ -116,6 +116,11 @@ func TestOriginServeBadFlags(t *testing.T) {
 		{"-batch-size", "0"},
 		{"-batch-hold", "-1ms"},
 		{"-stream-idle-timeout", "-1s"},
+		{"-resume-cap", "0"},
+		{"-chaos-kill-rate", "1.5", "-stream-addr", ":0"},
+		{"-chaos-kill-rate", "0.5", "-chaos-kill-min-bytes", "0", "-stream-addr", ":0"},
+		{"-chaos-kill-rate", "0.5", "-chaos-kill-max-bytes", "1", "-stream-addr", ":0"},
+		{"-chaos-kill-rate", "0.5"}, // chaos without a stream front
 	} {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
 			runExpect2(t, "origin-serve", args...)
@@ -136,6 +141,12 @@ func TestOriginLoadgenBadFlags(t *testing.T) {
 		{"-mode", "stream", "-stream-hop", "65"},
 		{"-mode", "stream", "-addr", "http://127.0.0.1:1"}, // external server needs -stream-addr too
 		{"-mode", "windows", "-tiny-model", "-addr", "http://127.0.0.1:1"},
+		{"-reconnect-max", "-1"},
+		{"-chaos"}, // chaos needs stream mode
+		{"-mode", "stream", "-chaos", "-addr", "http://127.0.0.1:1", "-stream-addr", "127.0.0.1:1"},
+		{"-mode", "stream", "-chaos", "-chaos-kill-rate", "2"},
+		{"-mode", "stream", "-chaos", "-chaos-kill-min-bytes", "0"},
+		{"-mode", "stream", "-chaos", "-chaos-kill-max-bytes", "1"},
 	} {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
 			runExpect2(t, "origin-loadgen", args...)

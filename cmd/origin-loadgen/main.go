@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"origin/internal/experiments"
+	"origin/internal/fault"
 	"origin/internal/fleet"
 	"origin/internal/fleet/fleettest"
 	"origin/internal/loadgen"
@@ -47,6 +48,12 @@ func main() {
 		streamAddr = flag.String("stream-addr", "", "stream front host:port (stream mode against an external -addr; the in-process server starts its own)")
 		streamHop  = flag.Int("stream-hop", loadgen.DefaultStreamHop, "new samples per steady-state stream frame (1..64)")
 		tinyModel  = flag.Bool("tiny-model", false, "serve tiny deterministic untrained models (CI wire-bytes gate; in-process server only)")
+		chaosOn    = flag.Bool("chaos", false, "inject seeded connection faults into the in-process stream front (stream mode only)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "connection-chaos RNG seed")
+		chaosKill  = flag.Float64("chaos-kill-rate", 1.0, "fraction of stream connections killed mid-stream under -chaos")
+		chaosMin   = flag.Int("chaos-kill-min-bytes", 4096, "min uplink bytes a doomed connection survives")
+		chaosMax   = flag.Int("chaos-kill-max-bytes", 16384, "max uplink bytes a doomed connection survives")
+		reconnMax  = flag.Int("reconnect-max", 0, "consecutive failed reconnect attempts before a stream user gives up (0 = default)")
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -76,8 +83,28 @@ func main() {
 	if *tinyModel && *addr != "" {
 		usageError("-tiny-model only applies to the in-process server (drop -addr)")
 	}
+	if *reconnMax < 0 {
+		usageError("-reconnect-max must not be negative, got %d", *reconnMax)
+	}
+	var chaos fault.ConnChaos
+	if *chaosOn {
+		if loadgen.Mode(*mode) != loadgen.ModeStream {
+			usageError("-chaos needs -mode stream")
+		}
+		if *addr != "" {
+			usageError("-chaos only applies to the in-process server (drop -addr; for an external server use origin-serve's -chaos-* flags)")
+		}
+		chaos = fault.ConnChaos{
+			Seed: *chaosSeed, KillRate: *chaosKill,
+			KillMinBytes: *chaosMin, KillMaxBytes: *chaosMax,
+		}
+		if err := chaos.Validate(); err != nil {
+			usageError("%v", err)
+		}
+	}
 
 	base, streamBase := *addr, *streamAddr
+	var chaosStats func() fault.ChaosStats
 	if base == "" {
 		mgrCfg := fleet.Config{QueueDepth: *queueDepth, Workers: *workers}
 		if *tinyModel {
@@ -107,10 +134,22 @@ func main() {
 				fmt.Fprintf(os.Stderr, "origin-loadgen: stream listen: %v\n", err)
 				os.Exit(1)
 			}
-			ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, Metrics: metrics})
-			go func() { _ = ss.Serve(sln) }()
-			defer ss.Close()
 			streamBase = sln.Addr().String()
+			var lis net.Listener = sln
+			if chaos.Enabled() {
+				cl, cerr := fault.NewChaosListener(sln, chaos)
+				if cerr != nil {
+					fmt.Fprintf(os.Stderr, "origin-loadgen: chaos listener: %v\n", cerr)
+					os.Exit(1)
+				}
+				lis = cl
+				chaosStats = cl.Stats
+				fmt.Printf("connection chaos armed: seed=%d kill-rate=%g kill-bytes=[%d,%d]\n",
+					chaos.Seed, chaos.KillRate, chaos.KillMinBytes, chaos.KillMaxBytes)
+			}
+			ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, Metrics: metrics})
+			go func() { _ = ss.Serve(lis) }()
+			defer ss.Close()
 			fmt.Printf("in-process stream front on %s\n", streamBase)
 		}
 	}
@@ -121,8 +160,9 @@ func main() {
 		Mode: loadgen.Mode(*mode), SensorsPerRequest: *sensorsPer, VoteFlip: *flip,
 		Quorum: *quorum, StaleLimit: *staleLimit, Freeze: *freeze,
 		StreamAddr: streamBase, StreamHop: *streamHop,
-		Traces: *traces,
-		Client: &http.Client{Timeout: 60 * time.Second},
+		ReconnectMax: *reconnMax,
+		Traces:       *traces,
+		Client:       &http.Client{Timeout: 60 * time.Second},
 	})
 	if rep != nil {
 		fmt.Printf("loadgen %s/%s: %d users × %d rounds in %.2fs\n",
@@ -136,6 +176,15 @@ func main() {
 			rep.UplinkBytes, rep.UplinkBytesPerClassification)
 		if rep.ParseNsPerClassification > 0 {
 			fmt.Printf("  parse       %.0f ns/classification server-side\n", rep.ParseNsPerClassification)
+		}
+		if rep.Mode == string(loadgen.ModeStream) {
+			fmt.Printf("  resilience  reconnects=%d resume-success=%.4f availability=%.4f double-classifies=%d\n",
+				rep.Reconnects, rep.ResumeSuccessRate, rep.Availability, rep.DoubleClassifies)
+		}
+		if chaosStats != nil {
+			st := chaosStats()
+			fmt.Printf("  chaos       conns=%d kills=%d partial-writes=%d slow-reads=%d delayed-accepts=%d\n",
+				st.Conns, st.Kills, st.PartialWrites, st.SlowReads, st.DelayedAccepts)
 		}
 		if *jsonOut != "" {
 			if werr := writeReport(rep, *jsonOut); werr != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"origin/internal/experiments"
+	"origin/internal/fault"
 	"origin/internal/fleet"
 	"origin/internal/serve"
 )
@@ -50,6 +51,12 @@ func main() {
 		cache        = flag.String("cache", "", "model cache directory")
 		streamAddr   = flag.String("stream-addr", "", "binary stream front listen address (empty = HTTP only)")
 		idleTimeout  = flag.Duration("stream-idle-timeout", 5*time.Minute, "close stream connections idle longer than this")
+		resumeTTL    = flag.Duration("resume-ttl", 2*time.Minute, "keep disconnected stream sessions resumable this long (negative disables resume)")
+		resumeCap    = flag.Int("resume-cap", 4096, "max parked stream sessions (oldest evicted beyond it)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "connection-chaos RNG seed (per-connection fault plans derive from it)")
+		chaosKill    = flag.Float64("chaos-kill-rate", 0, "fraction of stream connections to kill mid-stream (0 disables chaos; testing only)")
+		chaosKillMin = flag.Int("chaos-kill-min-bytes", 4096, "min uplink bytes a doomed connection survives")
+		chaosKillMax = flag.Int("chaos-kill-max-bytes", 16384, "max uplink bytes a doomed connection survives")
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -89,6 +96,19 @@ func main() {
 	}
 	if *idleTimeout <= 0 {
 		usageError("-stream-idle-timeout must be positive, got %s", *idleTimeout)
+	}
+	if *resumeCap <= 0 {
+		usageError("-resume-cap must be positive, got %d", *resumeCap)
+	}
+	chaos := fault.ConnChaos{
+		Seed: *chaosSeed, KillRate: *chaosKill,
+		KillMinBytes: *chaosKillMin, KillMaxBytes: *chaosKillMax,
+	}
+	if err := chaos.Validate(); err != nil {
+		usageError("%v", err)
+	}
+	if chaos.Enabled() && *streamAddr == "" {
+		usageError("-chaos-kill-rate needs a stream front (-stream-addr)")
 	}
 
 	mgr := fleet.NewManager(fleet.Config{
@@ -135,9 +155,22 @@ func main() {
 		if err != nil {
 			log.Fatalf("origin-serve: stream listen: %v", err)
 		}
+		if chaos.Enabled() {
+			// Deterministic connection-fault injection for chaos drills:
+			// wrap the accept path so every stream connection draws its
+			// fault plan from the seeded per-connection RNG.
+			cl, err := fault.NewChaosListener(ln, chaos)
+			if err != nil {
+				log.Fatalf("origin-serve: chaos listener: %v", err)
+			}
+			ln = cl
+			log.Printf("stream front chaos enabled: seed=%d kill-rate=%g kill-bytes=[%d,%d]",
+				chaos.Seed, chaos.KillRate, chaos.KillMinBytes, chaos.KillMaxBytes)
+		}
 		streamSrv = serve.NewStreamServer(serve.StreamConfig{
 			Manager: mgr, Metrics: metrics,
 			RoundTimeout: *reqTimeout, IdleTimeout: *idleTimeout,
+			ResumeTTL: *resumeTTL, ResumeCap: *resumeCap,
 		})
 		go func() {
 			if err := streamSrv.Serve(ln); err != nil {

@@ -36,6 +36,20 @@ import (
 //	Hello (client→server, first frame on a connection):
 //	  uvarint   protocol version (must be StreamVersion)
 //	  uvarint   session id length, then that many bytes of session id
+//	  uvarint   resume token length, then that many bytes of token
+//	            (the whole field is omitted on a fresh connection — a
+//	            tokenless hello is byte-identical to the pre-resume format)
+//
+//	HelloAck (server→client, response to every accepted hello):
+//	  0         flags (bit 0: session state was resumed)
+//	  uvarint   resume token length, then that many bytes of token
+//	  uvarint   next session slot (rounds classified so far)
+//	  uvarint   last class + 2 (0: no result recorded on this stream,
+//	            1: abstain, k+2: class k) — lets a reconnecting client
+//	            recover a result whose push was lost in the disconnect
+//	  uvarint   sensor count, then per sensor:
+//	    uvarint next expected frame seq (the per-sensor ack: everything
+//	            below it is ingested and must not re-classify)
 //
 //	IMU (client→server):
 //	  0         sensor id (uint8)
@@ -73,6 +87,7 @@ const (
 	FrameResult    = 3
 	FrameHeartbeat = 4
 	FrameError     = 5
+	FrameHelloAck  = 6
 )
 
 // Stream error codes (FrameError payloads).
@@ -81,7 +96,11 @@ const (
 	StreamErrSession   = 2 // unknown or evicted session
 	StreamErrInternal  = 3 // server-side failure (shutdown, classify error)
 	StreamErrSaturated = 4 // round shed after retries (server overloaded)
+	StreamErrResume    = 5 // resume token unknown, stale, or expired
 )
+
+// MaxStreamToken caps the resume token length in hello and hello-ack frames.
+const MaxStreamToken = 128
 
 // Envelope geometry.
 const (
@@ -167,24 +186,34 @@ func DecodeFrameBytes(b []byte) (Frame, error) {
 	return Frame{Type: b[0], Payload: b[streamHeaderBytes : streamHeaderBytes+n]}, nil
 }
 
-// Hello is the decoded hello payload.
+// Hello is the decoded hello payload. Token is empty on a fresh connection;
+// a reconnecting client presents the token its last hello-ack carried.
 type Hello struct {
 	Version int
 	Session string
+	Token   string
 }
 
-// EncodeHello appends an enveloped hello frame to dst.
+// EncodeHello appends an enveloped hello frame to dst. An empty token is
+// omitted from the wire entirely, keeping fresh hellos byte-identical to the
+// pre-resume format.
 func EncodeHello(dst []byte, h Hello) ([]byte, error) {
-	if h.Version < 0 || h.Session == "" || len(h.Session) > 255 {
+	if h.Version < 0 || h.Session == "" || len(h.Session) > 255 || len(h.Token) > MaxStreamToken {
 		return dst, fmt.Errorf("comm: invalid hello %+v", h)
 	}
 	p := binary.AppendUvarint(nil, uint64(h.Version))
 	p = binary.AppendUvarint(p, uint64(len(h.Session)))
 	p = append(p, h.Session...)
+	if h.Token != "" {
+		p = binary.AppendUvarint(p, uint64(len(h.Token)))
+		p = append(p, h.Token...)
+	}
 	return AppendFrame(dst, FrameHello, p)
 }
 
-// DecodeHello parses a hello payload.
+// DecodeHello parses a hello payload. The resume token field is optional,
+// but when present it must be non-empty — an explicit zero-length token has
+// no distinct encoding, so it is rejected to keep round-trips exact.
 func DecodeHello(p []byte) (Hello, error) {
 	d := payloadReader{b: p}
 	v := d.uvarint()
@@ -193,13 +222,125 @@ func DecodeHello(p []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("comm: malformed hello")
 	}
 	id := d.bytes(int(n))
-	if d.err != nil || !d.done() {
+	if d.err != nil {
 		return Hello{}, fmt.Errorf("comm: malformed hello")
+	}
+	var token []byte
+	if !d.done() {
+		tn := d.uvarint()
+		if d.err != nil || tn == 0 || tn > MaxStreamToken {
+			return Hello{}, fmt.Errorf("comm: malformed hello token")
+		}
+		token = d.bytes(int(tn))
+		if d.err != nil || !d.done() {
+			return Hello{}, fmt.Errorf("comm: malformed hello token")
+		}
 	}
 	if v != StreamVersion {
 		return Hello{}, fmt.Errorf("comm: unsupported stream version %d (want %d)", v, StreamVersion)
 	}
-	return Hello{Version: int(v), Session: string(id)}, nil
+	return Hello{Version: int(v), Session: string(id), Token: string(token)}, nil
+}
+
+// HelloAck is the decoded hello-ack payload: the server's answer to an
+// accepted hello, carrying the resume token for future reconnects and the
+// acks a resuming client needs to re-send exactly the unacked frames.
+type HelloAck struct {
+	// Resumed reports whether parked session state was reattached.
+	Resumed bool
+	// Token is the resume token for this session's stream lineage. It is
+	// stable across reconnects, so an ack lost mid-write never strands the
+	// client with a stale token.
+	Token string
+	// NextSlot is the number of rounds the session has classified; the next
+	// completed round answers this slot.
+	NextSlot int
+	// LastClass is the class of the most recent round classified over this
+	// stream lineage, valid only when HasLast — a reconnecting client whose
+	// result push was lost recovers it from here.
+	LastClass int
+	HasLast   bool
+	// NextSeqs holds, per sensor id, the next frame seq the assembler
+	// expects; every seq below it is ingested and will be dropped as a dup.
+	NextSeqs []int
+}
+
+// helloAckFlagResumed is the hello-ack flags bit marking a resumed session.
+const helloAckFlagResumed = 0x01
+
+// EncodeHelloAck appends an enveloped hello-ack frame to dst.
+func EncodeHelloAck(dst []byte, a HelloAck) ([]byte, error) {
+	if a.Token == "" || len(a.Token) > MaxStreamToken {
+		return dst, fmt.Errorf("comm: invalid hello-ack token %q", a.Token)
+	}
+	if a.NextSlot < 0 || len(a.NextSeqs) > 255 {
+		return dst, fmt.Errorf("comm: invalid hello-ack %+v", a)
+	}
+	if a.HasLast && a.LastClass < -1 {
+		return dst, fmt.Errorf("comm: invalid hello-ack last class %d", a.LastClass)
+	}
+	var flags byte
+	if a.Resumed {
+		flags |= helloAckFlagResumed
+	}
+	p := []byte{flags}
+	p = binary.AppendUvarint(p, uint64(len(a.Token)))
+	p = append(p, a.Token...)
+	p = binary.AppendUvarint(p, uint64(a.NextSlot))
+	last := uint64(0)
+	if a.HasLast {
+		last = uint64(a.LastClass + 2)
+	}
+	p = binary.AppendUvarint(p, last)
+	p = binary.AppendUvarint(p, uint64(len(a.NextSeqs)))
+	for s, seq := range a.NextSeqs {
+		if seq < 0 {
+			return dst, fmt.Errorf("comm: invalid hello-ack seq %d for sensor %d", seq, s)
+		}
+		p = binary.AppendUvarint(p, uint64(seq))
+	}
+	return AppendFrame(dst, FrameHelloAck, p)
+}
+
+// DecodeHelloAck parses a hello-ack payload.
+func DecodeHelloAck(p []byte) (HelloAck, error) {
+	d := payloadReader{b: p}
+	flags := d.byte()
+	tn := d.uvarint()
+	if d.err != nil || tn == 0 || tn > MaxStreamToken {
+		return HelloAck{}, fmt.Errorf("comm: malformed hello-ack token")
+	}
+	token := d.bytes(int(tn))
+	slot := d.uvarint()
+	last := d.uvarint()
+	sensors := d.uvarint()
+	if d.err != nil || flags&^byte(helloAckFlagResumed) != 0 ||
+		slot > math.MaxInt32 || last > 257 || sensors > 255 {
+		return HelloAck{}, fmt.Errorf("comm: malformed hello-ack")
+	}
+	a := HelloAck{
+		Resumed:  flags&helloAckFlagResumed != 0,
+		Token:    string(token),
+		NextSlot: int(slot),
+	}
+	if last > 0 {
+		a.HasLast = true
+		a.LastClass = int(last) - 2
+	}
+	if sensors > 0 {
+		a.NextSeqs = make([]int, sensors)
+		for s := range a.NextSeqs {
+			seq := d.uvarint()
+			if seq > math.MaxInt32 {
+				return HelloAck{}, fmt.Errorf("comm: hello-ack seq out of range")
+			}
+			a.NextSeqs[s] = int(seq)
+		}
+	}
+	if d.err != nil || !d.done() {
+		return HelloAck{}, fmt.Errorf("comm: malformed hello-ack")
+	}
+	return a, nil
 }
 
 // IMUFrame is one decoded sample batch: n new samples per channel for one

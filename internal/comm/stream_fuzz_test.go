@@ -35,6 +35,15 @@ func FuzzDecodeStreamFrame(f *testing.F) {
 	if b, err := EncodeHeartbeat(nil); err == nil {
 		seeds = append(seeds, b)
 	}
+	if b, err := EncodeHello(nil, Hello{Version: StreamVersion, Session: "fuzz", Token: "rt-7"}); err == nil {
+		seeds = append(seeds, b)
+	}
+	if b, err := EncodeHelloAck(nil, HelloAck{
+		Resumed: true, Token: "rt-7", NextSlot: 5,
+		HasLast: true, LastClass: 2, NextSeqs: []int{1, 0, 4},
+	}); err == nil {
+		seeds = append(seeds, b, b[:len(b)-3])
+	}
 	seeds = append(seeds, []byte{}, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	for _, s := range seeds {
 		f.Add(s)
@@ -47,7 +56,8 @@ func FuzzDecodeStreamFrame(f *testing.F) {
 		switch frame.Type {
 		case FrameHello:
 			if h, err := DecodeHello(frame.Payload); err == nil {
-				if h.Version != StreamVersion || h.Session == "" || len(h.Session) > 255 {
+				if h.Version != StreamVersion || h.Session == "" || len(h.Session) > 255 ||
+					len(h.Token) > MaxStreamToken {
 					t.Fatalf("decoded out-of-contract hello: %+v", h)
 				}
 				b, err := EncodeHello(nil, h)
@@ -100,6 +110,25 @@ func FuzzDecodeStreamFrame(f *testing.F) {
 			if e, err := DecodeStreamError(frame.Payload); err == nil {
 				if e.Code < 0 || e.Code > 255 || len(e.Msg) > 1024 {
 					t.Fatalf("decoded out-of-range error: %+v", e)
+				}
+			}
+		case FrameHelloAck:
+			if a, err := DecodeHelloAck(frame.Payload); err == nil {
+				if a.Token == "" || len(a.Token) > MaxStreamToken || a.NextSlot < 0 ||
+					len(a.NextSeqs) > 255 || (a.HasLast && a.LastClass < -1) {
+					t.Fatalf("decoded out-of-contract hello-ack: %+v", a)
+				}
+				for _, seq := range a.NextSeqs {
+					if seq < 0 {
+						t.Fatalf("decoded negative hello-ack seq: %+v", a)
+					}
+				}
+				b, err := EncodeHelloAck(nil, a)
+				if err != nil {
+					t.Fatalf("re-encode of decoded hello-ack failed: %v", err)
+				}
+				if string(b) != string(data) {
+					t.Fatalf("hello-ack round-trip differs")
 				}
 			}
 		}

@@ -39,6 +39,18 @@ func goldenFrames(t testing.TB) [][]byte {
 		func() ([]byte, error) {
 			return EncodeStreamError(nil, StreamError{Code: StreamErrSession, Msg: "no such session"})
 		},
+		func() ([]byte, error) {
+			return EncodeHello(nil, Hello{Version: StreamVersion, Session: "sess-42", Token: "rt-9"})
+		},
+		func() ([]byte, error) {
+			return EncodeHelloAck(nil, HelloAck{
+				Resumed: true, Token: "rt-9", NextSlot: 11,
+				LastClass: 4, HasLast: true, NextSeqs: []int{3, 0, 12},
+			})
+		},
+		func() ([]byte, error) {
+			return EncodeHelloAck(nil, HelloAck{Token: "rt-10", NextSlot: 0})
+		},
 	} {
 		b, err := enc()
 		if err != nil {
@@ -139,6 +151,21 @@ func TestStreamGoldenVectors(t *testing.T) {
 	if err != nil || se.Code != StreamErrSession || se.Msg != "no such session" {
 		t.Fatalf("golden error = %+v, %v", se, err)
 	}
+	h, err = DecodeHello(next(FrameHello).Payload)
+	if err != nil || h.Session != "sess-42" || h.Token != "rt-9" {
+		t.Fatalf("golden resume hello = %+v, %v", h, err)
+	}
+	ack, err := DecodeHelloAck(next(FrameHelloAck).Payload)
+	if err != nil || !ack.Resumed || ack.Token != "rt-9" || ack.NextSlot != 11 ||
+		!ack.HasLast || ack.LastClass != 4 ||
+		len(ack.NextSeqs) != 3 || ack.NextSeqs[0] != 3 || ack.NextSeqs[1] != 0 || ack.NextSeqs[2] != 12 {
+		t.Fatalf("golden hello-ack = %+v, %v", ack, err)
+	}
+	ack, err = DecodeHelloAck(next(FrameHelloAck).Payload)
+	if err != nil || ack.Resumed || ack.Token != "rt-10" || ack.NextSlot != 0 ||
+		ack.HasLast || len(ack.NextSeqs) != 0 {
+		t.Fatalf("golden fresh hello-ack = %+v, %v", ack, err)
+	}
 	if _, err := ReadFrame(r); err != io.EOF {
 		t.Fatalf("trailing golden bytes: %v", err)
 	}
@@ -179,6 +206,97 @@ func TestStreamFrameRoundTrips(t *testing.T) {
 	gotE, err := DecodeStreamError(f.Payload)
 	if err != nil || gotE != e {
 		t.Fatalf("error = %+v, %v", gotE, err)
+	}
+}
+
+// TestHelloTokenCompat pins the back-compat property: a tokenless hello
+// encodes byte-identically to the pre-resume format, and a token survives
+// the round trip.
+func TestHelloTokenCompat(t *testing.T) {
+	plain, err := EncodeHello(nil, Hello{Version: StreamVersion, Session: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build the pre-resume payload: version, id length, id bytes.
+	want, err := AppendFrame(nil, FrameHello, []byte{StreamVersion, 2, 's', '1'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, want) {
+		t.Fatalf("tokenless hello bytes changed:\n got %x\nwant %x", plain, want)
+	}
+
+	h := Hello{Version: StreamVersion, Session: "s1", Token: "rt-77"}
+	b, err := EncodeHello(nil, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrameBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(f.Payload)
+	if err != nil || got != h {
+		t.Fatalf("hello with token = %+v, %v", got, err)
+	}
+
+	// An explicit zero-length token field has no canonical encoding and must
+	// be rejected rather than aliased to the tokenless form.
+	bad, err := AppendFrame(nil, FrameHello, []byte{StreamVersion, 2, 's', '1', 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := DecodeFrameBytes(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeHello(bf.Payload); err == nil {
+		t.Fatal("explicit empty token accepted")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	cases := []HelloAck{
+		{Token: "rt-0", NextSlot: 0},
+		{Resumed: true, Token: "rt-123", NextSlot: 42, HasLast: true, LastClass: -1, NextSeqs: []int{0, 9, 3}},
+		{Resumed: true, Token: "rt-1", NextSlot: 1, HasLast: true, LastClass: 0, NextSeqs: []int{1}},
+	}
+	for i, a := range cases {
+		b, err := EncodeHelloAck(nil, a)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		f, err := DecodeFrameBytes(b)
+		if err != nil || f.Type != FrameHelloAck {
+			t.Fatalf("case %d: frame %+v, %v", i, f, err)
+		}
+		got, err := DecodeHelloAck(f.Payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Resumed != a.Resumed || got.Token != a.Token || got.NextSlot != a.NextSlot ||
+			got.HasLast != a.HasLast || got.LastClass != a.LastClass || len(got.NextSeqs) != len(a.NextSeqs) {
+			t.Fatalf("case %d: %+v != %+v", i, got, a)
+		}
+		for s := range a.NextSeqs {
+			if got.NextSeqs[s] != a.NextSeqs[s] {
+				t.Fatalf("case %d sensor %d: seq %d != %d", i, s, got.NextSeqs[s], a.NextSeqs[s])
+			}
+		}
+	}
+}
+
+func TestHelloAckRejects(t *testing.T) {
+	for name, a := range map[string]HelloAck{
+		"empty token": {NextSlot: 1},
+		"long token":  {Token: string(make([]byte, MaxStreamToken+1))},
+		"neg slot":    {Token: "t", NextSlot: -1},
+		"neg seq":     {Token: "t", NextSeqs: []int{-1}},
+		"bad last":    {Token: "t", HasLast: true, LastClass: -2},
+	} {
+		if _, err := EncodeHelloAck(nil, a); err == nil {
+			t.Errorf("%s: encode accepted", name)
+		}
 	}
 }
 

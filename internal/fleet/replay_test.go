@@ -9,6 +9,7 @@ import (
 
 	"origin"
 	"origin/internal/comm"
+	"origin/internal/fault"
 	"origin/internal/fleet"
 	"origin/internal/fleet/fleettest"
 	"origin/internal/loadgen"
@@ -121,8 +122,8 @@ func serialStreamReplay(t *testing.T, cfg *loadgen.Config, i int) []int {
 		if err != nil {
 			t.Fatalf("user %d round %d: %v", i, k, err)
 		}
-		for _, b := range frames {
-			f, err := comm.DecodeFrameBytes(b)
+		for _, ef := range frames {
+			f, err := comm.DecodeFrameBytes(ef.Bytes)
 			if err != nil {
 				t.Fatalf("user %d round %d: %v", i, k, err)
 			}
@@ -172,6 +173,62 @@ func TestStreamLoadgenMatchesSerialReplay(t *testing.T) {
 	}
 	if rep.UplinkBytes <= 0 || rep.UplinkBytesPerClassification <= 0 {
 		t.Fatalf("stream run recorded no uplink bytes: %+v", rep)
+	}
+}
+
+// prop (ISSUE acceptance, headline): with seeded connection chaos killing
+// every stream connection mid-round, the reconnect/resume protocol keeps
+// every session's classification sequence byte-identical to the fault-free
+// serial replay — no lost rounds, no double classifications. Runs in CI
+// under -race via the chaos verification target.
+func TestStreamChaosLoadgenMatchesSerialReplay(t *testing.T) {
+	ts, mgr := newTestServer(t, 64, 4)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := fault.NewChaosListener(ln, fault.ConnChaos{
+		Seed:     21,
+		KillRate: 1, KillMinBytes: 2048, KillMaxBytes: 8192,
+		PartialWriteRate: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, RoundTimeout: 30 * time.Second})
+	go func() { _ = ss.Serve(chaos) }()
+	t.Cleanup(ss.Close)
+
+	cfg := replayConfig(ts.URL, loadgen.ModeStream, 4, 24)
+	cfg.StreamAddr = ln.Addr().String()
+	cfg.StreamHop = loadgen.DefaultStreamHop
+	cfg.ReconnectMax = 16 // every connection dies; give redials headroom
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		t.Fatalf("loadgen under chaos: %v", err)
+	}
+	stats := chaos.Stats()
+	t.Logf("chaos: %+v; reconnects=%d resumeAttempts=%d availability=%.4f",
+		stats, rep.Reconnects, rep.ResumeAttempts, rep.Availability)
+	if stats.Kills == 0 {
+		t.Fatal("chaos injected no kills — the run proves nothing")
+	}
+	if rep.Reconnects == 0 || rep.ResumeAttempts == 0 {
+		t.Fatalf("no resumes exercised: %+v", rep)
+	}
+	if rep.ResumeMisses != 0 || rep.DoubleClassifies != 0 {
+		t.Fatalf("resume protocol violated: misses=%d doubleClassifies=%d",
+			rep.ResumeMisses, rep.DoubleClassifies)
+	}
+	if rep.OK != cfg.Users*cfg.Requests || rep.Errors != 0 {
+		t.Fatalf("rounds lost under chaos: %+v", rep)
+	}
+	for i, tr := range rep.Sessions {
+		want := serialStreamReplay(t, &cfg, i)
+		if !reflect.DeepEqual(tr.Classes, want) {
+			t.Errorf("user %d: chaos sequence diverged from fault-free serial replay:\n got %v\nwant %v",
+				i, tr.Classes, want)
+		}
 	}
 }
 

@@ -89,6 +89,10 @@ type Config struct {
 	// stream frame carries (the sliding-window hop; the first frame per
 	// sensor always carries a full window). Default DefaultStreamHop.
 	StreamHop int
+	// ReconnectMax bounds consecutive failed stream (re)connect attempts
+	// before a user hard-fails (stream mode; default 8). The counter resets
+	// on every completed handshake.
+	ReconnectMax int
 	// Client is the HTTP client (default: 30 s timeout).
 	Client *http.Client
 	// Traces records every session's classification sequence in the
@@ -142,6 +146,22 @@ type Report struct {
 	// assembly), read as a /metrics counter delta around the run. Zero when
 	// the server does not export parse counters.
 	ParseNsPerClassification float64 `json:"parseNsPerClassification,omitempty"`
+
+	// Resume/availability columns (stream mode only). Reconnects counts
+	// completed re-handshakes after a connection loss; ResumeAttempts the
+	// hello-with-token handshakes the server answered; ResumeMisses the
+	// answers that found no resumable state. DoubleClassifies counts rounds
+	// the server classified more than once — the resume protocol's headline
+	// invariant is that this stays zero under any disconnect pattern.
+	Reconnects       int `json:"reconnects,omitempty"`
+	ResumeAttempts   int `json:"resumeAttempts,omitempty"`
+	ResumeMisses     int `json:"resumeMisses,omitempty"`
+	DoubleClassifies int `json:"doubleClassifies,omitempty"`
+	// ResumeSuccessRate is 1 - misses/attempts (1.0 with no attempts);
+	// Availability is 1 - total reconnect downtime over total user wall
+	// time. Both are 1.0 on a fault-free run.
+	ResumeSuccessRate float64 `json:"resumeSuccessRate,omitempty"`
+	Availability      float64 `json:"availability,omitempty"`
 
 	Sessions []SessionTrace `json:"sessions,omitempty"`
 }
@@ -258,6 +278,14 @@ type userResult struct {
 	uplinkBytes int64
 	latencies   []time.Duration
 	err         error
+
+	// Stream-mode resume tallies.
+	reconnects       int
+	resumeAttempts   int
+	resumeMisses     int
+	doubleClassifies int
+	downtime         time.Duration
+	wall             time.Duration
 }
 
 // Run executes the load run and aggregates the report.
@@ -285,6 +313,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.StreamHop < 1 || cfg.StreamHop > windowLen {
 		return nil, fmt.Errorf("loadgen: stream hop %d outside [1,%d]", cfg.StreamHop, windowLen)
+	}
+	if cfg.ReconnectMax == 0 {
+		cfg.ReconnectMax = defaultReconnectMax
+	}
+	if cfg.ReconnectMax < 1 {
+		return nil, fmt.Errorf("loadgen: reconnect max %d below 1", cfg.ReconnectMax)
 	}
 	if cfg.VoteFlip == 0 {
 		cfg.VoteFlip = 0.2
@@ -322,6 +356,7 @@ func Run(cfg Config) (*Report, error) {
 		DurationS: dur.Seconds(),
 	}
 	var lats []time.Duration
+	var wallSum, downSum time.Duration
 	total, correct := 0, 0
 	for i := range results {
 		r := &results[i]
@@ -333,11 +368,27 @@ func Run(cfg Config) (*Report, error) {
 		rep.Shed += r.shed
 		rep.Errors += r.errs
 		rep.UplinkBytes += r.uplinkBytes
+		rep.Reconnects += r.reconnects
+		rep.ResumeAttempts += r.resumeAttempts
+		rep.ResumeMisses += r.resumeMisses
+		rep.DoubleClassifies += r.doubleClassifies
+		wallSum += r.wall
+		downSum += r.downtime
 		lats = append(lats, r.latencies...)
 		total += len(r.trace.Classes)
 		correct += r.correct
 		if cfg.Traces {
 			rep.Sessions = append(rep.Sessions, r.trace)
+		}
+	}
+	if cfg.Mode == ModeStream {
+		rep.ResumeSuccessRate = 1
+		if rep.ResumeAttempts > 0 {
+			rep.ResumeSuccessRate = float64(rep.ResumeAttempts-rep.ResumeMisses) / float64(rep.ResumeAttempts)
+		}
+		rep.Availability = 1
+		if wallSum > 0 {
+			rep.Availability = 1 - downSum.Seconds()/wallSum.Seconds()
 		}
 	}
 	if dur > 0 {

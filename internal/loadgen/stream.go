@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -70,17 +71,29 @@ func NewFrameSource(cfg *Config, profile *synth.Profile, i int) *FrameSource {
 // Truth returns the ground-truth activity of round k.
 func (fs *FrameSource) Truth(k int) int { return fs.timeline.PerSlot[k] }
 
+// EncodedFrame is one enveloped IMU frame plus the header fields the
+// reconnect path needs: after a resume, frames whose Seq sits below the
+// server's per-sensor ack are already ingested and are filtered from the
+// re-send (re-sending them would also be safe — the server drops duplicates
+// — but wastes uplink).
+type EncodedFrame struct {
+	Sensor int
+	Seq    int
+	End    bool
+	Bytes  []byte
+}
+
 // Next returns round k's encoded (enveloped) IMU frames in send order. The
 // last frame carries the end-of-round flag. Must be called sequentially —
 // the sensor streams advance with each round.
-func (fs *FrameSource) Next(k int) ([][]byte, error) {
+func (fs *FrameSource) Next(k int) ([]EncodedFrame, error) {
 	if k != fs.step {
 		panic(fmt.Sprintf("loadgen: frame source stepped out of order: got %d want %d", k, fs.step))
 	}
 	fs.step++
 	truth := fs.timeline.PerSlot[k]
 	n := fs.cfg.SensorsPerRequest
-	frames := make([][]byte, 0, n)
+	frames := make([]EncodedFrame, 0, n)
 	for j := 0; j < n; j++ {
 		sensorID := (k*n + j) % synth.NumLocations
 		st := &fs.sensors[sensorID]
@@ -102,19 +115,258 @@ func (fs *FrameSource) Next(k int) ([][]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: encode frame (round %d sensor %d): %w", k, sensorID, err)
 		}
+		frames = append(frames, EncodedFrame{Sensor: sensorID, Seq: st.seq, End: j == n-1, Bytes: enc})
 		st.seq++
-		frames = append(frames, enc)
 	}
 	return frames, nil
+}
+
+// Reconnect/backoff parameters: the base doubles per consecutive failure up
+// to the cap, each sleep jittered by a per-user seeded factor in [0.5, 1.5)
+// so a fleet of users severed by the same fault does not redial in lockstep.
+const (
+	defaultReconnectMax = 8
+	reconnectBackoffMin = 2 * time.Millisecond
+	reconnectBackoffCap = 250 * time.Millisecond
+)
+
+// streamSession is one user's stream connection plus the resume state the
+// reconnect path carries across connections: the token from the last
+// hello-ack and the tally of reconnect outcomes.
+type streamSession struct {
+	cfg    *Config
+	i      int
+	sessID string
+	rng    *rand.Rand // backoff jitter (disjoint from the data streams)
+	r      *userResult
+
+	conn  net.Conn
+	br    *bufio.Reader
+	token string
+}
+
+func (ss *streamSession) closeConn() {
+	if ss.conn != nil {
+		ss.conn.Close()
+		ss.conn, ss.br = nil, nil
+	}
+}
+
+// readDataFrame reads the next non-heartbeat frame: server heartbeats keep
+// half-open connections detectable but carry no protocol state.
+func readDataFrame(br *bufio.Reader) (comm.Frame, error) {
+	for {
+		frame, err := comm.ReadFrame(br)
+		if err != nil || frame.Type != comm.FrameHeartbeat {
+			return frame, err
+		}
+	}
+}
+
+// dialAndHello performs one connection attempt end to end: dial, preamble +
+// hello (with the resume token when one is held), and the server's answer.
+// transient=true means the attempt died on the network and may be retried;
+// transient=false errors are protocol-level and terminal.
+func (ss *streamSession) dialAndHello() (ack comm.HelloAck, transient bool, err error) {
+	conn, err := net.DialTimeout("tcp", ss.cfg.StreamAddr, 10*time.Second)
+	if err != nil {
+		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d dial stream %s: %v", ss.i, ss.cfg.StreamAddr, err)
+	}
+	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...),
+		comm.Hello{Version: comm.StreamVersion, Session: ss.sessID, Token: ss.token})
+	if err != nil {
+		conn.Close()
+		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d encode hello: %v", ss.i, err)
+	}
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d send hello: %v", ss.i, err)
+	}
+	// The preamble and hello are uplink too; amortised over the run they
+	// vanish, but counting them keeps the bytes column honest.
+	ss.r.uplinkBytes += int64(len(hello))
+	br := bufio.NewReaderSize(conn, 32<<10)
+	frame, err := readDataFrame(br)
+	if err != nil {
+		conn.Close()
+		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d read hello-ack: %v", ss.i, err)
+	}
+	resuming := ss.token != ""
+	if resuming {
+		// An attempt only counts once the server answered; attempts severed
+		// mid-handshake are retried, not scored.
+		ss.r.resumeAttempts++
+	}
+	switch frame.Type {
+	case comm.FrameHelloAck:
+		ack, err := comm.DecodeHelloAck(frame.Payload)
+		if err != nil {
+			conn.Close()
+			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: %v", ss.i, err)
+		}
+		if resuming && !ack.Resumed {
+			conn.Close()
+			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: server answered a resume hello with a fresh ack", ss.i)
+		}
+		ss.token = ack.Token
+		ss.conn, ss.br = conn, br
+		return ack, false, nil
+	case comm.FrameError:
+		conn.Close()
+		se, derr := comm.DecodeStreamError(frame.Payload)
+		if derr != nil {
+			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: undecodable error frame: %v", ss.i, derr)
+		}
+		if resuming && se.Code == comm.StreamErrResume {
+			ss.r.resumeMisses++
+		}
+		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: stream error %d: %s", ss.i, se.Code, se.Msg)
+	default:
+		conn.Close()
+		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: unexpected frame type %d for hello", ss.i, frame.Type)
+	}
+}
+
+// connect establishes (or re-establishes) the stream connection with seeded
+// jittered exponential backoff, bounded by ReconnectMax consecutive failed
+// attempts. Time from entry to a completed handshake accrues as downtime.
+func (ss *streamSession) connect(initial bool) (comm.HelloAck, error) {
+	ss.closeConn()
+	t0 := time.Now()
+	defer func() { ss.r.downtime += time.Since(t0) }()
+	for attempt := 0; attempt < ss.cfg.ReconnectMax; attempt++ {
+		if attempt > 0 {
+			d := reconnectBackoffMin << (attempt - 1)
+			if d > reconnectBackoffCap {
+				d = reconnectBackoffCap
+			}
+			time.Sleep(time.Duration(float64(d) * (0.5 + ss.rng.Float64())))
+		}
+		ack, transient, err := ss.dialAndHello()
+		if err == nil {
+			if !initial {
+				ss.r.reconnects++
+			}
+			return ack, nil
+		}
+		if !transient {
+			return comm.HelloAck{}, err
+		}
+	}
+	return comm.HelloAck{}, fmt.Errorf("loadgen: user %d: reconnect budget exhausted (%d attempts)", ss.i, ss.cfg.ReconnectMax)
+}
+
+// filterFrames drops the frames a resume ack already covers: the server
+// ingested everything below the per-sensor next-seq watermarks before the
+// disconnect.
+func filterFrames(frames []EncodedFrame, nextSeqs []int) []EncodedFrame {
+	out := make([]EncodedFrame, 0, len(frames))
+	for _, f := range frames {
+		if f.Sensor < len(nextSeqs) && f.Seq < nextSeqs[f.Sensor] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// round delivers round k's frames and returns its classification, riding out
+// any number of mid-round disconnects: each reconnect resumes the session and
+// the hello-ack dictates recovery — NextSlot == k+1 means the round already
+// classified and only the result push was lost (the ack carries it);
+// NextSlot == k means the round is still open and the un-acked frames are
+// re-sent. Anything else is a protocol violation; a server that ran ahead of
+// the client counts as a double classification.
+func (ss *streamSession) round(k int, frames []EncodedFrame) (int, error) {
+	send := frames
+	for {
+		if ss.conn == nil {
+			ack, err := ss.connect(false)
+			if err != nil {
+				return 0, err
+			}
+			switch {
+			case ack.NextSlot == k+1:
+				if !ack.HasLast {
+					return 0, fmt.Errorf("loadgen: user %d round %d: resumed past the round with no last result", ss.i, k)
+				}
+				return ack.LastClass, nil
+			case ack.NextSlot == k:
+				send = filterFrames(frames, ack.NextSeqs)
+			default:
+				if ack.NextSlot > k+1 {
+					ss.r.doubleClassifies++
+				}
+				return 0, fmt.Errorf("loadgen: user %d round %d: resume ack answers slot %d", ss.i, k, ack.NextSlot)
+			}
+		}
+		if err := ss.sendFrames(send); err != nil {
+			ss.closeConn()
+			continue
+		}
+		class, transient, err := ss.awaitResult(k)
+		if err != nil {
+			if transient {
+				ss.closeConn()
+				continue
+			}
+			return 0, err
+		}
+		return class, nil
+	}
+}
+
+func (ss *streamSession) sendFrames(frames []EncodedFrame) error {
+	for _, f := range frames {
+		if _, err := ss.conn.Write(f.Bytes); err != nil {
+			return err
+		}
+		ss.r.uplinkBytes += int64(len(f.Bytes))
+	}
+	return nil
+}
+
+// awaitResult reads round k's pushed result. Network failures are transient
+// (the caller reconnects); error frames and slot mismatches are terminal.
+func (ss *streamSession) awaitResult(k int) (class int, transient bool, err error) {
+	frame, err := readDataFrame(ss.br)
+	if err != nil {
+		return 0, true, err
+	}
+	switch frame.Type {
+	case comm.FrameResult:
+	case comm.FrameError:
+		se, derr := comm.DecodeStreamError(frame.Payload)
+		if derr != nil {
+			return 0, false, fmt.Errorf("loadgen: user %d round %d: undecodable error frame: %v", ss.i, k, derr)
+		}
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: stream error %d: %s", ss.i, k, se.Code, se.Msg)
+	default:
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: unexpected frame type %d", ss.i, k, frame.Type)
+	}
+	res, err := comm.DecodeStreamResult(frame.Payload)
+	if err != nil {
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: %v", ss.i, k, err)
+	}
+	if res.Slot != k {
+		if res.Slot > k {
+			ss.r.doubleClassifies++
+		}
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: result answers slot %d", ss.i, k, res.Slot)
+	}
+	return res.Class, false, nil
 }
 
 // runStreamUser is one closed-loop stream-mode user: create a session over
 // HTTP, open the persistent binary connection, then for every round send the
 // frames and wait for the pushed result before the next round. The server
 // absorbs shed rounds internally, so unlike the HTTP loop there is no
-// client-side retry — every round classifies exactly once.
+// client-side retry of the round itself — every round classifies exactly
+// once, a property the resume protocol preserves across disconnects.
 func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
 	var r userResult
+	start := time.Now()
+	defer func() { r.wall = time.Since(start) }()
 	fail := func(err error) userResult {
 		r.errs++
 		r.err = err
@@ -131,24 +383,20 @@ func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
 	}
 	r.trace = SessionTrace{User: UserID(i), ID: created.ID}
 
-	conn, err := net.DialTimeout("tcp", cfg.StreamAddr, 10*time.Second)
+	// seed+6 keeps the jitter stream disjoint from the timeline (seed),
+	// generator (seed+1), vote (seed+2) and sensor (seed+3..5) streams.
+	ss := &streamSession{
+		cfg: cfg, i: i, sessID: created.ID, r: &r,
+		rng: rand.New(rand.NewSource(streamSeed(cfg.Seed, i) + 6)),
+	}
+	defer ss.closeConn()
+	ack, err := ss.connect(true)
 	if err != nil {
-		return fail(fmt.Errorf("loadgen: user %d dial stream %s: %v", i, cfg.StreamAddr, err))
+		return fail(err)
 	}
-	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 32<<10)
-
-	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...),
-		comm.Hello{Version: comm.StreamVersion, Session: created.ID})
-	if err != nil {
-		return fail(fmt.Errorf("loadgen: user %d encode hello: %v", i, err))
+	if ack.NextSlot != 0 {
+		return fail(fmt.Errorf("loadgen: user %d: fresh session starts at slot %d", i, ack.NextSlot))
 	}
-	if _, err := conn.Write(hello); err != nil {
-		return fail(fmt.Errorf("loadgen: user %d send hello: %v", i, err))
-	}
-	// The preamble and hello are uplink too; amortised over the run they
-	// vanish, but counting them keeps the bytes column honest.
-	r.uplinkBytes += int64(len(hello))
 
 	fs := NewFrameSource(cfg, profile, i)
 	for k := 0; k < cfg.Requests; k++ {
@@ -157,40 +405,16 @@ func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
 			return fail(err)
 		}
 		t0 := time.Now()
-		for _, f := range frames {
-			if _, err := conn.Write(f); err != nil {
-				return fail(fmt.Errorf("loadgen: user %d round %d: send frame: %v", i, k, err))
-			}
-			r.uplinkBytes += int64(len(f))
-		}
 		r.sent++
-		frame, err := comm.ReadFrame(br)
+		class, err := ss.round(k, frames)
 		if err != nil {
-			return fail(fmt.Errorf("loadgen: user %d round %d: read result: %v", i, k, err))
-		}
-		switch frame.Type {
-		case comm.FrameResult:
-		case comm.FrameError:
-			se, derr := comm.DecodeStreamError(frame.Payload)
-			if derr != nil {
-				return fail(fmt.Errorf("loadgen: user %d round %d: undecodable error frame: %v", i, k, derr))
-			}
-			return fail(fmt.Errorf("loadgen: user %d round %d: stream error %d: %s", i, k, se.Code, se.Msg))
-		default:
-			return fail(fmt.Errorf("loadgen: user %d round %d: unexpected frame type %d", i, k, frame.Type))
-		}
-		res, err := comm.DecodeStreamResult(frame.Payload)
-		if err != nil {
-			return fail(fmt.Errorf("loadgen: user %d round %d: %v", i, k, err))
-		}
-		if res.Slot != k {
-			return fail(fmt.Errorf("loadgen: user %d round %d: result answers slot %d", i, k, res.Slot))
+			return fail(err)
 		}
 		lat := time.Since(t0)
 		r.ok++
 		r.latencies = append(r.latencies, lat)
-		r.trace.Classes = append(r.trace.Classes, res.Class)
-		if res.Class == fs.Truth(k) {
+		r.trace.Classes = append(r.trace.Classes, class)
+		if class == fs.Truth(k) {
 			r.correct++
 		}
 	}

@@ -101,10 +101,13 @@ func TestFrameSourceDeterministic(t *testing.T) {
 			t.Fatalf("round %d: %d frames, want %d", k, len(fa), cfg.SensorsPerRequest)
 		}
 		for j := range fa {
-			if !bytes.Equal(fa[j], fb[j]) {
+			if !bytes.Equal(fa[j].Bytes, fb[j].Bytes) {
 				t.Fatalf("round %d frame %d: same user differs", k, j)
 			}
-			if !bytes.Equal(fa[j], fo[j]) {
+			if fa[j].Sensor != fb[j].Sensor || fa[j].Seq != fb[j].Seq || fa[j].End != fb[j].End {
+				t.Fatalf("round %d frame %d: same user header differs", k, j)
+			}
+			if !bytes.Equal(fa[j].Bytes, fo[j].Bytes) {
 				differed = true
 			}
 		}

@@ -1,0 +1,454 @@
+package serve_test
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"origin/internal/comm"
+	"origin/internal/fleet"
+	"origin/internal/fleet/fleettest"
+	"origin/internal/serve"
+)
+
+// Resume-boundary regression tests: the seams where a disconnect can land —
+// mid-fill window rings, lost result pushes, duplicated end-of-round frames,
+// sequence gaps after a resume — plus the parked-state lifecycle (TTL, cap,
+// fresh-hello displacement).
+
+// newResumeStack is newStreamStack with a configurable StreamConfig; it also
+// returns the server so tests can watch the parked-state count.
+func newResumeStack(t *testing.T, mutate func(*serve.StreamConfig)) (*streamStack, *serve.StreamServer) {
+	t.Helper()
+	mgr := fleet.NewManager(fleet.Config{Registry: fleettest.NewRegistry(), QueueDepth: 64, Workers: 2})
+	metrics := &serve.Metrics{}
+	cfg := serve.StreamConfig{
+		Manager: mgr, Metrics: metrics,
+		RoundTimeout: 30 * time.Second, IdleTimeout: 30 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ss := serve.NewStreamServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ss.Serve(ln) }()
+	t.Cleanup(func() {
+		ss.Close()
+		mgr.Close()
+	})
+	return &streamStack{mgr: mgr, metrics: metrics, addr: ln.Addr().String()}, ss
+}
+
+// waitCounter polls an atomic metrics counter until it reaches want — the
+// handler ingests and parks asynchronously relative to the client's writes.
+func waitCounter(t *testing.T, load func() int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d", what, load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitParked polls the server's parked-session gauge.
+func waitParked(t *testing.T, ss *serve.StreamServer, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for ss.ParkedSessions() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked sessions = %d, want %d", ss.ParkedSessions(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fakeClock is an injectable resume-cache clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestStreamResumeMidRound: the connection dies with a round half-reported
+// (one sensor in, window rings mid-fill) and a hop frame already slid onto a
+// parked ring. The resume must pick the round up exactly where it stopped.
+func TestStreamResumeMidRound(t *testing.T) {
+	s, ss := newResumeStack(t, nil)
+	sess, err := s.mgr.Create("MHEALTH", 7, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, ack := s.dialAck(t, sess.ID())
+	if ack.Resumed || ack.Token == "" {
+		t.Fatalf("fresh ack: %+v", ack)
+	}
+
+	// Round 0 completes; round 1 opens with a hop frame (ring slides), then
+	// the connection dies before the round ends.
+	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	res0 := readResult(t, br)
+	if res0.Slot != 0 {
+		t.Fatalf("slot %d", res0.Slot)
+	}
+	if _, err := conn.Write(imuFrame(t, 0, 1, 32, false)); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, s.metrics.StreamFrames.Load, 2, "stream frames")
+	conn.Close()
+	waitParked(t, ss, 1)
+
+	conn2, br2, ack2 := s.dialAck(t, sess.ID(), ack.Token)
+	if !ack2.Resumed || ack2.Token != ack.Token {
+		t.Fatalf("resume ack: %+v", ack2)
+	}
+	if ack2.NextSlot != 1 || !ack2.HasLast || ack2.LastClass != res0.Class {
+		t.Fatalf("resume ack does not carry round 0: %+v (res0=%+v)", ack2, res0)
+	}
+	if len(ack2.NextSeqs) == 0 || ack2.NextSeqs[0] != 2 {
+		t.Fatalf("resume ack seqs %v, want sensor 0 at 2 (hop frame survived the park)", ack2.NextSeqs)
+	}
+	// Finish round 1 from another sensor, then round 2 slides sensor 0's
+	// parked ring again — if the ring state had been lost, this hop frame
+	// would be rejected as a below-window first frame.
+	if _, err := conn2.Write(imuFrame(t, 1, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	if res := readResult(t, br2); res.Slot != 1 {
+		t.Fatalf("resumed round answered slot %d, want 1", res.Slot)
+	}
+	if _, err := conn2.Write(imuFrame(t, 0, 2, 32, true)); err != nil {
+		t.Fatal(err)
+	}
+	if res := readResult(t, br2); res.Slot != 2 {
+		t.Fatalf("post-resume round answered slot %d, want 2", res.Slot)
+	}
+	if got := sess.Info().Slots; got != 3 {
+		t.Fatalf("session served %d slots, want 3", got)
+	}
+	if s.metrics.StreamResumes.Load() != 1 || s.metrics.StreamParked.Load() != 1 {
+		t.Fatalf("resume metrics: resumes=%d parked=%d",
+			s.metrics.StreamResumes.Load(), s.metrics.StreamParked.Load())
+	}
+}
+
+// TestStreamResumeDupEndOfRound: the canonical replay-dedup case — the
+// client re-sends an already-classified end-of-round frame after a resume
+// (it cannot know the result was pushed just before the cut). The dup must
+// be absorbed, never double-classified.
+func TestStreamResumeDupEndOfRound(t *testing.T) {
+	s, ss := newResumeStack(t, nil)
+	sess, err := s.mgr.Create("MHEALTH", 8, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, ack := s.dialAck(t, sess.ID())
+
+	round0 := imuFrame(t, 0, 0, window, true)
+	if _, err := conn.Write(round0); err != nil {
+		t.Fatal(err)
+	}
+	res0 := readResult(t, br)
+	conn.Close()
+	waitParked(t, ss, 1)
+
+	conn2, br2, ack2 := s.dialAck(t, sess.ID(), ack.Token)
+	if ack2.NextSlot != 1 || !ack2.HasLast || ack2.LastClass != res0.Class {
+		t.Fatalf("resume ack: %+v", ack2)
+	}
+	// Client re-sends the classified round verbatim, then the next round.
+	if _, err := conn2.Write(round0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(imuFrame(t, 0, 1, 32, true)); err != nil {
+		t.Fatal(err)
+	}
+	res := readResult(t, br2)
+	if res.Slot != 1 {
+		t.Fatalf("after resumed dup, result answers slot %d, want 1 (dup must not classify)", res.Slot)
+	}
+	if got := sess.Info().Slots; got != 2 {
+		t.Fatalf("session served %d slots, want 2 — the re-sent round double-classified", got)
+	}
+}
+
+// TestStreamResumeGapRejected: a sequence gap after a resume is still a
+// protocol violation, and it tears the lineage — the state must not be
+// parked again for another resume.
+func TestStreamResumeGapRejected(t *testing.T) {
+	s, ss := newResumeStack(t, nil)
+	sess, err := s.mgr.Create("MHEALTH", 9, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, ack := s.dialAck(t, sess.ID())
+	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	readResult(t, br)
+	conn.Close()
+	waitParked(t, ss, 1)
+
+	conn2, br2, _ := s.dialAck(t, sess.ID(), ack.Token)
+	if _, err := conn2.Write(imuFrame(t, 0, 5, 32, true)); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, br2, comm.StreamErrProtocol)
+	// The torn lineage is gone: the same token now misses.
+	_, br3 := s.dial(t, sess.ID(), ack.Token)
+	readError(t, br3, comm.StreamErrResume)
+	if s.metrics.StreamResumeMisses.Load() != 1 {
+		t.Fatalf("resume misses = %d, want 1", s.metrics.StreamResumeMisses.Load())
+	}
+}
+
+// TestStreamResumeMiss: a token the server never issued (or has dropped) is
+// rejected with the resume error code, never silently restarted.
+func TestStreamResumeMiss(t *testing.T) {
+	s, _ := newResumeStack(t, nil)
+	sess, err := s.mgr.Create("MHEALTH", 10, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, br := s.dial(t, sess.ID(), "rt-bogus")
+	readError(t, br, comm.StreamErrResume)
+	if s.metrics.StreamResumeMisses.Load() != 1 {
+		t.Fatalf("resume misses = %d, want 1", s.metrics.StreamResumeMisses.Load())
+	}
+}
+
+// TestStreamResumeFreshHelloDiscards: a fresh hello (no token) on a session
+// with parked state starts a new lineage — the old token dies with it.
+func TestStreamResumeFreshHelloDiscards(t *testing.T) {
+	s, ss := newResumeStack(t, nil)
+	sess, err := s.mgr.Create("MHEALTH", 11, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, ack := s.dialAck(t, sess.ID())
+	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	readResult(t, br)
+	conn.Close()
+	waitParked(t, ss, 1)
+
+	_, _, ack2 := s.dialAck(t, sess.ID())
+	if ack2.Resumed || ack2.Token == ack.Token {
+		t.Fatalf("fresh hello resumed the old lineage: %+v", ack2)
+	}
+	// NextSlot reflects the session, not the lineage: rounds already
+	// classified stay classified.
+	if ack2.NextSlot != 1 {
+		t.Fatalf("fresh ack NextSlot = %d, want 1", ack2.NextSlot)
+	}
+	_, br3 := s.dial(t, sess.ID(), ack.Token)
+	readError(t, br3, comm.StreamErrResume)
+}
+
+// TestStreamResumeTTLExpiry: parked state outliving the TTL is dropped, and
+// a later resume misses. The cache clock is injected so no test sleeps.
+func TestStreamResumeTTLExpiry(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	s, ss := newResumeStack(t, func(cfg *serve.StreamConfig) {
+		cfg.ResumeTTL = time.Minute
+		cfg.Now = clock.now
+	})
+	sess, err := s.mgr.Create("MHEALTH", 12, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, ack := s.dialAck(t, sess.ID())
+	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	readResult(t, br)
+	conn.Close()
+	waitParked(t, ss, 1)
+
+	clock.advance(2 * time.Minute)
+	if got := ss.ParkedSessions(); got != 0 {
+		t.Fatalf("parked sessions after TTL = %d, want 0", got)
+	}
+	_, br2 := s.dial(t, sess.ID(), ack.Token)
+	readError(t, br2, comm.StreamErrResume)
+	if s.metrics.StreamExpired.Load() != 1 {
+		t.Fatalf("expired counter = %d, want 1", s.metrics.StreamExpired.Load())
+	}
+}
+
+// TestStreamResumeCapEviction: the parked-state cache is bounded; past the
+// cap the oldest parked lineage is dropped first.
+func TestStreamResumeCapEviction(t *testing.T) {
+	s, ss := newResumeStack(t, func(cfg *serve.StreamConfig) {
+		cfg.ResumeCap = 1
+	})
+	// Waiting on the cumulative park counter (not the parked gauge, which
+	// stays at 1 across the eviction) pins each disconnect's park.
+	park := func(user, wantParks int64) (string, string) { // returns session id, token
+		sess, err := s.mgr.Create("MHEALTH", user, fleet.Opts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, br, ack := s.dialAck(t, sess.ID())
+		if _, err := conn.Write(imuFrame(t, 0, 0, sess.Model().Window, true)); err != nil {
+			t.Fatal(err)
+		}
+		readResult(t, br)
+		conn.Close()
+		waitCounter(t, s.metrics.StreamParked.Load, wantParks, "parked total")
+		return sess.ID(), ack.Token
+	}
+	idA, tokenA := park(20, 1)
+	idB, tokenB := park(21, 2) // cap 1: parking B evicts A
+	waitParked(t, ss, 1)
+
+	_, brA := s.dial(t, idA, tokenA)
+	readError(t, brA, comm.StreamErrResume)
+	_, _, ackB := s.dialAck(t, idB, tokenB)
+	if !ackB.Resumed {
+		t.Fatalf("newest parked state evicted: %+v", ackB)
+	}
+	if s.metrics.StreamExpired.Load() != 1 {
+		t.Fatalf("expired counter = %d, want 1", s.metrics.StreamExpired.Load())
+	}
+}
+
+// TestStreamResumeDisabled: a negative TTL turns the feature off —
+// disconnects discard state and tokens never match, like the pre-resume
+// server.
+func TestStreamResumeDisabled(t *testing.T) {
+	s, ss := newResumeStack(t, func(cfg *serve.StreamConfig) {
+		cfg.ResumeTTL = -1
+	})
+	sess, err := s.mgr.Create("MHEALTH", 13, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, ack := s.dialAck(t, sess.ID())
+	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
+		t.Fatal(err)
+	}
+	readResult(t, br)
+	conn.Close()
+	// No parking with resume disabled: whether the handler has released yet
+	// or not, the token must miss (attach kicks a still-live owner first).
+	if got := ss.ParkedSessions(); got != 0 {
+		t.Fatalf("parked sessions = %d with resume disabled", got)
+	}
+	_, br2 := s.dial(t, sess.ID(), ack.Token)
+	readError(t, br2, comm.StreamErrResume)
+	if s.metrics.StreamParked.Load() != 0 {
+		t.Fatalf("parked counter = %d with resume disabled", s.metrics.StreamParked.Load())
+	}
+}
+
+// TestStreamResultBatching: results for rounds whose frames arrived in one
+// burst coalesce into fewer downlink writes.
+func TestStreamResultBatching(t *testing.T) {
+	s, _ := newResumeStack(t, nil)
+	sess, err := s.mgr.Create("MHEALTH", 14, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sess.Model().Window
+	conn, br, _ := s.dialAck(t, sess.ID())
+
+	var burst bytes.Buffer
+	burst.Write(imuFrame(t, 0, 0, window, true))
+	burst.Write(imuFrame(t, 0, 1, 32, true))
+	burst.Write(imuFrame(t, 0, 2, 32, true))
+	if _, err := conn.Write(burst.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if res := readResult(t, br); res.Slot != k {
+			t.Fatalf("burst round %d answered slot %d", k, res.Slot)
+		}
+	}
+	flushes := s.metrics.StreamResultFlushes.Load()
+	if flushes < 1 || flushes >= 3 {
+		t.Fatalf("3 burst rounds took %d result flushes, want coalescing (1-2)", flushes)
+	}
+}
+
+// TestStreamServerHeartbeats: an idle connection receives server heartbeats
+// at IdleTimeout/3, so a live-but-quiet peer can tell the link is up.
+func TestStreamServerHeartbeats(t *testing.T) {
+	s, _ := newResumeStack(t, func(cfg *serve.StreamConfig) {
+		cfg.IdleTimeout = 600 * time.Millisecond
+	})
+	sess, err := s.mgr.Create("MHEALTH", 15, fleet.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, br, _ := s.dialAck(t, sess.ID())
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := comm.ReadFrame(br)
+	if err != nil {
+		t.Fatalf("read heartbeat: %v", err)
+	}
+	if f.Type != comm.FrameHeartbeat {
+		t.Fatalf("idle connection pushed frame type %d, want heartbeat", f.Type)
+	}
+	if s.metrics.StreamHeartbeats.Load() < 1 {
+		t.Fatalf("heartbeat counter = %d", s.metrics.StreamHeartbeats.Load())
+	}
+}
+
+// TestStreamRejectSanitizesSessionID: a hostile session id full of control
+// bytes must reach the error frame (and any log line) neutered — length
+// capped, control characters mapped out.
+func TestStreamRejectSanitizesSessionID(t *testing.T) {
+	s, _ := newResumeStack(t, nil)
+	evil := strings.Repeat("x", 40) + "\n\x1b[2Jrm -rf\x00" + strings.Repeat("y", 120)
+	_, br := s.dial(t, evil)
+	f, err := comm.ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != comm.FrameError {
+		t.Fatalf("frame type %d, want error", f.Type)
+	}
+	se, err := comm.DecodeStreamError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Code != comm.StreamErrSession {
+		t.Fatalf("code %d, want session error", se.Code)
+	}
+	for _, c := range []byte(se.Msg) {
+		if c < 0x20 || c > 0x7e {
+			t.Fatalf("error message carries raw control byte %#x: %q", c, se.Msg)
+		}
+	}
+	if len(se.Msg) > 120 {
+		t.Fatalf("error message %d bytes — session id not truncated: %q", len(se.Msg), se.Msg)
+	}
+}

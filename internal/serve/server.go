@@ -226,5 +226,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("stream_bytes_total", "Stream uplink bytes ingested (payload plus envelope).", m.StreamBytes.Load())
 		counter("stream_rejects_total", "Stream frames or rounds rejected (protocol errors, shed retries).", m.StreamRejects.Load())
 		counter("stream_rounds_total", "Classify rounds completed over the stream front.", m.StreamRounds.Load())
+		counter("stream_resumes_total", "Stream sessions resumed after a disconnect.", m.StreamResumes.Load())
+		counter("stream_resume_misses_total", "Hello-with-token lookups that found no resumable state.", m.StreamResumeMisses.Load())
+		counter("stream_parked_total", "Stream states parked on disconnect awaiting resume.", m.StreamParked.Load())
+		counter("stream_resume_expired_total", "Parked stream states dropped by TTL or cap.", m.StreamExpired.Load())
+		counter("stream_result_flushes_total", "Downlink writes carrying one or more coalesced result frames.", m.StreamResultFlushes.Load())
+		counter("stream_heartbeats_total", "Server heartbeat frames written.", m.StreamHeartbeats.Load())
 	}
 }

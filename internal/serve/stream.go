@@ -48,6 +48,19 @@ type Metrics struct {
 	StreamBytes   atomic.Int64
 	StreamRejects atomic.Int64
 	StreamRounds  atomic.Int64
+
+	// Resume-protocol counters: sessions reattached after a disconnect,
+	// hello-with-token lookups that found nothing (stale/expired/unknown),
+	// states parked on disconnect, and parked states dropped by TTL or cap.
+	StreamResumes      atomic.Int64
+	StreamResumeMisses atomic.Int64
+	StreamParked       atomic.Int64
+	StreamExpired      atomic.Int64
+
+	// Downlink instrumentation: result-frame flushes (consecutive results
+	// coalesce into one write) and heartbeats emitted.
+	StreamResultFlushes atomic.Int64
+	StreamHeartbeats    atomic.Int64
 }
 
 // noteParse records the decode cost of one classify round.
@@ -69,8 +82,19 @@ type StreamConfig struct {
 	// RoundTimeout bounds one classify round end to end (default 10s).
 	RoundTimeout time.Duration
 	// IdleTimeout closes connections with no inbound frame for this long
-	// (default 5m) so dead wearables do not pin session state forever.
+	// (default 5m) so dead wearables do not pin session state forever. The
+	// server also writes a heartbeat every IdleTimeout/3, so a half-open
+	// connection dies from the failed write instead of lingering.
 	IdleTimeout time.Duration
+	// ResumeTTL bounds how long a disconnected session's window-assembly
+	// state stays parked awaiting a resume (default 2m; negative disables
+	// resume entirely — disconnects discard state as before).
+	ResumeTTL time.Duration
+	// ResumeCap bounds the number of parked states (default 4096); beyond
+	// it the oldest parked state is dropped.
+	ResumeCap int
+	// Now overrides the clock for the resume cache (tests only).
+	Now func() time.Time
 }
 
 // StreamServer owns the persistent-connection binary ingest front. Serve
@@ -78,6 +102,7 @@ type StreamConfig struct {
 // goroutine end to end.
 type StreamServer struct {
 	cfg    StreamConfig
+	states *resumeCache
 	closed atomic.Bool
 
 	mu    sync.Mutex
@@ -97,8 +122,21 @@ func NewStreamServer(cfg StreamConfig) *StreamServer {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
-	return &StreamServer{cfg: cfg, conns: map[net.Conn]struct{}{}}
+	if cfg.ResumeTTL == 0 {
+		cfg.ResumeTTL = 2 * time.Minute
+	}
+	if cfg.ResumeCap <= 0 {
+		cfg.ResumeCap = 4096
+	}
+	return &StreamServer{
+		cfg:    cfg,
+		states: newResumeCache(cfg.ResumeTTL, cfg.ResumeCap, cfg.Metrics, cfg.Now),
+		conns:  map[net.Conn]struct{}{},
+	}
 }
+
+// ParkedSessions reports the stream states currently parked awaiting resume.
+func (s *StreamServer) ParkedSessions() int { return s.states.parkedCount() }
 
 // Serve accepts stream connections on ln until Close. It returns nil after
 // Close, or the first accept error otherwise.
@@ -159,48 +197,176 @@ type streamAbort struct {
 
 func (e *streamAbort) Error() string { return e.msg }
 
-// handle services one connection: preamble, hello, then the frame loop.
+// connWriter serializes writes to one connection: the handler's results and
+// acks share the socket with the heartbeat goroutine.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) write(b []byte, timeout time.Duration) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := w.conn.Write(b)
+	return err
+}
+
+// streamWriteTimeout bounds data writes (acks, results); rejects and
+// heartbeats use the shorter streamCloseTimeout, since a peer that cannot
+// drain a 7-byte frame promptly is as good as gone.
+const (
+	streamWriteTimeout = 10 * time.Second
+	streamCloseTimeout = 2 * time.Second
+
+	// streamFlushBytes force-flushes pending result frames even while more
+	// uplink frames are buffered, bounding the coalescing window.
+	streamFlushBytes = 8 << 10
+)
+
+// sanitizeID length-caps and strips non-printable bytes from an untrusted
+// wire string before it is echoed into error frames or log lines: a hostile
+// session id must not smuggle newlines or terminal control bytes.
+func sanitizeID(s string) string {
+	const maxID = 64
+	truncated := false
+	if len(s) > maxID {
+		s, truncated = s[:maxID], true
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c < 0x20 || c > 0x7e {
+			b[i] = '?'
+		}
+	}
+	if truncated {
+		b = append(b, "..."...)
+	}
+	return string(b)
+}
+
+// handle services one connection: preamble, hello/hello-ack, then the frame
+// loop. On a network-level failure the session's assembly state is parked
+// for resume; on a protocol violation it is discarded — the state is torn
+// and a resume would classify from a corrupt signal.
 func (s *StreamServer) handle(conn net.Conn) {
 	defer conn.Close()
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.StreamConns.Add(1)
 	}
+	w := &connWriter{conn: conn}
 	br := bufio.NewReaderSize(conn, 32<<10)
 
 	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != comm.StreamMagic {
-		s.reject(conn, comm.StreamErrProtocol, "bad stream preamble")
+		s.reject(w, comm.StreamErrProtocol, "bad stream preamble")
 		return
 	}
 	frame, err := comm.ReadFrame(br)
 	if err != nil || frame.Type != comm.FrameHello {
-		s.reject(conn, comm.StreamErrProtocol, "expected hello frame")
+		s.reject(w, comm.StreamErrProtocol, "expected hello frame")
 		return
 	}
 	hello, err := comm.DecodeHello(frame.Payload)
 	if err != nil {
-		s.reject(conn, comm.StreamErrProtocol, err.Error())
+		s.reject(w, comm.StreamErrProtocol, err.Error())
 		return
 	}
 	sess, err := s.cfg.Manager.Get(hello.Session)
 	if err != nil {
-		s.reject(conn, comm.StreamErrSession, fmt.Sprintf("session %q: %v", hello.Session, err))
+		s.reject(w, comm.StreamErrSession, fmt.Sprintf("session %q: %v", sanitizeID(hello.Session), err))
 		return
 	}
-	asm := NewStreamAssembler(sess.Model().Sensors(), sess.Model().Window)
+	st, resumed, err := s.states.attach(hello.Session, hello.Token, sess.Model().Sensors(), sess.Model().Window, conn)
+	if err != nil {
+		s.reject(w, comm.StreamErrResume, err.Error())
+		return
+	}
+	// From here on the state must be handed back exactly once; park is
+	// flipped off on the paths where it is torn.
+	park := true
+	defer func() { s.states.release(st, park) }()
 
-	out := make([]byte, 0, 64)
+	ack := comm.HelloAck{
+		Resumed:  resumed,
+		Token:    st.token,
+		NextSlot: sess.Info().Slots,
+		NextSeqs: st.asm.NextSeqs(),
+	}
+	if st.hasLast {
+		ack.HasLast, ack.LastClass = true, st.lastClass
+	}
+	ackBytes, err := comm.EncodeHelloAck(nil, ack)
+	if err != nil {
+		park = false
+		s.reject(w, comm.StreamErrInternal, "hello-ack encode failed")
+		return
+	}
+	if err := w.write(ackBytes, streamWriteTimeout); err != nil {
+		return
+	}
+
+	// Heartbeats at IdleTimeout/3: three missed beats fit inside the peer's
+	// own idle window, and a half-open connection dies here from the failed
+	// write instead of pinning the handler until the read deadline.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	if hb, err := comm.EncodeHeartbeat(nil); err == nil {
+		go func() {
+			t := time.NewTicker(s.cfg.IdleTimeout / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if err := w.write(hb, streamCloseTimeout); err != nil {
+						conn.Close()
+						return
+					}
+					if s.cfg.Metrics != nil {
+						s.cfg.Metrics.StreamHeartbeats.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	var pending []byte           // encoded result frames awaiting one flush
 	var roundParse time.Duration // decode+assembly cost of the round so far
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := w.write(pending, streamWriteTimeout); err != nil {
+			return err
+		}
+		pending = pending[:0]
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.StreamResultFlushes.Add(1)
+		}
+		return nil
+	}
 	for {
+		// Consecutive results coalesce while more uplink frames are already
+		// buffered; flush before a read that would block.
+		if len(pending) > 0 && br.Buffered() == 0 {
+			if err := flush(); err != nil {
+				return
+			}
+		}
 		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		// The blocking read sits outside the parse clock: parse time is the
 		// CPU cost of turning delivered bytes into classify inputs, not the
 		// closed-loop client's think time.
 		frame, err := comm.ReadFrame(br)
 		if err != nil {
-			if err != io.EOF {
-				s.reject(conn, comm.StreamErrProtocol, err.Error())
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				// A CRC mismatch is corruption, not disconnection: the frame
+				// boundary is lost, so the lineage cannot be resumed.
+				park = false
+				s.reject(w, comm.StreamErrProtocol, err.Error())
 			}
 			return
 		}
@@ -215,43 +381,53 @@ func (s *StreamServer) handle(conn net.Conn) {
 		case comm.FrameIMU:
 			imu, err := comm.DecodeIMU(frame.Payload)
 			if err != nil {
-				s.reject(conn, comm.StreamErrProtocol, err.Error())
+				park = false
+				s.reject(w, comm.StreamErrProtocol, err.Error())
 				return
 			}
-			endRound, err := asm.Ingest(imu)
+			endRound, err := st.asm.Ingest(imu)
 			roundParse += time.Since(parseStart)
 			if err != nil {
-				s.reject(conn, comm.StreamErrProtocol, err.Error())
+				park = false
+				s.reject(w, comm.StreamErrProtocol, err.Error())
 				return
 			}
 			if !endRound {
 				continue
 			}
-			inputs := asm.TakeRound()
+			inputs := st.asm.TakeRound()
 			s.cfg.Metrics.noteParse(roundParse)
 			roundParse = 0
 			res, err := s.classify(hello.Session, inputs)
 			if err != nil {
+				park = false
 				var abort *streamAbort
 				if errors.As(err, &abort) {
-					s.reject(conn, abort.code, abort.msg)
+					s.reject(w, abort.code, abort.msg)
 				} else {
-					s.reject(conn, comm.StreamErrInternal, err.Error())
+					s.reject(w, comm.StreamErrInternal, err.Error())
 				}
 				return
 			}
+			// Record the result before attempting the push: if the write
+			// fails, the parked state carries it to the resume hello-ack.
+			st.lastSlot, st.lastClass, st.hasLast = res.Slot, res.Class, true
 			if s.cfg.Metrics != nil {
 				s.cfg.Metrics.StreamRounds.Add(1)
 			}
-			out, err = comm.EncodeStreamResult(out[:0], comm.StreamResult{Slot: res.Slot, Class: res.Class})
+			pending, err = comm.EncodeStreamResult(pending, comm.StreamResult{Slot: res.Slot, Class: res.Class})
 			if err != nil {
+				park = false
 				return
 			}
-			if _, err := conn.Write(out); err != nil {
-				return
+			if len(pending) >= streamFlushBytes {
+				if err := flush(); err != nil {
+					return
+				}
 			}
 		default:
-			s.reject(conn, comm.StreamErrProtocol, fmt.Sprintf("unexpected frame type %d", frame.Type))
+			park = false
+			s.reject(w, comm.StreamErrProtocol, fmt.Sprintf("unexpected frame type %d", frame.Type))
 			return
 		}
 	}
@@ -287,8 +463,10 @@ func (s *StreamServer) classify(session string, inputs []fleet.SensorInput) (fle
 }
 
 // reject best-effort pushes an error frame before the connection drops, so
-// clients can distinguish protocol mistakes from network failures.
-func (s *StreamServer) reject(conn net.Conn, code int, msg string) {
+// clients can distinguish protocol mistakes from network failures. Callers
+// must sanitize any client-supplied substring (see sanitizeID) before it
+// lands in msg; the whole-message cap here is only the last line of defense.
+func (s *StreamServer) reject(w *connWriter, code int, msg string) {
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.StreamRejects.Add(1)
 	}
@@ -299,8 +477,7 @@ func (s *StreamServer) reject(conn net.Conn, code int, msg string) {
 	if err != nil {
 		return
 	}
-	_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	_, _ = conn.Write(out)
+	_ = w.write(out, streamCloseTimeout)
 }
 
 // StreamAssembler reconstructs sliding windows from one connection's IMU
@@ -392,6 +569,17 @@ func (a *StreamAssembler) Ingest(f comm.IMUFrame) (endRound bool, err error) {
 		a.round = append(a.round, f.Sensor)
 	}
 	return f.EndRound, nil
+}
+
+// NextSeqs returns, per sensor, the next frame sequence number the
+// assembler expects — the per-sensor acks a hello-ack carries, telling a
+// resuming client which buffered frames are already ingested.
+func (a *StreamAssembler) NextSeqs() []int {
+	seqs := make([]int, len(a.sensors))
+	for i := range a.sensors {
+		seqs[i] = a.sensors[i].nextSeq
+	}
+	return seqs
 }
 
 // TakeRound returns the classify inputs of the completed round — one

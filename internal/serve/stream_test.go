@@ -42,17 +42,21 @@ func newStreamStack(t *testing.T) *streamStack {
 	return &streamStack{mgr: mgr, metrics: metrics, addr: ln.Addr().String()}
 }
 
-// dial opens a stream connection and performs the preamble + hello
-// handshake for the given session.
-func (s *streamStack) dial(t *testing.T, session string) (net.Conn, *bufio.Reader) {
+// dial opens a stream connection and sends the preamble + hello for the
+// given session (optionally with a resume token), without reading the
+// server's answer — reject tests want to see the raw error frame.
+func (s *streamStack) dial(t *testing.T, session string, token ...string) (net.Conn, *bufio.Reader) {
 	t.Helper()
 	conn, err := net.DialTimeout("tcp", s.addr, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...),
-		comm.Hello{Version: comm.StreamVersion, Session: session})
+	h := comm.Hello{Version: comm.StreamVersion, Session: session}
+	if len(token) > 0 {
+		h.Token = token[0]
+	}
+	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...), h)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +64,34 @@ func (s *streamStack) dial(t *testing.T, session string) (net.Conn, *bufio.Reade
 		t.Fatal(err)
 	}
 	return conn, bufio.NewReader(conn)
+}
+
+// readAck reads one frame and requires it to be a hello-ack.
+func readAck(t *testing.T, br *bufio.Reader) comm.HelloAck {
+	t.Helper()
+	f, err := comm.ReadFrame(br)
+	if err != nil {
+		t.Fatalf("read hello-ack: %v", err)
+	}
+	if f.Type == comm.FrameError {
+		se, _ := comm.DecodeStreamError(f.Payload)
+		t.Fatalf("server rejected hello: %+v", se)
+	}
+	if f.Type != comm.FrameHelloAck {
+		t.Fatalf("frame type %d, want hello-ack", f.Type)
+	}
+	ack, err := comm.DecodeHelloAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ack
+}
+
+// dialAck dials and completes the hello/hello-ack handshake.
+func (s *streamStack) dialAck(t *testing.T, session string, token ...string) (net.Conn, *bufio.Reader, comm.HelloAck) {
+	t.Helper()
+	conn, br := s.dial(t, session, token...)
+	return conn, br, readAck(t, br)
 }
 
 // testSamples builds a deterministic channel-major sample batch.
@@ -138,7 +170,10 @@ func TestStreamEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	window := sess.Model().Window
-	conn, br := s.dial(t, sess.ID())
+	conn, br, ack := s.dialAck(t, sess.ID())
+	if ack.Resumed || ack.Token == "" || ack.NextSlot != 0 || ack.HasLast {
+		t.Fatalf("fresh hello-ack = %+v", ack)
+	}
 
 	// Round 0 primes the window; rounds 1..3 ship hop-sized deltas.
 	if _, err := conn.Write(imuFrame(t, 0, 0, window, true)); err != nil {
@@ -180,7 +215,7 @@ func TestStreamMultiSensorRound(t *testing.T) {
 		t.Fatal(err)
 	}
 	window := sess.Model().Window
-	conn, br := s.dial(t, sess.ID())
+	conn, br, _ := s.dialAck(t, sess.ID())
 	for sensor := 0; sensor < 3; sensor++ {
 		if _, err := conn.Write(imuFrame(t, sensor, 0, window, sensor == 2)); err != nil {
 			t.Fatal(err)
@@ -204,7 +239,7 @@ func TestStreamDuplicateNeverDoubleClassifies(t *testing.T) {
 		t.Fatal(err)
 	}
 	window := sess.Model().Window
-	conn, br := s.dial(t, sess.ID())
+	conn, br, _ := s.dialAck(t, sess.ID())
 
 	first := imuFrame(t, 0, 0, window, true)
 	if _, err := conn.Write(first); err != nil {
@@ -253,28 +288,28 @@ func TestStreamRejects(t *testing.T) {
 		readError(t, br, comm.StreamErrSession)
 	})
 	t.Run("seq gap", func(t *testing.T) {
-		conn, br := s.dial(t, sess.ID())
+		conn, br, _ := s.dialAck(t, sess.ID())
 		if _, err := conn.Write(imuFrame(t, 0, 1, window, true)); err != nil {
 			t.Fatal(err)
 		}
 		readError(t, br, comm.StreamErrProtocol)
 	})
 	t.Run("first frame below window", func(t *testing.T) {
-		conn, br := s.dial(t, sess.ID())
+		conn, br, _ := s.dialAck(t, sess.ID())
 		if _, err := conn.Write(imuFrame(t, 1, 0, window/2, true)); err != nil {
 			t.Fatal(err)
 		}
 		readError(t, br, comm.StreamErrProtocol)
 	})
 	t.Run("unknown sensor", func(t *testing.T) {
-		conn, br := s.dial(t, sess.ID())
+		conn, br, _ := s.dialAck(t, sess.ID())
 		if _, err := conn.Write(imuFrame(t, 250, 0, window, true)); err != nil {
 			t.Fatal(err)
 		}
 		readError(t, br, comm.StreamErrProtocol)
 	})
 	t.Run("corrupt frame", func(t *testing.T) {
-		conn, br := s.dial(t, sess.ID())
+		conn, br, _ := s.dialAck(t, sess.ID())
 		frame := imuFrame(t, 0, 0, window, true)
 		comm.FlipBit(frame, 40)
 		if _, err := conn.Write(frame); err != nil {
@@ -283,7 +318,7 @@ func TestStreamRejects(t *testing.T) {
 		readError(t, br, comm.StreamErrProtocol)
 	})
 	t.Run("unexpected frame type", func(t *testing.T) {
-		conn, br := s.dial(t, sess.ID())
+		conn, br, _ := s.dialAck(t, sess.ID())
 		res, err := comm.EncodeStreamResult(nil, comm.StreamResult{Slot: 0, Class: 1})
 		if err != nil {
 			t.Fatal(err)
@@ -306,7 +341,7 @@ func TestStreamHeartbeatIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn, br := s.dial(t, sess.ID())
+	conn, br, _ := s.dialAck(t, sess.ID())
 	hb, err := comm.EncodeHeartbeat(nil)
 	if err != nil {
 		t.Fatal(err)
