@@ -7,6 +7,7 @@
 //	benchdiff serve-extract -o BENCH_serve.json windows.json stream.json
 //	benchdiff serve-verify -min-wire-compression 10 BENCH_serve.json
 //	benchdiff chaos-verify -min-availability 0.99 chaos_report.json
+//	benchdiff slo-verify -min-availability 0.99 slo.json slo_rerun.json
 //
 // Raw nanoseconds are not comparable across machines, so compare normalises
 // every benchmark against an anchor benchmark recorded in the same run
@@ -77,6 +78,8 @@ func main() {
 		err = cmdServeVerify(os.Args[2:])
 	case "chaos-verify":
 		err = cmdChaosVerify(os.Args[2:])
+	case "slo-verify":
+		err = cmdSLOVerify(os.Args[2:])
 	default:
 		usage()
 	}
@@ -93,7 +96,8 @@ func usage() {
   benchdiff verify [-min factor] [-min-int8 factor] new.json
   benchdiff serve-extract [-o serve.json] report.json...
   benchdiff serve-verify [-min-wire-compression factor] [-max-accuracy-drop frac] serve.json
-  benchdiff chaos-verify [-min-availability frac] chaos_report.json`)
+  benchdiff chaos-verify [-min-availability frac] chaos_report.json
+  benchdiff slo-verify [-min-availability frac] [-max-shed-rate frac] [-min-accuracy frac] slo.json [slo_rerun.json]`)
 	os.Exit(2)
 }
 

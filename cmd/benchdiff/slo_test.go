@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"origin/internal/obs"
+)
+
+// goodSLOReport is a chaos day that passed every bar: faults and pressure
+// both fired, nothing was lost, all resumes landed.
+func goodSLOReport() obs.SLOReport {
+	return obs.SLOReport{
+		Canonical: obs.SLOCanonical{
+			Name: "day", Profile: "MHEALTH", Seed: 5,
+			Lineages: 11, ColdStarts: 8, Retired: 8, TotalRounds: 238,
+			Phases: []obs.SLOPhase{
+				{Name: "rush", Users: 6, Rounds: 10, TotalRounds: 60, Pressure: true, Correct: 50, Accuracy: 50.0 / 60},
+				{Name: "storm", Users: 5, Rounds: 10, TotalRounds: 50, Chaos: true, Correct: 40, Accuracy: 0.8},
+			},
+			Accuracy: obs.SLOAccuracy{Overall: 0.8, Calm: 0.82, Drift: 0.75, CalmRounds: 180, DriftRounds: 58},
+			Digest:   "abc123",
+		},
+		Measured: obs.SLOMeasured{
+			DurationS: 1.2, OK: 238, Errors: 0, Shed: 9,
+			Reconnects: 3, ResumeAttempts: 3, ResumeMisses: 0, DoubleClassifies: 0,
+			ResumeSuccessRate: 1.0, Availability: 0.995, ShedRate: 9.0 / 247,
+		},
+	}
+}
+
+func writeSLOReport(t *testing.T, rep obs.SLOReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSLOVerifyPasses(t *testing.T) {
+	path := writeSLOReport(t, goodSLOReport())
+	if err := cmdSLOVerify([]string{path}); err != nil {
+		t.Fatalf("clean day rejected: %v", err)
+	}
+}
+
+func TestSLOVerifyRejects(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mutate func(*obs.SLOReport)
+		want   string
+	}{
+		"lost rounds":       {func(r *obs.SLOReport) { r.Measured.OK = 237 }, "lost rounds"},
+		"errors":            {func(r *obs.SLOReport) { r.Measured.Errors = 1 }, "lost rounds"},
+		"double classify":   {func(r *obs.SLOReport) { r.Measured.DoubleClassifies = 1 }, "double-classified"},
+		"resume miss":       {func(r *obs.SLOReport) { r.Measured.ResumeMisses = 1; r.Measured.ResumeSuccessRate = 2.0 / 3 }, "resume success rate"},
+		"poor availability": {func(r *obs.SLOReport) { r.Measured.Availability = 0.9 }, "availability"},
+		"heavy shedding":    {func(r *obs.SLOReport) { r.Measured.ShedRate = 0.5 }, "shed rate"},
+		"vacuous chaos":     {func(r *obs.SLOReport) { r.Measured.Reconnects = 0 }, "vacuous"},
+		"vacuous pressure":  {func(r *obs.SLOReport) { r.Measured.Shed = 0; r.Measured.ShedRate = 0 }, "vacuous"},
+		"empty canonical":   {func(r *obs.SLOReport) { r.Canonical = obs.SLOCanonical{} }, "not an SLO report"},
+	} {
+		rep := goodSLOReport()
+		tc.mutate(&rep)
+		path := writeSLOReport(t, rep)
+		err := cmdSLOVerify([]string{path})
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestSLOVerifyFlags(t *testing.T) {
+	rep := goodSLOReport()
+	rep.Measured.Availability = 0.95
+	path := writeSLOReport(t, rep)
+	if err := cmdSLOVerify([]string{path}); err == nil {
+		t.Fatal("0.95 availability passed the default 0.99 bar")
+	}
+	if err := cmdSLOVerify([]string{"-min-availability", "0.9", path}); err != nil {
+		t.Fatalf("relaxed bar rejected: %v", err)
+	}
+	good := writeSLOReport(t, goodSLOReport())
+	if err := cmdSLOVerify([]string{"-min-accuracy", "0.95", good}); err == nil {
+		t.Fatal("0.8 accuracy passed a 0.95 bar")
+	}
+	if err := cmdSLOVerify([]string{"-max-shed-rate", "0.01", good}); err == nil {
+		t.Fatal("3.6% shed rate passed a 1% bar")
+	}
+}
+
+func TestSLOVerifyDeterminismPair(t *testing.T) {
+	a := writeSLOReport(t, goodSLOReport())
+	if err := cmdSLOVerify([]string{a, a}); err != nil {
+		t.Fatalf("identical canonical sections rejected: %v", err)
+	}
+	twin := goodSLOReport()
+	twin.Canonical.Digest = "fff999"
+	// A same-seed twin with different measured timings must still pass —
+	// only the canonical section is held to byte identity.
+	twin.Measured.DurationS = 99
+	b := writeSLOReport(t, twin)
+	err := cmdSLOVerify([]string{a, b})
+	if err == nil {
+		t.Fatal("diverged canonical sections accepted")
+	}
+	if !strings.Contains(err.Error(), "non-deterministic") {
+		t.Fatalf("error %q does not mention non-determinism", err)
+	}
+	same := goodSLOReport()
+	same.Measured.DurationS = 42
+	c := writeSLOReport(t, same)
+	if err := cmdSLOVerify([]string{a, c}); err != nil {
+		t.Fatalf("same canonical, different measured rejected: %v", err)
+	}
+}

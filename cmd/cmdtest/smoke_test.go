@@ -22,7 +22,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, cmd := range []string{"origin-sim", "origin-train", "origin-serve", "origin-loadgen"} {
+	for _, cmd := range []string{"origin-sim", "origin-train", "origin-serve", "origin-loadgen", "origin-scenario"} {
 		out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "../"+cmd).CombinedOutput()
 		if err != nil {
 			os.RemoveAll(dir)
@@ -128,6 +128,28 @@ func TestOriginServeBadFlags(t *testing.T) {
 	}
 }
 
+func TestOriginScenarioBadFlags(t *testing.T) {
+	missingSpec := filepath.Join(t.TempDir(), "nope.json")
+	for _, args := range [][]string{
+		{"-scenario", "weekend"},
+		{"-profile", "WISDM"},
+		{"-queue", "0"},
+		{"-request-timeout", "-1s"},
+		{"-spec", missingSpec},
+	} {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			start := time.Now()
+			out := runExpect2(t, "origin-scenario", args...)
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Errorf("validation took %v — it must run before any model build", elapsed)
+			}
+			if !strings.Contains(out, "origin-scenario:") {
+				t.Errorf("no usage diagnostic in output:\n%s", out)
+			}
+		})
+	}
+}
+
 func TestOriginLoadgenBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-profile", "WISDM"},
@@ -142,6 +164,7 @@ func TestOriginLoadgenBadFlags(t *testing.T) {
 		{"-mode", "stream", "-addr", "http://127.0.0.1:1"}, // external server needs -stream-addr too
 		{"-mode", "windows", "-tiny-model", "-addr", "http://127.0.0.1:1"},
 		{"-reconnect-max", "-1"},
+		{"-gap", "-1ms"},
 		{"-chaos"}, // chaos needs stream mode
 		{"-mode", "stream", "-chaos", "-addr", "http://127.0.0.1:1", "-stream-addr", "127.0.0.1:1"},
 		{"-mode", "stream", "-chaos", "-chaos-kill-rate", "2"},

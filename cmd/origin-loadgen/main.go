@@ -54,6 +54,7 @@ func main() {
 		chaosMin   = flag.Int("chaos-kill-min-bytes", 4096, "min uplink bytes a doomed connection survives")
 		chaosMax   = flag.Int("chaos-kill-max-bytes", 16384, "max uplink bytes a doomed connection survives")
 		reconnMax  = flag.Int("reconnect-max", 0, "consecutive failed reconnect attempts before a stream user gives up (0 = default)")
+		gap        = flag.Duration("gap", 0, "per-user think time between rounds (0 = closed loop; availability drills need a realistic gap)")
 	)
 	flag.Parse()
 	if *cache != "" {
@@ -85,6 +86,9 @@ func main() {
 	}
 	if *reconnMax < 0 {
 		usageError("-reconnect-max must not be negative, got %d", *reconnMax)
+	}
+	if *gap < 0 {
+		usageError("-gap must not be negative, got %v", *gap)
 	}
 	var chaos fault.ConnChaos
 	if *chaosOn {
@@ -161,6 +165,7 @@ func main() {
 		Quorum: *quorum, StaleLimit: *staleLimit, Freeze: *freeze,
 		StreamAddr: streamBase, StreamHop: *streamHop,
 		ReconnectMax: *reconnMax,
+		Gap:          *gap,
 		Traces:       *traces,
 		Client:       &http.Client{Timeout: 60 * time.Second},
 	})

@@ -1,0 +1,162 @@
+// Command origin-scenario runs a simulated day against an in-process
+// serving stack and emits the SLO report.
+//
+//	origin-scenario -scenario day -seed 7 -o slo.json
+//	origin-scenario -scenario calm -verify-replay -tiny
+//	origin-scenario -spec myday.json -profile PAMAP2
+//
+// The stack (session manager, HTTP front, chaos-wrapped binary stream
+// front) is stood up in-process because mid-run fault and pressure windows
+// toggle live handles — an external server cannot have its faults flipped
+// remotely. The scenario itself (phases, churn, drift, chaos, pressure) is
+// either a built-in (-scenario day|calm) or a declarative JSON spec
+// (-spec); see internal/scenario for the phase model and determinism
+// contract. The report's canonical section is byte-identical across
+// same-seed runs and is gated in CI by `benchdiff slo-verify`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"origin/internal/fault"
+	"origin/internal/fleet"
+	"origin/internal/fleet/fleettest"
+	"origin/internal/scenario"
+	"origin/internal/serve"
+)
+
+func main() {
+	var (
+		name         = flag.String("scenario", "day", "built-in scenario: day (chaos) or calm (zero-fault)")
+		specPath     = flag.String("spec", "", "declarative JSON scenario spec (overrides -scenario)")
+		profile      = flag.String("profile", "MHEALTH", "activity profile for the built-in scenarios")
+		seed         = flag.Int64("seed", 1, "scenario seed (same seed, same canonical report)")
+		tiny         = flag.Bool("tiny", false, "serve tiny deterministic models instead of trained ones (CI smoke)")
+		verifyReplay = flag.Bool("verify-replay", false, "also replay every lineage serially and fail on any divergence")
+		out          = flag.String("o", "-", "SLO report destination (- for stdout)")
+		queueDepth   = flag.Int("queue", 256, "classification queue depth")
+		workers      = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-classify deadline")
+	)
+	flag.Parse()
+	if *queueDepth <= 0 || *reqTimeout <= 0 {
+		usageError("-queue and -request-timeout must be positive")
+	}
+
+	var spec *scenario.Spec
+	var err error
+	switch {
+	case *specPath != "":
+		spec, err = scenario.LoadSpec(*specPath)
+	case *name == "day":
+		spec, err = scenario.DayScenario(*profile, *seed)
+	case *name == "calm":
+		spec, err = scenario.CalmScenario(*profile, *seed)
+	default:
+		usageError("unknown scenario %q (want day or calm)", *name)
+	}
+	if err != nil {
+		usageError("%v", err)
+	}
+
+	var registry *fleet.Registry
+	if *tiny {
+		registry = fleettest.NewRegistry()
+	}
+	mgr := fleet.NewManager(fleet.Config{
+		Registry:   registry,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+	})
+	defer mgr.Close()
+	if !*tiny {
+		log.Printf("building model for profile %s (first build trains; later runs load the cache)", spec.Profile)
+	}
+	if _, err := mgr.Registry().Get(spec.Profile); err != nil {
+		log.Fatalf("origin-scenario: build %s: %v", spec.Profile, err)
+	}
+
+	// HTTP front on a loopback ephemeral port.
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("origin-scenario: listen: %v", err)
+	}
+	srv := &http.Server{Handler: serve.New(serve.Config{Manager: mgr, RequestTimeout: *reqTimeout})}
+	go func() { _ = srv.Serve(httpLn) }()
+	defer srv.Close()
+
+	// Stream front, always chaos-wrapped (a zero config is transparent) so
+	// fault windows can open mid-run.
+	streamLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("origin-scenario: stream listen: %v", err)
+	}
+	chaos, err := fault.NewChaosListener(streamLn, fault.ConnChaos{})
+	if err != nil {
+		log.Fatalf("origin-scenario: %v", err)
+	}
+	ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, RoundTimeout: *reqTimeout})
+	go func() { _ = ss.Serve(chaos) }()
+	defer ss.Close()
+
+	res, err := scenario.Run(spec, scenario.Handles{
+		BaseURL:    "http://" + httpLn.Addr().String(),
+		StreamAddr: streamLn.Addr().String(),
+		Chaos:      chaos,
+		Manager:    mgr,
+	})
+	if err != nil {
+		log.Fatalf("origin-scenario: %v", err)
+	}
+	c, m := &res.Report.Canonical, &res.Report.Measured
+	log.Printf("scenario %q done: %d lineages, %d rounds in %.2fs, accuracy %.4f (calm %.4f / drift %.4f), availability %.4f, shed %d, reconnects %d",
+		c.Name, c.Lineages, c.TotalRounds, m.DurationS,
+		c.Accuracy.Overall, c.Accuracy.Calm, c.Accuracy.Drift,
+		m.Availability, m.Shed, m.Reconnects)
+
+	if *verifyReplay {
+		newModel := fleettest.NewModel
+		if !*tiny {
+			newModel = mgr.Registry().Get
+		}
+		want, err := scenario.SerialReplay(spec, newModel)
+		if err != nil {
+			log.Fatalf("origin-scenario: serial replay: %v", err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(res.Lineages[i], want[i]) {
+				log.Fatalf("origin-scenario: lineage %d diverged from serial replay:\n live   %+v\n replay %+v",
+					i, res.Lineages[i], want[i])
+			}
+		}
+		log.Printf("replay verified: %d lineages byte-identical to serial execution", len(want))
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("origin-scenario: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.Report.WriteJSON(w); err != nil {
+		log.Fatalf("origin-scenario: %v", err)
+	}
+}
+
+// usageError reports a configuration mistake and exits with the flag-misuse
+// status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "origin-scenario: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run with -h for the full flag list")
+	os.Exit(2)
+}

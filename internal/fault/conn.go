@@ -123,9 +123,17 @@ var ErrInjected = errors.New("fault: injected connection fault")
 
 // ChaosListener wraps a net.Listener with the seeded connection faults of a
 // ConnChaos config. Close closes the wrapped listener.
+//
+// The config may be swapped mid-run with SetConfig — that is how a scenario
+// driver opens and closes fault windows around a long-lived listener. A
+// connection's fault plan is armed once, at accept time, from the config in
+// force at that moment; already-accepted connections keep the plan they were
+// armed with.
 type ChaosListener struct {
 	net.Listener
-	cfg ConnChaos
+
+	cfgMu sync.RWMutex
+	cfg   ConnChaos
 
 	next          atomic.Int64
 	conns         atomic.Int64
@@ -143,6 +151,28 @@ func NewChaosListener(inner net.Listener, cfg ConnChaos) (*ChaosListener, error)
 	return &ChaosListener{Listener: inner, cfg: cfg}, nil
 }
 
+// SetConfig swaps the fault config for connections accepted from now on.
+// A zero ConnChaos closes the fault window entirely. The per-connection RNG
+// stream discipline is unaffected: connection i always draws its five
+// variates from Seed + i*0x9E3779B9 + 1, so reopening a window mid-run never
+// shifts the plans of later connections.
+func (l *ChaosListener) SetConfig(cfg ConnChaos) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	l.cfgMu.Lock()
+	l.cfg = cfg
+	l.cfgMu.Unlock()
+	return nil
+}
+
+// Config returns the fault config currently arming new connections.
+func (l *ChaosListener) Config() ConnChaos {
+	l.cfgMu.RLock()
+	defer l.cfgMu.RUnlock()
+	return l.cfg
+}
+
 // Stats snapshots the injected-fault counters.
 func (l *ChaosListener) Stats() ChaosStats {
 	return ChaosStats{
@@ -155,12 +185,14 @@ func (l *ChaosListener) Stats() ChaosStats {
 }
 
 // Accept accepts from the wrapped listener and arms the connection's fault
-// plan. Exactly five variates are drawn per connection regardless of which
-// faults are enabled, so enabling one fault class never moves another's
+// plan from the config in force right now. Exactly five variates are drawn
+// per connection regardless of which faults are enabled, so enabling one
+// fault class (or toggling a fault window mid-run) never moves another's
 // schedule.
 func (l *ChaosListener) Accept() (net.Conn, error) {
+	cfg := l.Config()
 	idx := l.next.Add(1) - 1
-	rng := rand.New(rand.NewSource(l.cfg.Seed + idx*0x9E3779B9 + 1))
+	rng := rand.New(rand.NewSource(cfg.Seed + idx*0x9E3779B9 + 1))
 	killDraw := rng.Float64()
 	killFrac := rng.Float64()
 	partialDraw := rng.Float64()
@@ -172,16 +204,19 @@ func (l *ChaosListener) Accept() (net.Conn, error) {
 		return nil, err
 	}
 	l.conns.Add(1)
-	if l.cfg.AcceptDelayRate > 0 && acceptDraw < l.cfg.AcceptDelayRate {
+	if cfg.AcceptDelayRate > 0 && acceptDraw < cfg.AcceptDelayRate {
 		l.delayedAcc.Add(1)
-		time.Sleep(l.cfg.AcceptDelay)
+		time.Sleep(cfg.AcceptDelay)
 	}
-	cc := &chaosConn{Conn: conn, lis: l, rng: rng, killAt: -1, partialAt: -1}
-	if l.cfg.KillRate > 0 && killDraw < l.cfg.KillRate {
-		span := l.cfg.KillMaxBytes - l.cfg.KillMinBytes + 1
-		cc.killAt = l.cfg.KillMinBytes + int(killFrac*float64(span))
+	cc := &chaosConn{
+		Conn: conn, lis: l, rng: rng, killAt: -1, partialAt: -1,
+		slowRate: cfg.SlowReadRate, slowDelay: cfg.SlowReadDelay,
 	}
-	if l.cfg.PartialWriteRate > 0 && partialDraw < l.cfg.PartialWriteRate {
+	if cfg.KillRate > 0 && killDraw < cfg.KillRate {
+		span := cfg.KillMaxBytes - cfg.KillMinBytes + 1
+		cc.killAt = cfg.KillMinBytes + int(killFrac*float64(span))
+	}
+	if cfg.PartialWriteRate > 0 && partialDraw < cfg.PartialWriteRate {
 		cc.partialAt = 1 + int(partialFrac*chaosPartialWindow)
 	}
 	return cc, nil
@@ -192,6 +227,9 @@ func (l *ChaosListener) Accept() (net.Conn, error) {
 type chaosConn struct {
 	net.Conn
 	lis *ChaosListener
+
+	slowRate  float64       // per-read slow probability, fixed at accept
+	slowDelay time.Duration // injected latency per slow read
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -207,11 +245,11 @@ type chaosConn struct {
 // error, exactly like a socket torn between reads.
 func (c *chaosConn) Read(p []byte) (int, error) {
 	c.mu.Lock()
-	slow := c.lis.cfg.SlowReadRate > 0 && c.rng.Float64() < c.lis.cfg.SlowReadRate
+	slow := c.slowRate > 0 && c.rng.Float64() < c.slowRate
 	c.mu.Unlock()
 	if slow {
 		c.lis.slowReads.Add(1)
-		time.Sleep(c.lis.cfg.SlowReadDelay)
+		time.Sleep(c.slowDelay)
 	}
 	n, err := c.Conn.Read(p)
 	c.mu.Lock()

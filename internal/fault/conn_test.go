@@ -243,3 +243,229 @@ func TestConnChaosSlowReadAndAcceptDelay(t *testing.T) {
 		t.Fatalf("Stats().Conns = %d, want 1", got)
 	}
 }
+
+// echoServer accepts every connection from lis concurrently and echoes
+// uplink bytes back downlink until EOF — the minimal peer for exercising the
+// latency injectors under a real concurrent accept loop.
+func echoServer(t *testing.T, lis net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(conn)
+		}
+	}()
+}
+
+// TestConnChaosAcceptDelayConcurrent (ISSUE 9 satellite) drives many
+// simultaneous dials through an accept-delaying listener: every connection
+// must still be admitted exactly once (delays stall the accept loop, they
+// never drop connections), every byte must survive the delay, and the
+// delayed-accept counter must equal the connection count at rate 1.
+func TestConnChaosAcceptDelayConcurrent(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lis, err := NewChaosListener(inner, ConnChaos{
+		Seed:            11,
+		AcceptDelayRate: 1,
+		AcceptDelay:     2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("chaos listener: %v", err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+
+	const conns = 16
+	done := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		go func(i int) {
+			c, err := net.Dial("tcp", inner.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			msg := []byte{byte(i), byte(i + 1), byte(i + 2)}
+			if _, err := c.Write(msg); err != nil {
+				done <- err
+				return
+			}
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, buf); err != nil {
+				done <- err
+				return
+			}
+			if buf[0] != byte(i) {
+				done <- errors.New("echoed bytes corrupted")
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < conns; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("conn %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("connections timed out behind the accept delay")
+		}
+	}
+	st := lis.Stats()
+	if st.Conns != conns {
+		t.Fatalf("Stats().Conns = %d, want %d", st.Conns, conns)
+	}
+	if st.DelayedAccepts != conns {
+		t.Fatalf("Stats().DelayedAccepts = %d, want %d (rate 1)", st.DelayedAccepts, conns)
+	}
+}
+
+// TestConnChaosSlowReadConcurrent (ISSUE 9 satellite) pushes several
+// concurrent connections through a slow-read listener and checks the
+// injected latency never corrupts or reorders the stream: each connection's
+// echoed payload comes back intact, and the slow-read counter records
+// injections across the whole accept loop.
+func TestConnChaosSlowReadConcurrent(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lis, err := NewChaosListener(inner, ConnChaos{
+		Seed:          13,
+		SlowReadRate:  0.5,
+		SlowReadDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("chaos listener: %v", err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+
+	const conns = 8
+	const chunks = 20
+	done := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		go func(i int) {
+			c, err := net.Dial("tcp", inner.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			// Interleave small writes and reads so the server-side Read path
+			// (where the injector sits) runs many times per connection.
+			buf := make([]byte, 32)
+			for k := 0; k < chunks; k++ {
+				msg := []byte{byte(i), byte(k), byte(i ^ k)}
+				if _, err := c.Write(msg); err != nil {
+					done <- err
+					return
+				}
+				if _, err := io.ReadFull(c, buf[:len(msg)]); err != nil {
+					done <- err
+					return
+				}
+				if buf[0] != byte(i) || buf[1] != byte(k) || buf[2] != byte(i^k) {
+					done <- errors.New("slow-read path corrupted the stream")
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < conns; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("conn %d: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("slow-read connections timed out")
+		}
+	}
+	if got := lis.Stats().SlowReads; got < 1 {
+		t.Fatalf("Stats().SlowReads = %d, want >= 1 at rate 0.5 over %d reads", got, conns*chunks)
+	}
+}
+
+// TestConnChaosSetConfigWindow checks mid-run fault windows: connections
+// accepted while the window is closed run fault-free, reconfiguring opens
+// the window for new connections only, and the per-connection variate
+// discipline keeps later plans index-pure across the toggle.
+func TestConnChaosSetConfigWindow(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lis, err := NewChaosListener(inner, ConnChaos{Seed: 17})
+	if err != nil {
+		t.Fatalf("chaos listener: %v", err)
+	}
+	defer lis.Close()
+	if err := lis.SetConfig(ConnChaos{Seed: 17, KillRate: 1.5, KillMinBytes: 1, KillMaxBytes: 2}); err == nil {
+		t.Fatal("SetConfig accepted an invalid rate")
+	}
+
+	accept := func() net.Conn {
+		t.Helper()
+		accepted := make(chan net.Conn, 1)
+		go func() {
+			c, err := lis.Accept()
+			if err == nil {
+				accepted <- c
+			}
+		}()
+		cl, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		select {
+		case c := <-accepted:
+			t.Cleanup(func() { c.Close() })
+			return c
+		case <-time.After(5 * time.Second):
+			t.Fatal("accept timed out")
+			return nil
+		}
+	}
+
+	calm := accept().(*chaosConn)
+	if calm.killAt != -1 || calm.slowRate != 0 {
+		t.Fatalf("closed window armed a fault plan: killAt=%d slowRate=%v", calm.killAt, calm.slowRate)
+	}
+	armed := ConnChaos{Seed: 17, KillRate: 1, KillMinBytes: 100, KillMaxBytes: 200,
+		SlowReadRate: 1, SlowReadDelay: time.Millisecond}
+	if err := lis.SetConfig(armed); err != nil {
+		t.Fatalf("SetConfig: %v", err)
+	}
+	if got := lis.Config().KillRate; got != 1 {
+		t.Fatalf("Config().KillRate = %v after SetConfig, want 1", got)
+	}
+	hot := accept().(*chaosConn)
+	if hot.killAt < 100 || hot.killAt > 200 || hot.slowRate != 1 {
+		t.Fatalf("open window failed to arm: killAt=%d slowRate=%v", hot.killAt, hot.slowRate)
+	}
+	// The calm connection (accepted before the window opened) keeps its
+	// fault-free plan even while the window is open.
+	if calm.killAt != -1 || calm.slowRate != 0 {
+		t.Fatal("reconfiguration mutated an already-accepted connection's plan")
+	}
+	if err := lis.SetConfig(ConnChaos{Seed: 17}); err != nil {
+		t.Fatalf("SetConfig (close window): %v", err)
+	}
+	cold := accept().(*chaosConn)
+	if cold.killAt != -1 || cold.slowRate != 0 {
+		t.Fatal("closing the window left new connections armed")
+	}
+}

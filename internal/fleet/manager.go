@@ -124,8 +124,54 @@ type Manager struct {
 	nextID   atomic.Int64
 	shutdown atomic.Bool
 
+	// Pressure window (SetPressure), read atomically on the classify path.
+	pressureDelayNs   atomic.Int64
+	pressureShedEvery atomic.Int64
+	pressureCounter   atomic.Int64
+
 	retiredMu sync.Mutex
 	retired   obs.Telemetry // telemetry of evicted/closed sessions
+}
+
+// Pressure is a serve-side stress window a scenario driver can open and
+// close mid-run: slow workers (injected per-job latency, backing the queue
+// up toward saturation) and forced shed (a deterministic fraction of
+// classifies rejected as if the queue were full). Both act on the classify
+// path only — session create/get/delete stay unpressured, matching a real
+// overload where inference capacity is the bottleneck.
+type Pressure struct {
+	// WorkerDelay is injected latency per classify job, spent inside the
+	// worker after the job is dequeued (so it occupies a worker slot exactly
+	// like genuinely slow inference would).
+	WorkerDelay time.Duration
+	// ShedEvery, when positive, force-sheds every ShedEvery-th classify —
+	// counted manager-wide across sessions — before it reaches the queue,
+	// surfacing as ErrSaturated/429 to the caller. 1 sheds everything.
+	ShedEvery int64
+}
+
+// SetPressure swaps the pressure window for classifies submitted from now
+// on. The zero Pressure closes the window. The forced-shed counter is NOT
+// reset by reconfiguration, so reopening a window mid-run continues the
+// every-Nth cadence rather than restarting it.
+func (m *Manager) SetPressure(p Pressure) error {
+	if p.WorkerDelay < 0 {
+		return fmt.Errorf("fleet: negative pressure worker delay %v", p.WorkerDelay)
+	}
+	if p.ShedEvery < 0 {
+		return fmt.Errorf("fleet: negative pressure shed-every %d", p.ShedEvery)
+	}
+	m.pressureDelayNs.Store(p.WorkerDelay.Nanoseconds())
+	m.pressureShedEvery.Store(p.ShedEvery)
+	return nil
+}
+
+// Pressure returns the pressure window currently in force.
+func (m *Manager) Pressure() Pressure {
+	return Pressure{
+		WorkerDelay: time.Duration(m.pressureDelayNs.Load()),
+		ShedEvery:   m.pressureShedEvery.Load(),
+	}
 }
 
 // NewManager builds and starts a manager (worker pool included).
@@ -327,12 +373,20 @@ func (m *Manager) Classify(ctx context.Context, id string, inputs []SensorInput)
 	if err != nil {
 		return ClassifyResult{}, err
 	}
+	if every := m.pressureShedEvery.Load(); every > 0 &&
+		m.pressureCounter.Add(1)%every == 0 {
+		m.metrics.RequestsShed.Add(1)
+		return ClassifyResult{}, ErrSaturated
+	}
 	type outcome struct {
 		res ClassifyResult
 		err error
 	}
 	done := make(chan outcome, 1)
 	if !m.queue.submit(func() {
+		if d := m.pressureDelayNs.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
 		res, err := s.Classify(inputs)
 		m.metrics.RequestsDone.Add(1)
 		done <- outcome{res, err}

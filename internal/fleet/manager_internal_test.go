@@ -229,3 +229,67 @@ func TestRegistrySingleFlight(t *testing.T) {
 		t.Fatalf("built %d times, want 1", builds)
 	}
 }
+
+// prop (ISSUE 9): SetPressure opens a serve-side stress window on the
+// classify path only — forced shed rejects exactly every Nth classify with
+// ErrSaturated and counts it, worker delay stretches job latency, and the
+// zero Pressure closes the window without resetting the shed cadence.
+func TestManagerSetPressure(t *testing.T) {
+	m := NewManager(Config{Registry: tinyRegistry()})
+	defer m.Close()
+	s, err := m.Create("MHEALTH", 1, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPressure(Pressure{WorkerDelay: -time.Millisecond}); err == nil {
+		t.Fatal("negative worker delay accepted")
+	}
+	if err := m.SetPressure(Pressure{ShedEvery: -1}); err == nil {
+		t.Fatal("negative shed-every accepted")
+	}
+	if err := m.SetPressure(Pressure{ShedEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Pressure(); got.ShedEvery != 3 {
+		t.Fatalf("Pressure().ShedEvery = %d, want 3", got.ShedEvery)
+	}
+	in := []SensorInput{{Sensor: 0, Class: 1, Confidence: 0.02}}
+	shed := 0
+	for k := 0; k < 9; k++ {
+		_, err := m.Classify(context.Background(), s.ID(), in)
+		switch {
+		case errors.Is(err, ErrSaturated):
+			shed++
+		case err != nil:
+			t.Fatalf("classify %d: %v", k, err)
+		}
+	}
+	if shed != 3 {
+		t.Fatalf("shed %d of 9 classifies at ShedEvery=3, want 3", shed)
+	}
+	if snap := m.Snapshot(); snap.RequestsShed != 3 {
+		t.Fatalf("RequestsShed = %d, want 3", snap.RequestsShed)
+	}
+	// Close the window: classifies flow freely again, and session CRUD was
+	// never pressured.
+	if err := m.SetPressure(Pressure{}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 6; k++ {
+		if _, err := m.Classify(context.Background(), s.ID(), in); err != nil {
+			t.Fatalf("classify after window close: %v", err)
+		}
+	}
+	// Worker delay occupies the worker: a single classify takes at least the
+	// injected latency end to end.
+	if err := m.SetPressure(Pressure{WorkerDelay: 30 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.Classify(context.Background(), s.ID(), in); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("classify under 30ms worker delay took %v", d)
+	}
+}

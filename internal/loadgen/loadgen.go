@@ -93,6 +93,13 @@ type Config struct {
 	// before a user hard-fails (stream mode; default 8). The counter resets
 	// on every completed handshake.
 	ReconnectMax int
+	// Gap is per-user think time between rounds (default 0 = closed-loop
+	// flat out). A real wearable classifies about once a second, not
+	// back-to-back, and the availability column's denominator is user wall
+	// time *including* idle — so chaos drills that hold availability to a
+	// bar need a realistic gap, or a handful of reconnects dominates a
+	// wall-free run.
+	Gap time.Duration
 	// Client is the HTTP client (default: 30 s timeout).
 	Client *http.Client
 	// Traces records every session's classification sequence in the
@@ -145,23 +152,27 @@ type Report struct {
 	// round (JSON decode + input shaping, or frame decode + window
 	// assembly), read as a /metrics counter delta around the run. Zero when
 	// the server does not export parse counters.
-	ParseNsPerClassification float64 `json:"parseNsPerClassification,omitempty"`
+	ParseNsPerClassification float64 `json:"parseNsPerClassification"`
 
-	// Resume/availability columns (stream mode only). Reconnects counts
-	// completed re-handshakes after a connection loss; ResumeAttempts the
-	// hello-with-token handshakes the server answered; ResumeMisses the
+	// Resume/availability columns. Only stream mode can make them non-zero,
+	// but every mode emits them — benchdiff consumers (chaos-verify,
+	// slo-verify, report diffing) see one schema regardless of payload kind
+	// instead of keys that appear and vanish with the mode. Reconnects
+	// counts completed re-handshakes after a connection loss; ResumeAttempts
+	// the hello-with-token handshakes the server answered; ResumeMisses the
 	// answers that found no resumable state. DoubleClassifies counts rounds
 	// the server classified more than once — the resume protocol's headline
 	// invariant is that this stays zero under any disconnect pattern.
-	Reconnects       int `json:"reconnects,omitempty"`
-	ResumeAttempts   int `json:"resumeAttempts,omitempty"`
-	ResumeMisses     int `json:"resumeMisses,omitempty"`
-	DoubleClassifies int `json:"doubleClassifies,omitempty"`
+	Reconnects       int `json:"reconnects"`
+	ResumeAttempts   int `json:"resumeAttempts"`
+	ResumeMisses     int `json:"resumeMisses"`
+	DoubleClassifies int `json:"doubleClassifies"`
 	// ResumeSuccessRate is 1 - misses/attempts (1.0 with no attempts);
 	// Availability is 1 - total reconnect downtime over total user wall
-	// time. Both are 1.0 on a fault-free run.
-	ResumeSuccessRate float64 `json:"resumeSuccessRate,omitempty"`
-	Availability      float64 `json:"availability,omitempty"`
+	// time. Both are 1.0 on a fault-free run and 0 in the JSON modes,
+	// which have no persistent connection to resume.
+	ResumeSuccessRate float64 `json:"resumeSuccessRate"`
+	Availability      float64 `json:"availability"`
 
 	Sessions []SessionTrace `json:"sessions,omitempty"`
 }
@@ -320,6 +331,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.ReconnectMax < 1 {
 		return nil, fmt.Errorf("loadgen: reconnect max %d below 1", cfg.ReconnectMax)
 	}
+	if cfg.Gap < 0 {
+		return nil, fmt.Errorf("loadgen: gap %v below 0", cfg.Gap)
+	}
 	if cfg.VoteFlip == 0 {
 		cfg.VoteFlip = 0.2
 	}
@@ -394,9 +408,9 @@ func Run(cfg Config) (*Report, error) {
 	if dur > 0 {
 		rep.ThroughputRPS = float64(rep.OK) / dur.Seconds()
 	}
-	rep.LatencyP50Ms = percentileMs(lats, 0.50)
-	rep.LatencyP95Ms = percentileMs(lats, 0.95)
-	rep.LatencyP99Ms = percentileMs(lats, 0.99)
+	rep.LatencyP50Ms = PercentileMs(lats, 0.50)
+	rep.LatencyP95Ms = PercentileMs(lats, 0.95)
+	rep.LatencyP99Ms = PercentileMs(lats, 0.99)
 	if total > 0 {
 		rep.Accuracy = float64(correct) / float64(total)
 	}
@@ -432,6 +446,9 @@ func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
 	st := NewStream(cfg, profile, i)
 	url := cfg.BaseURL + "/v1/sessions/" + created.ID + "/classify"
 	for k := 0; k < cfg.Requests; k++ {
+		if k > 0 && cfg.Gap > 0 {
+			time.Sleep(cfg.Gap)
+		}
 		req := st.Next(k)
 		for attempt := 0; ; attempt++ {
 			var res serve.ClassifyResponse
@@ -492,9 +509,10 @@ func postJSON(c *http.Client, url string, v, out any) (int, int, error) {
 	return resp.StatusCode, len(body), nil
 }
 
-// percentileMs returns the q-th latency percentile in milliseconds
-// (nearest-rank on the sorted sample; 0 for an empty sample).
-func percentileMs(lats []time.Duration, q float64) float64 {
+// PercentileMs returns the q-th latency percentile in milliseconds
+// (nearest-rank on the sorted sample; 0 for an empty sample). Exported so
+// scenario phase reports aggregate with the same estimator as loadgen.
+func PercentileMs(lats []time.Duration, q float64) float64 {
 	if len(lats) == 0 {
 		return 0
 	}

@@ -82,13 +82,13 @@ func TestRunRejectsBadConfig(t *testing.T) {
 
 func TestPercentileMs(t *testing.T) {
 	lats := []time.Duration{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
-	if got := percentileMs(lats, 0.50); got != 2 {
+	if got := PercentileMs(lats, 0.50); got != 2 {
 		t.Errorf("p50 = %v, want 2", got)
 	}
-	if got := percentileMs(lats, 1.0); got != 4 {
+	if got := PercentileMs(lats, 1.0); got != 4 {
 		t.Errorf("p100 = %v, want 4", got)
 	}
-	if got := percentileMs(nil, 0.5); got != 0 {
+	if got := PercentileMs(nil, 0.5); got != 0 {
 		t.Errorf("empty p50 = %v, want 0", got)
 	}
 }
@@ -107,5 +107,39 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(&back, rep) {
 		t.Errorf("round trip changed report:\n got %+v\nwant %+v", back, *rep)
+	}
+}
+
+// prop (ISSUE 9 satellite): the report emits one JSON schema across payload
+// modes — the resume/availability columns appear as zeros in the JSON modes
+// instead of being omitted, so benchdiff consumers never see keys appear and
+// vanish with the mode.
+func TestReportSchemaStableAcrossModes(t *testing.T) {
+	keysOf := func(rep *Report) map[string]bool {
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		keys := make(map[string]bool, len(m))
+		for k := range m {
+			keys[k] = true
+		}
+		return keys
+	}
+	votes := keysOf(&Report{Mode: string(ModeVotes)})
+	stream := keysOf(&Report{Mode: string(ModeStream),
+		Reconnects: 3, ResumeAttempts: 3, ResumeSuccessRate: 1, Availability: 0.999})
+	if !reflect.DeepEqual(votes, stream) {
+		t.Errorf("schema differs across modes:\n votes  %v\n stream %v", votes, stream)
+	}
+	for _, key := range []string{"reconnects", "resumeAttempts", "resumeMisses",
+		"doubleClassifies", "resumeSuccessRate", "availability", "parseNsPerClassification"} {
+		if !votes[key] {
+			t.Errorf("votes-mode report omits %q", key)
+		}
 	}
 }

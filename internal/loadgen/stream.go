@@ -130,25 +130,68 @@ const (
 	reconnectBackoffCap = 250 * time.Millisecond
 )
 
-// streamSession is one user's stream connection plus the resume state the
-// reconnect path carries across connections: the token from the last
-// hello-ack and the tally of reconnect outcomes.
-type streamSession struct {
-	cfg    *Config
-	i      int
-	sessID string
-	rng    *rand.Rand // backoff jitter (disjoint from the data streams)
-	r      *userResult
+// StreamStats tallies one stream client's transport outcomes: uplink cost,
+// reconnect/resume bookkeeping, and accumulated downtime (time from losing
+// a connection to completing the next handshake).
+type StreamStats struct {
+	UplinkBytes      int64
+	Reconnects       int
+	ResumeAttempts   int
+	ResumeMisses     int
+	DoubleClassifies int
+	Downtime         time.Duration
+}
+
+// StreamClient is one session's resumable binary-stream connection: the
+// preamble + hello/hello-ack handshake (with the resume token once one is
+// held), per-round frame delivery that rides out any number of mid-round
+// disconnects, and seeded jittered exponential backoff. It is the client
+// half of the resume protocol, shared by the loadgen stream users and the
+// scenario engine so every driver exercises the identical transport path.
+// Not safe for concurrent use.
+type StreamClient struct {
+	addr         string
+	sessID       string
+	label        int // wearer index, used only in error messages
+	reconnectMax int
+	rng          *rand.Rand // backoff jitter (disjoint from the data streams)
+	stats        StreamStats
 
 	conn  net.Conn
 	br    *bufio.Reader
 	token string
 }
 
-func (ss *streamSession) closeConn() {
-	if ss.conn != nil {
-		ss.conn.Close()
-		ss.conn, ss.br = nil, nil
+// NewStreamClient builds a client for one server-created session. label
+// tags error messages (conventionally the user index), jitterSeed seeds the
+// backoff jitter stream, and reconnectMax bounds consecutive failed attempts
+// per (re)connect (0 = default).
+func NewStreamClient(addr, sessID string, label, reconnectMax int, jitterSeed int64) *StreamClient {
+	if reconnectMax <= 0 {
+		reconnectMax = defaultReconnectMax
+	}
+	return &StreamClient{
+		addr: addr, sessID: sessID, label: label, reconnectMax: reconnectMax,
+		rng: rand.New(rand.NewSource(jitterSeed)),
+	}
+}
+
+// Stats returns the transport tallies so far.
+func (c *StreamClient) Stats() StreamStats { return c.stats }
+
+// Close drops the connection. The server-side session stays live (and
+// parkable); a later Round redials and resumes.
+func (c *StreamClient) Close() { c.closeConn() }
+
+// CycleConn is Close under its scenario name: dropping the connection
+// mid-day models a user roaming between networks, and the next Round's
+// reconnect exercises the park/resume path without any fault injection.
+func (c *StreamClient) CycleConn() { c.closeConn() }
+
+func (c *StreamClient) closeConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
 	}
 }
 
@@ -167,85 +210,94 @@ func readDataFrame(br *bufio.Reader) (comm.Frame, error) {
 // hello (with the resume token when one is held), and the server's answer.
 // transient=true means the attempt died on the network and may be retried;
 // transient=false errors are protocol-level and terminal.
-func (ss *streamSession) dialAndHello() (ack comm.HelloAck, transient bool, err error) {
-	conn, err := net.DialTimeout("tcp", ss.cfg.StreamAddr, 10*time.Second)
+func (c *StreamClient) dialAndHello() (ack comm.HelloAck, transient bool, err error) {
+	conn, err := net.DialTimeout("tcp", c.addr, 10*time.Second)
 	if err != nil {
-		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d dial stream %s: %v", ss.i, ss.cfg.StreamAddr, err)
+		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d dial stream %s: %v", c.label, c.addr, err)
 	}
 	hello, err := comm.EncodeHello(append([]byte(nil), comm.StreamMagic[:]...),
-		comm.Hello{Version: comm.StreamVersion, Session: ss.sessID, Token: ss.token})
+		comm.Hello{Version: comm.StreamVersion, Session: c.sessID, Token: c.token})
 	if err != nil {
 		conn.Close()
-		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d encode hello: %v", ss.i, err)
+		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d encode hello: %v", c.label, err)
 	}
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
-		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d send hello: %v", ss.i, err)
+		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d send hello: %v", c.label, err)
 	}
 	// The preamble and hello are uplink too; amortised over the run they
 	// vanish, but counting them keeps the bytes column honest.
-	ss.r.uplinkBytes += int64(len(hello))
+	c.stats.UplinkBytes += int64(len(hello))
 	br := bufio.NewReaderSize(conn, 32<<10)
 	frame, err := readDataFrame(br)
 	if err != nil {
 		conn.Close()
-		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d read hello-ack: %v", ss.i, err)
+		return comm.HelloAck{}, true, fmt.Errorf("loadgen: user %d read hello-ack: %v", c.label, err)
 	}
-	resuming := ss.token != ""
+	resuming := c.token != ""
 	if resuming {
 		// An attempt only counts once the server answered; attempts severed
 		// mid-handshake are retried, not scored.
-		ss.r.resumeAttempts++
+		c.stats.ResumeAttempts++
 	}
 	switch frame.Type {
 	case comm.FrameHelloAck:
 		ack, err := comm.DecodeHelloAck(frame.Payload)
 		if err != nil {
 			conn.Close()
-			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: %v", ss.i, err)
+			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: %v", c.label, err)
 		}
 		if resuming && !ack.Resumed {
 			conn.Close()
-			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: server answered a resume hello with a fresh ack", ss.i)
+			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: server answered a resume hello with a fresh ack", c.label)
 		}
-		ss.token = ack.Token
-		ss.conn, ss.br = conn, br
+		c.token = ack.Token
+		c.conn, c.br = conn, br
 		return ack, false, nil
 	case comm.FrameError:
 		conn.Close()
 		se, derr := comm.DecodeStreamError(frame.Payload)
 		if derr != nil {
-			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: undecodable error frame: %v", ss.i, derr)
+			return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: undecodable error frame: %v", c.label, derr)
 		}
 		if resuming && se.Code == comm.StreamErrResume {
-			ss.r.resumeMisses++
+			c.stats.ResumeMisses++
 		}
-		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: stream error %d: %s", ss.i, se.Code, se.Msg)
+		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: stream error %d: %s", c.label, se.Code, se.Msg)
 	default:
 		conn.Close()
-		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: unexpected frame type %d for hello", ss.i, frame.Type)
+		return comm.HelloAck{}, false, fmt.Errorf("loadgen: user %d: unexpected frame type %d for hello", c.label, frame.Type)
 	}
 }
 
+// Connect establishes the initial stream connection. The fresh hello-ack is
+// returned so the caller can check the session starts at slot 0.
+func (c *StreamClient) Connect() (comm.HelloAck, error) { return c.connect(true) }
+
 // connect establishes (or re-establishes) the stream connection with seeded
-// jittered exponential backoff, bounded by ReconnectMax consecutive failed
-// attempts. Time from entry to a completed handshake accrues as downtime.
-func (ss *streamSession) connect(initial bool) (comm.HelloAck, error) {
-	ss.closeConn()
+// jittered exponential backoff, bounded by reconnectMax consecutive failed
+// attempts. On reconnects, time from entry to a completed handshake accrues
+// as downtime; initial session setup is not an outage and never counts.
+func (c *StreamClient) connect(initial bool) (comm.HelloAck, error) {
+	c.closeConn()
 	t0 := time.Now()
-	defer func() { ss.r.downtime += time.Since(t0) }()
-	for attempt := 0; attempt < ss.cfg.ReconnectMax; attempt++ {
+	defer func() {
+		if !initial {
+			c.stats.Downtime += time.Since(t0)
+		}
+	}()
+	for attempt := 0; attempt < c.reconnectMax; attempt++ {
 		if attempt > 0 {
 			d := reconnectBackoffMin << (attempt - 1)
 			if d > reconnectBackoffCap {
 				d = reconnectBackoffCap
 			}
-			time.Sleep(time.Duration(float64(d) * (0.5 + ss.rng.Float64())))
+			time.Sleep(time.Duration(float64(d) * (0.5 + c.rng.Float64())))
 		}
-		ack, transient, err := ss.dialAndHello()
+		ack, transient, err := c.dialAndHello()
 		if err == nil {
 			if !initial {
-				ss.r.reconnects++
+				c.stats.Reconnects++
 			}
 			return ack, nil
 		}
@@ -253,7 +305,7 @@ func (ss *streamSession) connect(initial bool) (comm.HelloAck, error) {
 			return comm.HelloAck{}, err
 		}
 	}
-	return comm.HelloAck{}, fmt.Errorf("loadgen: user %d: reconnect budget exhausted (%d attempts)", ss.i, ss.cfg.ReconnectMax)
+	return comm.HelloAck{}, fmt.Errorf("loadgen: user %d: reconnect budget exhausted (%d attempts)", c.label, c.reconnectMax)
 }
 
 // filterFrames drops the frames a resume ack already covers: the server
@@ -270,44 +322,44 @@ func filterFrames(frames []EncodedFrame, nextSeqs []int) []EncodedFrame {
 	return out
 }
 
-// round delivers round k's frames and returns its classification, riding out
+// Round delivers round k's frames and returns its classification, riding out
 // any number of mid-round disconnects: each reconnect resumes the session and
 // the hello-ack dictates recovery — NextSlot == k+1 means the round already
 // classified and only the result push was lost (the ack carries it);
 // NextSlot == k means the round is still open and the un-acked frames are
 // re-sent. Anything else is a protocol violation; a server that ran ahead of
 // the client counts as a double classification.
-func (ss *streamSession) round(k int, frames []EncodedFrame) (int, error) {
+func (c *StreamClient) Round(k int, frames []EncodedFrame) (int, error) {
 	send := frames
 	for {
-		if ss.conn == nil {
-			ack, err := ss.connect(false)
+		if c.conn == nil {
+			ack, err := c.connect(false)
 			if err != nil {
 				return 0, err
 			}
 			switch {
 			case ack.NextSlot == k+1:
 				if !ack.HasLast {
-					return 0, fmt.Errorf("loadgen: user %d round %d: resumed past the round with no last result", ss.i, k)
+					return 0, fmt.Errorf("loadgen: user %d round %d: resumed past the round with no last result", c.label, k)
 				}
 				return ack.LastClass, nil
 			case ack.NextSlot == k:
 				send = filterFrames(frames, ack.NextSeqs)
 			default:
 				if ack.NextSlot > k+1 {
-					ss.r.doubleClassifies++
+					c.stats.DoubleClassifies++
 				}
-				return 0, fmt.Errorf("loadgen: user %d round %d: resume ack answers slot %d", ss.i, k, ack.NextSlot)
+				return 0, fmt.Errorf("loadgen: user %d round %d: resume ack answers slot %d", c.label, k, ack.NextSlot)
 			}
 		}
-		if err := ss.sendFrames(send); err != nil {
-			ss.closeConn()
+		if err := c.sendFrames(send); err != nil {
+			c.closeConn()
 			continue
 		}
-		class, transient, err := ss.awaitResult(k)
+		class, transient, err := c.awaitResult(k)
 		if err != nil {
 			if transient {
-				ss.closeConn()
+				c.closeConn()
 				continue
 			}
 			return 0, err
@@ -316,20 +368,20 @@ func (ss *streamSession) round(k int, frames []EncodedFrame) (int, error) {
 	}
 }
 
-func (ss *streamSession) sendFrames(frames []EncodedFrame) error {
+func (c *StreamClient) sendFrames(frames []EncodedFrame) error {
 	for _, f := range frames {
-		if _, err := ss.conn.Write(f.Bytes); err != nil {
+		if _, err := c.conn.Write(f.Bytes); err != nil {
 			return err
 		}
-		ss.r.uplinkBytes += int64(len(f.Bytes))
+		c.stats.UplinkBytes += int64(len(f.Bytes))
 	}
 	return nil
 }
 
 // awaitResult reads round k's pushed result. Network failures are transient
 // (the caller reconnects); error frames and slot mismatches are terminal.
-func (ss *streamSession) awaitResult(k int) (class int, transient bool, err error) {
-	frame, err := readDataFrame(ss.br)
+func (c *StreamClient) awaitResult(k int) (class int, transient bool, err error) {
+	frame, err := readDataFrame(c.br)
 	if err != nil {
 		return 0, true, err
 	}
@@ -338,21 +390,21 @@ func (ss *streamSession) awaitResult(k int) (class int, transient bool, err erro
 	case comm.FrameError:
 		se, derr := comm.DecodeStreamError(frame.Payload)
 		if derr != nil {
-			return 0, false, fmt.Errorf("loadgen: user %d round %d: undecodable error frame: %v", ss.i, k, derr)
+			return 0, false, fmt.Errorf("loadgen: user %d round %d: undecodable error frame: %v", c.label, k, derr)
 		}
-		return 0, false, fmt.Errorf("loadgen: user %d round %d: stream error %d: %s", ss.i, k, se.Code, se.Msg)
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: stream error %d: %s", c.label, k, se.Code, se.Msg)
 	default:
-		return 0, false, fmt.Errorf("loadgen: user %d round %d: unexpected frame type %d", ss.i, k, frame.Type)
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: unexpected frame type %d", c.label, k, frame.Type)
 	}
 	res, err := comm.DecodeStreamResult(frame.Payload)
 	if err != nil {
-		return 0, false, fmt.Errorf("loadgen: user %d round %d: %v", ss.i, k, err)
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: %v", c.label, k, err)
 	}
 	if res.Slot != k {
 		if res.Slot > k {
-			ss.r.doubleClassifies++
+			c.stats.DoubleClassifies++
 		}
-		return 0, false, fmt.Errorf("loadgen: user %d round %d: result answers slot %d", ss.i, k, res.Slot)
+		return 0, false, fmt.Errorf("loadgen: user %d round %d: result answers slot %d", c.label, k, res.Slot)
 	}
 	return res.Class, false, nil
 }
@@ -363,8 +415,10 @@ func (ss *streamSession) awaitResult(k int) (class int, transient bool, err erro
 // absorbs shed rounds internally, so unlike the HTTP loop there is no
 // client-side retry of the round itself — every round classifies exactly
 // once, a property the resume protocol preserves across disconnects.
-func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
-	var r userResult
+//
+// The result is named: the deferred stats fold must reach the returned
+// value on error paths too.
+func runStreamUser(cfg *Config, profile *synth.Profile, i int) (r userResult) {
 	start := time.Now()
 	defer func() { r.wall = time.Since(start) }()
 	fail := func(err error) userResult {
@@ -385,12 +439,19 @@ func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
 
 	// seed+6 keeps the jitter stream disjoint from the timeline (seed),
 	// generator (seed+1), vote (seed+2) and sensor (seed+3..5) streams.
-	ss := &streamSession{
-		cfg: cfg, i: i, sessID: created.ID, r: &r,
-		rng: rand.New(rand.NewSource(streamSeed(cfg.Seed, i) + 6)),
-	}
-	defer ss.closeConn()
-	ack, err := ss.connect(true)
+	sc := NewStreamClient(cfg.StreamAddr, created.ID, i, cfg.ReconnectMax,
+		streamSeed(cfg.Seed, i)+6)
+	defer sc.Close()
+	defer func() {
+		st := sc.Stats()
+		r.uplinkBytes += st.UplinkBytes
+		r.reconnects += st.Reconnects
+		r.resumeAttempts += st.ResumeAttempts
+		r.resumeMisses += st.ResumeMisses
+		r.doubleClassifies += st.DoubleClassifies
+		r.downtime += st.Downtime
+	}()
+	ack, err := sc.Connect()
 	if err != nil {
 		return fail(err)
 	}
@@ -400,13 +461,16 @@ func runStreamUser(cfg *Config, profile *synth.Profile, i int) userResult {
 
 	fs := NewFrameSource(cfg, profile, i)
 	for k := 0; k < cfg.Requests; k++ {
+		if k > 0 && cfg.Gap > 0 {
+			time.Sleep(cfg.Gap)
+		}
 		frames, err := fs.Next(k)
 		if err != nil {
 			return fail(err)
 		}
 		t0 := time.Now()
 		r.sent++
-		class, err := ss.round(k, frames)
+		class, err := sc.Round(k, frames)
 		if err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSLO() *SLOReport {
+	return &SLOReport{
+		Canonical: SLOCanonical{
+			Name: "day", Profile: "MHEALTH", Seed: 7,
+			Lineages: 5, ColdStarts: 2, Retired: 1, TotalRounds: 40,
+			Phases: []SLOPhase{
+				{Name: "night", Users: 3, Rounds: 8, TotalRounds: 24, ColdStarts: 3, Correct: 20, Accuracy: 20.0 / 24},
+				{Name: "rush", Users: 4, Rounds: 4, TotalRounds: 16, ColdStarts: 2, Retired: 1, Drifted: 2, Chaos: true, Pressure: true, Correct: 12, Accuracy: 0.75},
+			},
+			Accuracy: SLOAccuracy{Overall: 0.8, Calm: 0.85, Drift: 0.7, CalmRounds: 28, DriftRounds: 12},
+			Digest:   SLODigest([][]int{{1, 2}, {0}}),
+		},
+		Measured: SLOMeasured{
+			DurationS: 1.5, OK: 40, Shed: 3, Reconnects: 2, ResumeAttempts: 2,
+			ResumeSuccessRate: 1, Availability: 0.997, ShedRate: 3.0 / 43,
+			Phases: []SLOPhaseMeasured{{Name: "night", OK: 24}, {Name: "rush", OK: 16, Shed: 3, Reconnects: 2}},
+		},
+	}
+}
+
+// prop: the canonical section renders byte-identically for equal values and
+// excludes every measured (wall-clock) field — the determinism gate compares
+// exactly the fields that can be deterministic.
+func TestSLOCanonicalBytesStable(t *testing.T) {
+	a, err := sampleSLO().CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampleSLO().CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal reports rendered different canonical bytes")
+	}
+	for _, wallClock := range []string{"latency", "durationS", "availability", "shedRate"} {
+		if strings.Contains(string(a), wallClock) {
+			t.Fatalf("canonical section leaks wall-clock field %q:\n%s", wallClock, a)
+		}
+	}
+	changed := sampleSLO()
+	changed.Canonical.Digest = SLODigest([][]int{{1, 2}, {1}})
+	c, err := changed.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different digests rendered identical canonical bytes")
+	}
+}
+
+func TestSLOReportJSONRoundTrip(t *testing.T) {
+	rep := sampleSLO()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SLOReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rep.CanonicalBytes()
+	b, err := back.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("round trip changed the canonical section")
+	}
+	if back.Measured.Availability != rep.Measured.Availability {
+		t.Fatal("round trip changed the measured section")
+	}
+}
+
+// prop: the digest separates sequence shapes that concatenate identically,
+// and is invariant to nothing — any class change moves it.
+func TestSLODigest(t *testing.T) {
+	if SLODigest([][]int{{1, 2}, {3}}) == SLODigest([][]int{{1}, {2, 3}}) {
+		t.Fatal("digest collides across sequence shapes")
+	}
+	if SLODigest([][]int{{1, 2}}) == SLODigest([][]int{{1, 3}}) {
+		t.Fatal("digest ignores class values")
+	}
+	if SLODigest(nil) != SLODigest([][]int{}) {
+		t.Fatal("empty digests differ")
+	}
+}

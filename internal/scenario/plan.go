@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"math/rand"
+)
+
+// lineagePlan is the pure, pre-computed identity of one session lineage: a
+// wearer that cold-starts at one phase boundary and (possibly) retires at a
+// later one. Everything here derives from (spec, lineage index) alone —
+// the plan is built identically by the live engine and the serial replayer.
+type lineagePlan struct {
+	Index  int
+	Wearer int64
+	Seed   int64 // base of the lineage's private RNG seed family
+	Born   int   // phase index at whose entry it cold-starts
+	Die    int   // phase index at whose entry it retires; len(Phases) = survives the day
+	Stream bool  // binary stream front vs HTTP/JSON front
+}
+
+// plan is the whole day's deterministic population schedule.
+type plan struct {
+	spec     *Spec
+	lineages []lineagePlan
+	// live[p] holds the indices of lineages live during phase p, oldest
+	// first (the retirement order).
+	live [][]int
+}
+
+// wearerBase offsets scenario wearer ids past both the training population
+// and loadgen's 1000+i convention, so scenario sessions always exercise the
+// unseen-user adaptation path and never collide with a loadgen run against
+// the same server.
+const wearerBase = 2000
+
+// buildPlan derives the population schedule: phase 0 cold-starts its
+// population; at each later phase entry the Churn oldest live lineages
+// retire (plus more, oldest first, if the population target shrank), then
+// fresh lineages cold-start until the phase's Users target is met. Lineage
+// indices are allocated in birth order, which makes the whole schedule a
+// pure function of the spec.
+func buildPlan(spec *Spec) *plan {
+	pl := &plan{spec: spec}
+	newLineage := func(born int) int {
+		idx := len(pl.lineages)
+		seed := spec.Seed + 7919*int64(idx) + 13
+		// seed+1 decides the transport; the stream draw burns exactly one
+		// variate so transport choice never shifts any other stream.
+		stream := rand.New(rand.NewSource(seed+1)).Float64() < spec.StreamFraction
+		pl.lineages = append(pl.lineages, lineagePlan{
+			Index: idx, Wearer: wearerBase + int64(idx), Seed: seed,
+			Born: born, Die: len(spec.Phases), Stream: stream,
+		})
+		return idx
+	}
+	var live []int
+	for p := range spec.Phases {
+		ph := &spec.Phases[p]
+		if p > 0 {
+			retire := ph.Churn
+			if retire > len(live) {
+				retire = len(live)
+			}
+			for len(live)-retire > ph.Users {
+				retire++
+			}
+			for i := 0; i < retire; i++ {
+				pl.lineages[live[i]].Die = p
+			}
+			live = append([]int(nil), live[retire:]...)
+		}
+		for len(live) < ph.Users {
+			live = append(live, newLineage(p))
+		}
+		pl.live = append(pl.live, append([]int(nil), live...))
+	}
+	return pl
+}
+
+// firstDrift returns the phase index at whose entry lineage lp first
+// drifts, or -1 if it never does: the earliest phase after its birth, while
+// it is alive, with a positive Drift. Used for the calm/drift accuracy
+// split.
+func (pl *plan) firstDrift(lp *lineagePlan) int {
+	for p := lp.Born + 1; p < lp.Die && p < len(pl.spec.Phases); p++ {
+		if pl.spec.Phases[p].Drift > 0 {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import "testing"
+
+// prop: the population plan is a pure function of the spec — populations
+// match each phase's Users target, churn retires oldest-first, shrinkage
+// retires extra lineages, and the live sets are consistent with Born/Die.
+func TestBuildPlan(t *testing.T) {
+	spec, err := DayScenario("MHEALTH", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := buildPlan(spec)
+	for p, ph := range spec.Phases {
+		if got := len(pl.live[p]); got != ph.Users {
+			t.Errorf("phase %q live population %d, want %d", ph.Name, got, ph.Users)
+		}
+		for _, idx := range pl.live[p] {
+			lp := pl.lineages[idx]
+			if p < lp.Born || p >= lp.Die {
+				t.Errorf("phase %d lists lineage %d live outside [%d,%d)", p, idx, lp.Born, lp.Die)
+			}
+		}
+		// Oldest-first ordering: live sets are sorted by birth then index.
+		for i := 1; i < len(pl.live[p]); i++ {
+			a, b := pl.lineages[pl.live[p][i-1]], pl.lineages[pl.live[p][i]]
+			if a.Born > b.Born || (a.Born == b.Born && a.Index > b.Index) {
+				t.Errorf("phase %d live set out of age order: %d before %d", p, a.Index, b.Index)
+			}
+		}
+	}
+	// Phase 4 (evening-chaos) shrinks 6 → 5 with Churn 2: the two oldest
+	// retire plus none extra (6−2 < 5 target refills by 1).
+	var born4 int
+	for _, lp := range pl.lineages {
+		if lp.Born == 4 {
+			born4++
+		}
+	}
+	if born4 != 1 {
+		t.Errorf("evening-chaos cold-started %d lineages, want 1", born4)
+	}
+	// Determinism: a rebuilt plan is identical.
+	pl2 := buildPlan(spec)
+	if len(pl2.lineages) != len(pl.lineages) {
+		t.Fatalf("plan size differs across builds: %d vs %d", len(pl2.lineages), len(pl.lineages))
+	}
+	for i := range pl.lineages {
+		if pl.lineages[i] != pl2.lineages[i] {
+			t.Errorf("lineage %d differs across builds: %+v vs %+v", i, pl.lineages[i], pl2.lineages[i])
+		}
+	}
+}
+
+// prop: firstDrift finds the earliest drift epoch a lineage lives through,
+// and never its birth phase.
+func TestFirstDrift(t *testing.T) {
+	spec, err := DayScenario("MHEALTH", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := buildPlan(spec)
+	// midday-drift is phase 3 in the built-in day.
+	for i := range pl.lineages {
+		lp := &pl.lineages[i]
+		fd := pl.firstDrift(lp)
+		switch {
+		case lp.Born < 3 && lp.Die > 3:
+			if fd != 3 {
+				t.Errorf("lineage %d (born %d, die %d): firstDrift %d, want 3", i, lp.Born, lp.Die, fd)
+			}
+		default:
+			if fd != -1 {
+				t.Errorf("lineage %d (born %d, die %d): firstDrift %d, want -1", i, lp.Born, lp.Die, fd)
+			}
+		}
+	}
+}

@@ -107,3 +107,17 @@ func (s *SensorStream) Next(activity, n int, out []float64) []float64 {
 	}
 	return out
 }
+
+// SetUser swaps the stream's user mid-stream, from the next Next call on.
+// This is how a scenario injects gait drift into a live uplink: the gait
+// phase keeps integrating (no chunk-boundary discontinuity) while amplitude,
+// posture and mount parameters move to the new user's. The body state and
+// per-channel jitters are NOT redrawn — drift is a slow parameter shift, not
+// a new movement — so a drifted stream stays sample-aligned with the RNG
+// schedule of an undrifted one.
+func (s *SensorStream) SetUser(u *User) {
+	if u == nil {
+		panic("synth: SetUser(nil)")
+	}
+	s.user = u
+}

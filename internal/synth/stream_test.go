@@ -2,6 +2,7 @@ package synth
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -97,4 +98,48 @@ func TestSensorStreamPanics(t *testing.T) {
 			f()
 		}()
 	}
+}
+
+// prop: SetUser swaps gait parameters without touching the RNG schedule — a
+// stream drifted to the SAME user is sample-identical to one never touched,
+// and a genuine drift changes samples only from the next chunk on while
+// keeping the stream usable (finite, phase-continuous draw discipline).
+func TestSensorStreamSetUser(t *testing.T) {
+	p := MHEALTHProfile()
+	u := NewUser(9)
+	mk := func() *SensorStream { return NewSensorStream(p, u, LeftAnkle, 77) }
+
+	plain, swapped := mk(), mk()
+	var a, b []float64
+	a = plain.Next(0, 32, a)
+	b = swapped.Next(0, 32, b)
+	swapped.SetUser(u) // no-op swap
+	a = plain.Next(0, 32, a)
+	b = swapped.Next(0, 32, b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SetUser to the same user perturbed the sample stream")
+	}
+
+	drifted := mk()
+	var c []float64
+	c = drifted.Next(0, 32, c)
+	if !reflect.DeepEqual(a[:len(c)], c) {
+		t.Fatal("pre-drift chunks diverged")
+	}
+	drifted.SetUser(u.Drifted(1, 1))
+	c = drifted.Next(0, 32, c)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("drifting the user left the samples unchanged")
+	}
+	for _, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("drifted stream produced non-finite samples")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetUser(nil) did not panic")
+		}
+	}()
+	drifted.SetUser(nil)
 }

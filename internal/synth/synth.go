@@ -396,3 +396,38 @@ func AddNoiseSNR(x *tensor.Tensor, snrDB float64, rng *rand.Rand) {
 		d[i] += rng.NormFloat64() * std
 	}
 }
+
+// Drifted derives a deterministic mid-day drift of the user's gait: a new
+// User whose parameters are the receiver's perturbed multiplicatively by a
+// magnitude-m step drawn from (ID, epoch). Drift models intra-day variation
+// — fatigue slowing cadence, a strap loosening, posture sagging — as opposed
+// to the inter-subject variation NewUser models. The same (user, epoch, m)
+// always yields the same drifted user, and drifting is composable: epoch 2's
+// drift applies on top of epoch 1's when called on the drifted user.
+//
+// m is the drift magnitude; 0 returns an identical copy. At m = 1 frequency
+// shifts by up to ±4%, per-channel amplitude by up to ±12%, posture offsets
+// by up to ±0.06, and mount coupling degrades by up to 10% with up to 0.08
+// extra rubbing noise — enough to depress a tuned confidence matrix without
+// making the signal unrecognisable.
+func (u *User) Drifted(epoch int64, m float64) *User {
+	if m < 0 {
+		panic(fmt.Sprintf("synth: negative drift magnitude %v", m))
+	}
+	d := *u
+	if m == 0 {
+		return &d
+	}
+	rng := rand.New(rand.NewSource(u.ID*0x9E3779B9 + epoch*1_000_003 + 101))
+	d.freqScale *= 1 + (rng.Float64()*2-1)*0.04*m
+	for c := 0; c < Channels; c++ {
+		d.ampScale[c] *= 1 + (rng.Float64()*2-1)*0.12*m
+		d.phase[c] += (rng.Float64()*2 - 1) * 0.30 * m
+		d.dcShift[c] += (rng.Float64()*2 - 1) * 0.06 * m
+	}
+	for l := range d.mountScale {
+		d.mountScale[l] *= 1 - rng.Float64()*0.10*m
+		d.mountNoise[l] += rng.Float64() * 0.08 * m
+	}
+	return &d
+}

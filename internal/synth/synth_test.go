@@ -3,6 +3,7 @@ package synth
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -397,5 +398,87 @@ func TestDailyRoutineCoversAllPairs(t *testing.T) {
 		if off <= 0 {
 			t.Fatalf("row %d has no positive off-diagonal weight", a)
 		}
+	}
+}
+
+// prop: Drifted is deterministic in (user, epoch, magnitude), moves the gait
+// parameters at positive magnitude, is the identity at magnitude zero, and
+// never mutates the receiver.
+func TestUserDrifted(t *testing.T) {
+	u := NewUser(42)
+	before := *u
+	a, b := u.Drifted(3, 1), u.Drifted(3, 1)
+	if *u != before {
+		t.Fatal("Drifted mutated the receiver")
+	}
+	if *a != *b {
+		t.Fatal("same (user, epoch, magnitude) produced different drifts")
+	}
+	if *a == *u {
+		t.Fatal("magnitude-1 drift left the user unchanged")
+	}
+	if other := u.Drifted(4, 1); *other == *a {
+		t.Fatal("different epochs produced identical drifts")
+	}
+	if id := u.Drifted(3, 0); *id != *u {
+		t.Fatal("magnitude-0 drift is not the identity")
+	}
+	// Drift composes: epoch 2 on top of epoch 1 differs from either alone.
+	if twice := a.Drifted(4, 1); *twice == *a {
+		t.Fatal("composed drift left the user unchanged")
+	}
+	// Drift is bounded: a unit step keeps frequency within ±4%.
+	if r := a.freqScale / u.freqScale; r < 0.96 || r > 1.04 {
+		t.Fatalf("unit drift moved freqScale by %v, want within ±4%%", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative magnitude did not panic")
+		}
+	}()
+	u.Drifted(1, -0.5)
+}
+
+// prop: GenerateMixTimeline is deterministic, covers the full slot count,
+// never self-transitions across segments, draws only positive-weight
+// classes, and skews class balance toward the heavy weights.
+func TestGenerateMixTimeline(t *testing.T) {
+	p := MHEALTHProfile()
+	cfg := MixTimelineConfig{Slots: 4000, MeanSegment: 24, MinSegment: 8, Seed: 5,
+		Mix: []float64{8, 0, 1, 0, 1, 0}}
+	a, b := GenerateMixTimeline(p, cfg), GenerateMixTimeline(p, cfg)
+	if !reflect.DeepEqual(a.PerSlot, b.PerSlot) {
+		t.Fatal("same config produced different timelines")
+	}
+	if a.Len() != cfg.Slots {
+		t.Fatalf("timeline length %d, want %d", a.Len(), cfg.Slots)
+	}
+	for i := 1; i < len(a.Segments); i++ {
+		if a.Segments[i].Activity == a.Segments[i-1].Activity {
+			t.Fatal("adjacent segments share a class")
+		}
+	}
+	counts := a.ClassCounts(p.NumClasses())
+	for c, w := range cfg.Mix {
+		if w == 0 && counts[c] > 0 {
+			t.Fatalf("zero-weight class %d occupies %d slots", c, counts[c])
+		}
+	}
+	if counts[0] <= counts[2] || counts[0] <= counts[4] {
+		t.Fatalf("weight-8 class not dominant: counts %v", counts)
+	}
+	for name, bad := range map[string]MixTimelineConfig{
+		"wrong len":    {Slots: 10, MeanSegment: 4, MinSegment: 1, Mix: []float64{1, 1}},
+		"negative":     {Slots: 10, MeanSegment: 4, MinSegment: 1, Mix: []float64{1, -1, 0, 0, 0, 0}},
+		"one positive": {Slots: 10, MeanSegment: 4, MinSegment: 1, Mix: []float64{1, 0, 0, 0, 0, 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			GenerateMixTimeline(p, bad)
+		}()
 	}
 }

@@ -221,3 +221,64 @@ func drawTransition(rng *rand.Rand, row []float64, current int) int {
 	}
 	panic("synth: unreachable transition draw")
 }
+
+// MixTimelineConfig parameterises an activity stream whose class balance
+// follows an explicit weight vector — the diurnal activity-mix knob of a
+// scenario phase (a night phase is almost all low-intensity classes, a
+// morning rush is locomotion-heavy).
+type MixTimelineConfig struct {
+	// Slots, MeanSegment, MinSegment and Seed as in TimelineConfig.
+	Slots       int
+	MeanSegment int
+	MinSegment  int
+	Seed        int64
+	// Mix[c] is the unnormalised weight of class c. Len must equal the
+	// profile's class count and at least two classes must have positive
+	// weight (segments always switch class).
+	Mix []float64
+}
+
+// GenerateMixTimeline builds an activity stream whose segment classes are
+// drawn from cfg.Mix (excluding the current class at each switch). It is the
+// stationary-mix counterpart of GenerateMarkovTimeline: every row of the
+// implied transition matrix is the same weight vector.
+func GenerateMixTimeline(p *Profile, cfg MixTimelineConfig) *Timeline {
+	if cfg.Slots <= 0 {
+		panic(fmt.Sprintf("synth: invalid timeline slots %d", cfg.Slots))
+	}
+	if cfg.MeanSegment <= cfg.MinSegment {
+		panic(fmt.Sprintf("synth: mean segment %d must exceed min %d", cfg.MeanSegment, cfg.MinSegment))
+	}
+	n := p.NumClasses()
+	if len(cfg.Mix) != n {
+		panic(fmt.Sprintf("synth: mix has %d weights, want %d classes", len(cfg.Mix), n))
+	}
+	positive := 0
+	for c, w := range cfg.Mix {
+		if w < 0 {
+			panic(fmt.Sprintf("synth: negative mix weight %v for class %d", w, c))
+		}
+		if w > 0 {
+			positive++
+		}
+	}
+	if positive < 2 {
+		panic("synth: mix needs at least two positive weights")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tl := &Timeline{PerSlot: make([]int, 0, cfg.Slots)}
+	current := drawTransition(rng, cfg.Mix, -1)
+	for len(tl.PerSlot) < cfg.Slots {
+		mean := float64(cfg.MeanSegment - cfg.MinSegment)
+		dur := cfg.MinSegment + int(rng.ExpFloat64()*mean)
+		if remaining := cfg.Slots - len(tl.PerSlot); dur > remaining {
+			dur = remaining
+		}
+		tl.Segments = append(tl.Segments, Segment{Activity: current, Slots: dur})
+		for i := 0; i < dur; i++ {
+			tl.PerSlot = append(tl.PerSlot, current)
+		}
+		current = drawTransition(rng, cfg.Mix, current)
+	}
+	return tl
+}
