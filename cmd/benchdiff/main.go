@@ -8,6 +8,7 @@
 //	benchdiff serve-verify -min-wire-compression 10 BENCH_serve.json
 //	benchdiff chaos-verify -min-availability 0.99 chaos_report.json
 //	benchdiff slo-verify -min-availability 0.99 slo.json slo_rerun.json
+//	benchdiff shard-verify -min-migrated 1 shard_slo.json shard_twin.json
 //
 // Raw nanoseconds are not comparable across machines, so compare normalises
 // every benchmark against an anchor benchmark recorded in the same run
@@ -80,6 +81,8 @@ func main() {
 		err = cmdChaosVerify(os.Args[2:])
 	case "slo-verify":
 		err = cmdSLOVerify(os.Args[2:])
+	case "shard-verify":
+		err = cmdShardVerify(os.Args[2:])
 	default:
 		usage()
 	}
@@ -97,7 +100,8 @@ func usage() {
   benchdiff serve-extract [-o serve.json] report.json...
   benchdiff serve-verify [-min-wire-compression factor] [-max-accuracy-drop frac] serve.json
   benchdiff chaos-verify [-min-availability frac] chaos_report.json
-  benchdiff slo-verify [-min-availability frac] [-max-shed-rate frac] [-min-accuracy frac] slo.json [slo_rerun.json]`)
+  benchdiff slo-verify [-min-availability frac] [-max-shed-rate frac] [-min-accuracy frac] slo.json [slo_rerun.json]
+  benchdiff shard-verify [-min-availability frac] [-min-migrated n] shard_slo.json [twin_slo.json]`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Shard gating (shard-verify).
+//
+// A sharded scenario run (cmd/origin-scenario -replicas N with shard ops in
+// the spec) exercises the consistent-hash router, the shared state store,
+// and live session migration. shard-verify holds its SLO report to the
+// sharding bars: zero lost rounds, zero double classifications, every
+// attempted resume landing, at least one replica actually killed or drained,
+// at least one fresh replica joined, and at least one session migrated
+// across a shard boundary (the non-vacuity clause — a shard day whose kill
+// moved nothing proves nothing). Given a second report from another
+// same-seed run of the same spec, it additionally gates topology invariance:
+// the two canonical sections must be byte-identical — the canonical half is
+// topology-blind by construction, so shard count, rebalancing, and kill
+// timing must be invisible in every classification the fleet emits. (The
+// sharded-vs-serial equivalence itself is pinned by origin-scenario's
+// -verify-replay, which replays every lineage single-session.)
+
+const defaultShardMinAvailability = 0.9
+
+func cmdShardVerify(args []string) error {
+	minAvailStr, minMigratedStr := "", ""
+	rest, err := parseFlags(args, map[string]*string{
+		"-min-availability": &minAvailStr,
+		"-min-migrated":     &minMigratedStr,
+	})
+	if err != nil {
+		return err
+	}
+	minAvail, minMigrated := defaultShardMinAvailability, int64(1)
+	if minAvailStr != "" {
+		if minAvail, err = strconv.ParseFloat(minAvailStr, 64); err != nil {
+			return fmt.Errorf("bad -min-availability: %w", err)
+		}
+	}
+	if minMigratedStr != "" {
+		if minMigrated, err = strconv.ParseInt(minMigratedStr, 10, 64); err != nil {
+			return fmt.Errorf("bad -min-migrated: %w", err)
+		}
+	}
+	if len(rest) < 1 || len(rest) > 2 {
+		return fmt.Errorf("shard-verify needs one sharded SLO report (plus an optional same-seed twin)")
+	}
+	rep, err := readSLOReport(rest[0])
+	if err != nil {
+		return err
+	}
+	c, m := &rep.Canonical, &rep.Measured
+
+	fmt.Printf("benchdiff: shard %q seed=%d ok=%d/%d kills=%d joins=%d migrated=%d (min %d) resume=%d/%d availability=%.4f (min %.4f)\n",
+		c.Name, c.Seed, m.OK, c.TotalRounds,
+		m.ShardKills, m.ShardJoins, m.MigratedResumes, minMigrated,
+		m.ResumeAttempts-m.ResumeMisses, m.ResumeAttempts,
+		m.Availability, minAvail)
+
+	if m.OK != c.TotalRounds || m.Errors != 0 {
+		return fmt.Errorf("shard day lost rounds: ok=%d want=%d errors=%d", m.OK, c.TotalRounds, m.Errors)
+	}
+	if m.DoubleClassifies != 0 {
+		return fmt.Errorf("%d round(s) double-classified across shard moves", m.DoubleClassifies)
+	}
+	if m.ResumeSuccessRate != 1.0 {
+		return fmt.Errorf("resume success rate %.4f, want 1.0 (%d miss(es) in %d attempts)",
+			m.ResumeSuccessRate, m.ResumeMisses, m.ResumeAttempts)
+	}
+	if m.ShardKills < 1 {
+		return fmt.Errorf("no replica was killed or drained — the report is not a shard-chaos run, the gate is vacuous")
+	}
+	if m.ShardJoins < 1 {
+		return fmt.Errorf("no replica joined mid-run — the gate never saw a rebalance toward a new member")
+	}
+	if m.MigratedResumes < minMigrated {
+		return fmt.Errorf("%d session(s) migrated across shard boundaries, want at least %d — the topology changes moved nothing",
+			m.MigratedResumes, minMigrated)
+	}
+	if m.Availability < minAvail {
+		return fmt.Errorf("availability %.4f below required %.4f", m.Availability, minAvail)
+	}
+
+	if len(rest) == 2 {
+		twin, err := readSLOReport(rest[1])
+		if err != nil {
+			return err
+		}
+		a, err := rep.CanonicalBytes()
+		if err != nil {
+			return err
+		}
+		b, err := twin.CanonicalBytes()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("canonical sections differ between the sharded run and its same-seed twin (digest %s vs %s) — shard topology leaked into classification results",
+				rep.Canonical.Digest, twin.Canonical.Digest)
+		}
+		fmt.Printf("benchdiff: shard canonical section byte-identical to the twin run (digest %s)\n", rep.Canonical.Digest)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"origin/internal/obs"
+)
+
+// goodShardReport is a shard day that passed every bar: a kill and a join
+// both fired, sessions migrated, nothing was lost.
+func goodShardReport() obs.SLOReport {
+	rep := obs.SLOReport{
+		Canonical: obs.SLOCanonical{
+			Name: "shard", Profile: "MHEALTH", Seed: 13,
+			Lineages: 6, ColdStarts: 2, Retired: 2, TotalRounds: 136,
+			Phases: []obs.SLOPhase{
+				{Name: "steady", Users: 4, Rounds: 8, TotalRounds: 32, Correct: 25, Accuracy: 25.0 / 32},
+				{Name: "shard-crash", Users: 4, Rounds: 8, TotalRounds: 32, Correct: 24, Accuracy: 0.75},
+			},
+			Accuracy: obs.SLOAccuracy{Overall: 0.75, Calm: 0.75, CalmRounds: 136},
+			Digest:   "shard123",
+		},
+		Measured: obs.SLOMeasured{
+			DurationS: 0.8, OK: 136, Errors: 0,
+			Reconnects: 2, ResumeAttempts: 2, ResumeMisses: 0, DoubleClassifies: 0,
+			ResumeSuccessRate: 1.0, Availability: 0.98,
+			ShardKills: 1, ShardJoins: 1, MigratedResumes: 2,
+		},
+	}
+	return rep
+}
+
+func TestShardVerifyPasses(t *testing.T) {
+	path := writeSLOReport(t, goodShardReport())
+	if err := cmdShardVerify([]string{path}); err != nil {
+		t.Fatalf("clean shard day rejected: %v", err)
+	}
+}
+
+func TestShardVerifyRejects(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mutate func(*obs.SLOReport)
+		want   string
+	}{
+		"lost rounds":       {func(r *obs.SLOReport) { r.Measured.OK = 135 }, "lost rounds"},
+		"errors":            {func(r *obs.SLOReport) { r.Measured.Errors = 1 }, "lost rounds"},
+		"double classify":   {func(r *obs.SLOReport) { r.Measured.DoubleClassifies = 1 }, "double-classified"},
+		"resume miss":       {func(r *obs.SLOReport) { r.Measured.ResumeMisses = 1; r.Measured.ResumeSuccessRate = 0.5 }, "resume success rate"},
+		"no kill":           {func(r *obs.SLOReport) { r.Measured.ShardKills = 0 }, "vacuous"},
+		"no join":           {func(r *obs.SLOReport) { r.Measured.ShardJoins = 0 }, "rebalance"},
+		"nothing migrated":  {func(r *obs.SLOReport) { r.Measured.MigratedResumes = 0 }, "moved nothing"},
+		"poor availability": {func(r *obs.SLOReport) { r.Measured.Availability = 0.5 }, "availability"},
+		"empty canonical":   {func(r *obs.SLOReport) { r.Canonical = obs.SLOCanonical{} }, "not an SLO report"},
+	} {
+		rep := goodShardReport()
+		tc.mutate(&rep)
+		path := writeSLOReport(t, rep)
+		err := cmdShardVerify([]string{path})
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestShardVerifyFlags(t *testing.T) {
+	path := writeSLOReport(t, goodShardReport())
+	if err := cmdShardVerify([]string{"-min-migrated", "5", path}); err == nil {
+		t.Fatal("2 migrations passed a min-migrated 5 bar")
+	}
+	if err := cmdShardVerify([]string{"-min-availability", "0.99", path}); err == nil {
+		t.Fatal("0.98 availability passed a 0.99 bar")
+	}
+	if err := cmdShardVerify([]string{"-min-availability", "0.5", "-min-migrated", "1", path}); err != nil {
+		t.Fatalf("relaxed bars rejected: %v", err)
+	}
+}
+
+// The twin comparison pins topology invariance: the sharded run's canonical
+// section must equal the same-seed twin's byte for byte, while the twin's
+// measured half (different timings, even no kills) is free to differ.
+func TestShardVerifyTopologyInvariancePair(t *testing.T) {
+	a := writeSLOReport(t, goodShardReport())
+	twin := goodShardReport()
+	twin.Measured = obs.SLOMeasured{
+		DurationS: 0.3, OK: 136, ResumeSuccessRate: 1, Availability: 1,
+	}
+	b := writeSLOReport(t, twin)
+	if err := cmdShardVerify([]string{a, b}); err != nil {
+		t.Fatalf("matching canonical sections rejected: %v", err)
+	}
+	diverged := goodShardReport()
+	diverged.Canonical.Digest = "other"
+	c := writeSLOReport(t, diverged)
+	err := cmdShardVerify([]string{a, c})
+	if err == nil {
+		t.Fatal("diverged canonical sections accepted")
+	}
+	if !strings.Contains(err.Error(), "topology leaked") {
+		t.Fatalf("error %q does not mention topology leakage", err)
+	}
+}

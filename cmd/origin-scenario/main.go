@@ -3,16 +3,20 @@
 //
 //	origin-scenario -scenario day -seed 7 -o slo.json
 //	origin-scenario -scenario calm -verify-replay -tiny
+//	origin-scenario -scenario shard -replicas 3 -verify-replay -tiny
 //	origin-scenario -spec myday.json -profile PAMAP2
 //
 // The stack (session manager, HTTP front, chaos-wrapped binary stream
 // front) is stood up in-process because mid-run fault and pressure windows
 // toggle live handles — an external server cannot have its faults flipped
-// remotely. The scenario itself (phases, churn, drift, chaos, pressure) is
-// either a built-in (-scenario day|calm) or a declarative JSON spec
-// (-spec); see internal/scenario for the phase model and determinism
-// contract. The report's canonical section is byte-identical across
-// same-seed runs and is gated in CI by `benchdiff slo-verify`.
+// remotely. With -replicas N > 1 the stack is instead a sharded cluster (N
+// replicas over a shared state store behind a consistent-hash router), which
+// is what the shard ops in a spec (kill/leave/join) act on. The scenario
+// itself (phases, churn, drift, chaos, pressure, shard ops) is either a
+// built-in (-scenario day|calm|shard) or a declarative JSON spec (-spec);
+// see internal/scenario for the phase model and determinism contract. The
+// report's canonical section is byte-identical across same-seed runs and is
+// gated in CI by `benchdiff slo-verify` and `benchdiff shard-verify`.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"reflect"
 	"time"
 
+	"origin/internal/cluster"
 	"origin/internal/fault"
 	"origin/internal/fleet"
 	"origin/internal/fleet/fleettest"
@@ -34,10 +39,11 @@ import (
 
 func main() {
 	var (
-		name         = flag.String("scenario", "day", "built-in scenario: day (chaos) or calm (zero-fault)")
+		name         = flag.String("scenario", "day", "built-in scenario: day (chaos), calm (zero-fault) or shard (topology chaos)")
 		specPath     = flag.String("spec", "", "declarative JSON scenario spec (overrides -scenario)")
 		profile      = flag.String("profile", "MHEALTH", "activity profile for the built-in scenarios")
 		seed         = flag.Int64("seed", 1, "scenario seed (same seed, same canonical report)")
+		replicas     = flag.Int("replicas", 1, "shard count: 1 runs a single node, N > 1 a sharded cluster behind a consistent-hash router")
 		tiny         = flag.Bool("tiny", false, "serve tiny deterministic models instead of trained ones (CI smoke)")
 		verifyReplay = flag.Bool("verify-replay", false, "also replay every lineage serially and fail on any divergence")
 		out          = flag.String("o", "-", "SLO report destination (- for stdout)")
@@ -49,6 +55,9 @@ func main() {
 	if *queueDepth <= 0 || *reqTimeout <= 0 {
 		usageError("-queue and -request-timeout must be positive")
 	}
+	if *replicas < 1 {
+		usageError("-replicas must be positive, got %d", *replicas)
+	}
 
 	var spec *scenario.Spec
 	var err error
@@ -59,59 +68,89 @@ func main() {
 		spec, err = scenario.DayScenario(*profile, *seed)
 	case *name == "calm":
 		spec, err = scenario.CalmScenario(*profile, *seed)
+	case *name == "shard":
+		spec, err = scenario.ShardScenario(*profile, *seed)
 	default:
-		usageError("unknown scenario %q (want day or calm)", *name)
+		usageError("unknown scenario %q (want day, calm or shard)", *name)
 	}
 	if err != nil {
 		usageError("%v", err)
 	}
+	if spec.HasShardOps() && *replicas < 2 {
+		usageError("scenario %q changes shard topology; run it with -replicas 2 or more", spec.Name)
+	}
+	if *replicas > 1 && (spec.HasChaos() || spec.HasPressure()) {
+		usageError("chaos and pressure windows need the single-node stack (-replicas 1); scenario %q opens one", spec.Name)
+	}
 
-	var registry *fleet.Registry
+	registry := fleet.NewRegistry(nil)
 	if *tiny {
 		registry = fleettest.NewRegistry()
-	}
-	mgr := fleet.NewManager(fleet.Config{
-		Registry:   registry,
-		QueueDepth: *queueDepth,
-		Workers:    *workers,
-	})
-	defer mgr.Close()
-	if !*tiny {
+	} else {
 		log.Printf("building model for profile %s (first build trains; later runs load the cache)", spec.Profile)
 	}
-	if _, err := mgr.Registry().Get(spec.Profile); err != nil {
+	if _, err := registry.Get(spec.Profile); err != nil {
 		log.Fatalf("origin-scenario: build %s: %v", spec.Profile, err)
 	}
 
-	// HTTP front on a loopback ephemeral port.
-	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatalf("origin-scenario: listen: %v", err)
-	}
-	srv := &http.Server{Handler: serve.New(serve.Config{Manager: mgr, RequestTimeout: *reqTimeout})}
-	go func() { _ = srv.Serve(httpLn) }()
-	defer srv.Close()
+	var h scenario.Handles
+	if *replicas > 1 {
+		cl, err := cluster.New(cluster.Config{
+			Replicas:   *replicas,
+			Registry:   registry,
+			Store:      fleet.NewMemStateStore(),
+			QueueDepth: *queueDepth,
+			Workers:    *workers,
+		})
+		if err != nil {
+			log.Fatalf("origin-scenario: %v", err)
+		}
+		defer cl.Close()
+		log.Printf("sharded stack up: %d replicas behind the router at %s", *replicas, cl.HTTPURL())
+		h = scenario.Handles{
+			BaseURL:    cl.HTTPURL(),
+			StreamAddr: cl.StreamAddr(),
+			Cluster:    cl,
+		}
+	} else {
+		mgr := fleet.NewManager(fleet.Config{
+			Registry:   registry,
+			QueueDepth: *queueDepth,
+			Workers:    *workers,
+		})
+		defer mgr.Close()
 
-	// Stream front, always chaos-wrapped (a zero config is transparent) so
-	// fault windows can open mid-run.
-	streamLn, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatalf("origin-scenario: stream listen: %v", err)
-	}
-	chaos, err := fault.NewChaosListener(streamLn, fault.ConnChaos{})
-	if err != nil {
-		log.Fatalf("origin-scenario: %v", err)
-	}
-	ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, RoundTimeout: *reqTimeout})
-	go func() { _ = ss.Serve(chaos) }()
-	defer ss.Close()
+		// HTTP front on a loopback ephemeral port.
+		httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("origin-scenario: listen: %v", err)
+		}
+		srv := &http.Server{Handler: serve.New(serve.Config{Manager: mgr, RequestTimeout: *reqTimeout})}
+		go func() { _ = srv.Serve(httpLn) }()
+		defer srv.Close()
 
-	res, err := scenario.Run(spec, scenario.Handles{
-		BaseURL:    "http://" + httpLn.Addr().String(),
-		StreamAddr: streamLn.Addr().String(),
-		Chaos:      chaos,
-		Manager:    mgr,
-	})
+		// Stream front, always chaos-wrapped (a zero config is transparent) so
+		// fault windows can open mid-run.
+		streamLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("origin-scenario: stream listen: %v", err)
+		}
+		chaos, err := fault.NewChaosListener(streamLn, fault.ConnChaos{})
+		if err != nil {
+			log.Fatalf("origin-scenario: %v", err)
+		}
+		ss := serve.NewStreamServer(serve.StreamConfig{Manager: mgr, RoundTimeout: *reqTimeout})
+		go func() { _ = ss.Serve(chaos) }()
+		defer ss.Close()
+		h = scenario.Handles{
+			BaseURL:    "http://" + httpLn.Addr().String(),
+			StreamAddr: streamLn.Addr().String(),
+			Chaos:      chaos,
+			Manager:    mgr,
+		}
+	}
+
+	res, err := scenario.Run(spec, h)
 	if err != nil {
 		log.Fatalf("origin-scenario: %v", err)
 	}
@@ -120,11 +159,15 @@ func main() {
 		c.Name, c.Lineages, c.TotalRounds, m.DurationS,
 		c.Accuracy.Overall, c.Accuracy.Calm, c.Accuracy.Drift,
 		m.Availability, m.Shed, m.Reconnects)
+	if *replicas > 1 {
+		log.Printf("shard topology: %d kill(s)/leave(s), %d join(s), %d session(s) migrated across shard boundaries",
+			m.ShardKills, m.ShardJoins, m.MigratedResumes)
+	}
 
 	if *verifyReplay {
-		newModel := fleettest.NewModel
-		if !*tiny {
-			newModel = mgr.Registry().Get
+		newModel := registry.Get
+		if *tiny {
+			newModel = fleettest.NewModel
 		}
 		want, err := scenario.SerialReplay(spec, newModel)
 		if err != nil {

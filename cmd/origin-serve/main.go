@@ -53,6 +53,7 @@ func main() {
 		idleTimeout  = flag.Duration("stream-idle-timeout", 5*time.Minute, "close stream connections idle longer than this")
 		resumeTTL    = flag.Duration("resume-ttl", 2*time.Minute, "keep disconnected stream sessions resumable this long (negative disables resume)")
 		resumeCap    = flag.Int("resume-cap", 4096, "max parked stream sessions (oldest evicted beyond it)")
+		stateDir     = flag.String("state-dir", "", "externalize session state to this directory (shared by every replica behind an origin-router; empty keeps sessions replica-local)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "connection-chaos RNG seed (per-connection fault plans derive from it)")
 		chaosKill    = flag.Float64("chaos-kill-rate", 0, "fraction of stream connections to kill mid-stream (0 disables chaos; testing only)")
 		chaosKillMin = flag.Int("chaos-kill-min-bytes", 4096, "min uplink bytes a doomed connection survives")
@@ -111,6 +112,19 @@ func main() {
 		usageError("-chaos-kill-rate needs a stream front (-stream-addr)")
 	}
 
+	// Externalized state: with a shared -state-dir, every classified round
+	// is snapshotted to disk and any replica pointed at the same directory
+	// can pick a session up mid-stream (the origin-router quickstart in the
+	// README runs two such replicas behind one router).
+	var state fleet.StateStore
+	if *stateDir != "" {
+		fs, err := fleet.NewFileStateStore(*stateDir)
+		if err != nil {
+			usageError("%v", err)
+		}
+		state = fs
+	}
+
 	mgr := fleet.NewManager(fleet.Config{
 		Shards:      *shards,
 		MaxSessions: *maxSessions,
@@ -120,6 +134,7 @@ func main() {
 		BatchSize:   *batchSize,
 		BatchHold:   *batchHold,
 		Quantized:   *quant,
+		State:       state,
 	})
 	for _, p := range warm {
 		log.Printf("building model for profile %s (first build trains; later runs load the cache)", p)

@@ -1,0 +1,143 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+)
+
+// adapted builds a matrix with non-trivial knobs and weights, including
+// values that only round-trip if the codec preserves exact float64 bits.
+func adapted() *Matrix {
+	m := NewMatrix(3, 5)
+	m.Alpha = 0.05
+	m.RecallDiscount = 0.7
+	m.RecallDecayPerSlot = 0.99
+	m.UseInstantFresh = false
+	for s := 0; s < 3; s++ {
+		for c := 0; c < 5; c++ {
+			m.Set(s, c, 1e-3+float64(s*5+c)/3.0) // /3.0 makes non-terminating binary fractions
+		}
+	}
+	m.Set(2, 4, math.Nextafter(0.25, 1)) // differs from 0.25 by one ulp
+	return m
+}
+
+func TestBinaryMatrixRoundTrip(t *testing.T) {
+	m := adapted()
+	blob := m.AppendBinary(nil)
+	got, n, err := DecodeBinary(blob)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if n != len(blob) {
+		t.Fatalf("consumed %d of %d bytes", n, len(blob))
+	}
+	if got.Sensors() != m.Sensors() || got.Classes() != m.Classes() {
+		t.Fatalf("geometry %dx%d, want %dx%d", got.Sensors(), got.Classes(), m.Sensors(), m.Classes())
+	}
+	if got.Alpha != m.Alpha || got.RecallDiscount != m.RecallDiscount ||
+		got.RecallDecayPerSlot != m.RecallDecayPerSlot || got.UseInstantFresh != m.UseInstantFresh {
+		t.Fatalf("tuning knobs differ: %+v", got)
+	}
+	for s := 0; s < m.Sensors(); s++ {
+		for c := 0; c < m.Classes(); c++ {
+			if math.Float64bits(got.At(s, c)) != math.Float64bits(m.At(s, c)) {
+				t.Fatalf("weight (%d,%d) = %x, want %x (bit-exactness lost)",
+					s, c, math.Float64bits(got.At(s, c)), math.Float64bits(m.At(s, c)))
+			}
+		}
+	}
+}
+
+func TestBinaryMatrixTrailingBytes(t *testing.T) {
+	m := adapted()
+	blob := m.AppendBinary(nil)
+	section := len(blob)
+	blob = append(blob, 0xde, 0xad, 0xbe, 0xef)
+	_, n, err := DecodeBinary(blob)
+	if err != nil {
+		t.Fatalf("DecodeBinary with trailing bytes: %v", err)
+	}
+	if n != section {
+		t.Fatalf("consumed %d bytes, want the section length %d", n, section)
+	}
+}
+
+func TestBinaryMatrixRejectsDamage(t *testing.T) {
+	good := adapted().AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": good[:len(good)-3],
+		"huge geometry": func() []byte {
+			b := append([]byte(nil), good...)
+			b[0] = 0xff
+			b[1] = 0xff
+			b[2] = 0x7f
+			return b
+		}(),
+		"negative weight": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] |= 0x80 // flip the sign bit of the last weight
+			return b
+		}(),
+		"unknown flags": func() []byte {
+			b := append([]byte(nil), good...)
+			// flags byte sits after 2 geometry uvarints (1 byte each here)
+			// and 3 float64 knobs.
+			b[2+24] = 0x82
+			return b
+		}(),
+	}
+	for name, blob := range cases {
+		if _, _, err := DecodeBinary(blob); err == nil {
+			t.Errorf("%s: decode accepted damaged input", name)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := adapted()
+	dst := NewMatrix(3, 5)
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if dst.At(2, 4) != src.At(2, 4) || dst.RecallDiscount != src.RecallDiscount {
+		t.Fatal("CopyFrom did not copy weights/knobs")
+	}
+	src.Set(0, 0, 42)
+	if dst.At(0, 0) == 42 {
+		t.Fatal("CopyFrom aliases the source storage")
+	}
+	if err := NewMatrix(2, 5).CopyFrom(src); err == nil {
+		t.Fatal("CopyFrom accepted a geometry mismatch")
+	}
+}
+
+func FuzzDecodeBinaryMatrix(f *testing.F) {
+	f.Add(adapted().AppendBinary(nil))
+	f.Add([]byte{1, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, n, err := DecodeBinary(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		// Whatever decoded must survive a canonical re-encode/decode cycle
+		// bit-exactly. (The consumed bytes themselves may differ: varints
+		// admit non-minimal encodings that the canonical encoder never emits.)
+		out := m.AppendBinary(nil)
+		m2, n2, err := DecodeBinary(out)
+		if err != nil || n2 != len(out) {
+			t.Fatalf("re-decode failed: n=%d err=%v", n2, err)
+		}
+		for s := 0; s < m.Sensors(); s++ {
+			for c := 0; c < m.Classes(); c++ {
+				if math.Float64bits(m2.At(s, c)) != math.Float64bits(m.At(s, c)) {
+					t.Fatal("re-encode cycle changed a weight")
+				}
+			}
+		}
+	})
+}

@@ -2,8 +2,10 @@ package ensemble
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -93,6 +95,139 @@ func LoadMatrix(r io.Reader) (*Matrix, error) {
 		return nil, fmt.Errorf("ensemble: matrix scan: %w", err)
 	}
 	return m, nil
+}
+
+// Binary matrix section — the compact codec the portable session snapshot
+// embeds (see internal/fleet's session codec). Unlike the text format above,
+// which exists for human-inspectable files, this section preserves every
+// float64 bit pattern exactly and is designed to be concatenated with other
+// sections: DecodeBinary reports how many bytes it consumed.
+//
+// Layout (all integers uvarint, all floats raw IEEE-754 bits, little-endian):
+//
+//	uvarint  sensors
+//	uvarint  classes
+//	float64  Alpha
+//	float64  RecallDiscount
+//	float64  RecallDecayPerSlot
+//	byte     flags (bit 0: UseInstantFresh)
+//	float64  weights, row-major (sensors × classes)
+
+// maxBinaryMatrixDim bounds decoded geometry so a corrupted header cannot
+// drive a huge allocation.
+const maxBinaryMatrixDim = 4096
+
+const binaryInstantFreshFlag = 0x01
+
+// AppendBinary appends the binary matrix section to dst and returns the
+// extended slice.
+func (m *Matrix) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.sensors))
+	dst = binary.AppendUvarint(dst, uint64(m.classes))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Alpha))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.RecallDiscount))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.RecallDecayPerSlot))
+	var flags byte
+	if m.UseInstantFresh {
+		flags |= binaryInstantFreshFlag
+	}
+	dst = append(dst, flags)
+	for s := range m.w {
+		for _, v := range m.w[s] {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// DecodeBinary parses one binary matrix section from the front of b,
+// returning the matrix and the number of bytes consumed. Trailing bytes are
+// the caller's (the session codec packs further sections after it). The
+// decoder rejects, never panics on, damaged input: invalid geometry,
+// non-finite tuning knobs, and negative or non-finite weights all fail —
+// the same invariants NewMatrix/Set enforce on the write side.
+func DecodeBinary(b []byte) (*Matrix, int, error) {
+	off := 0
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	f64 := func() (float64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v, true
+	}
+	sensors, ok1 := uv()
+	classes, ok2 := uv()
+	if !ok1 || !ok2 || sensors == 0 || classes == 0 ||
+		sensors > maxBinaryMatrixDim || classes > maxBinaryMatrixDim {
+		return nil, 0, fmt.Errorf("ensemble: binary matrix geometry invalid")
+	}
+	alpha, ok1 := f64()
+	discount, ok2 := f64()
+	decay, ok3 := f64()
+	if !ok1 || !ok2 || !ok3 {
+		return nil, 0, fmt.Errorf("ensemble: binary matrix header truncated")
+	}
+	for _, v := range []float64{alpha, discount, decay} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, 0, fmt.Errorf("ensemble: binary matrix tuning knob not finite")
+		}
+	}
+	if off >= len(b) {
+		return nil, 0, fmt.Errorf("ensemble: binary matrix header truncated")
+	}
+	flags := b[off]
+	off++
+	if flags&^byte(binaryInstantFreshFlag) != 0 {
+		return nil, 0, fmt.Errorf("ensemble: binary matrix has unknown flags %#x", flags)
+	}
+	m := NewMatrix(int(sensors), int(classes))
+	m.Alpha = alpha
+	m.RecallDiscount = discount
+	m.RecallDecayPerSlot = decay
+	m.UseInstantFresh = flags&binaryInstantFreshFlag != 0
+	for s := range m.w {
+		for c := range m.w[s] {
+			v, ok := f64()
+			if !ok {
+				return nil, 0, fmt.Errorf("ensemble: binary matrix truncated at row %d", s)
+			}
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("ensemble: binary matrix weight (%d,%d) invalid", s, c)
+			}
+			m.w[s][c] = v
+		}
+	}
+	return m, off, nil
+}
+
+// CopyFrom overwrites this matrix's weights and tuning knobs with src's.
+// The geometries must match: restoring a snapshot onto a session whose model
+// has a different shape is a deployment mismatch, not a recoverable state.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if src == nil {
+		return fmt.Errorf("ensemble: CopyFrom nil matrix")
+	}
+	if src.sensors != m.sensors || src.classes != m.classes {
+		return fmt.Errorf("ensemble: CopyFrom geometry %d×%d onto %d×%d",
+			src.sensors, src.classes, m.sensors, m.classes)
+	}
+	m.Alpha = src.Alpha
+	m.RecallDiscount = src.RecallDiscount
+	m.RecallDecayPerSlot = src.RecallDecayPerSlot
+	m.UseInstantFresh = src.UseInstantFresh
+	for s := range m.w {
+		copy(m.w[s], src.w[s])
+	}
+	return nil
 }
 
 // SaveFile writes the matrix to path.

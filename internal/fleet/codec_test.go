@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"origin/internal/ensemble"
+	"origin/internal/host"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite codec golden files")
+
+// snapshotFixture is a SessionState exercising every field: valid and
+// never-reported recall entries, an adapted matrix with non-terminating
+// binary fractions, non-zero counters, and a stream attachment.
+func snapshotFixture() SessionState {
+	m := ensemble.NewMatrix(3, 4)
+	m.Alpha = 0.07
+	m.UseInstantFresh = false
+	for s := 0; s < 3; s++ {
+		for c := 0; c < 4; c++ {
+			m.Set(s, c, 1e-3+float64(s*4+c)/7.0)
+		}
+	}
+	return SessionState{
+		ID:      "s-42",
+		User:    -7,
+		Profile: "conf-room",
+		Opts:    Opts{StaleLimit: 3, Quorum: 2, Freeze: true},
+		Slot:    11,
+		Device: host.DeviceState{
+			Recall: []host.RecallState{
+				{Class: 2, Confidence: 0.25, Slot: 10, Valid: true},
+				{},
+				{Class: 0, Confidence: math.Nextafter(0.5, 1), Slot: 9, Valid: true},
+			},
+			Anticipated:   2,
+			LastFresh:     host.RecallState{Class: 2, Confidence: 0.25, Slot: 10, Valid: true},
+			Received:      19,
+			AdaptsApplied: 11,
+		},
+		Matrix: m,
+		Counters: SessionCounters{
+			Slots: 11, FreshVotes: 19, RecallVotes: 4, AdaptationUpdates: 11, QuorumAbstentions: 1,
+		},
+		Attachment: []byte{0x01, 0x00, 0xfe, 'a', 't', 't'},
+	}
+}
+
+func TestSessionCodecRoundTrip(t *testing.T) {
+	in := snapshotFixture()
+	blob, err := EncodeSessionState(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodeSessionState(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// Matrices compare by value below; pointers differ.
+	if !reflect.DeepEqual(stripMatrix(in), stripMatrix(out)) {
+		t.Fatalf("round trip changed the snapshot:\n in=%+v\nout=%+v", in, out)
+	}
+	if !matricesBitEqual(in.Matrix, out.Matrix) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func stripMatrix(st SessionState) SessionState {
+	st.Matrix = nil
+	return st
+}
+
+func matricesBitEqual(a, b *ensemble.Matrix) bool {
+	if a.Sensors() != b.Sensors() || a.Classes() != b.Classes() ||
+		a.Alpha != b.Alpha || a.RecallDiscount != b.RecallDiscount ||
+		a.RecallDecayPerSlot != b.RecallDecayPerSlot || a.UseInstantFresh != b.UseInstantFresh {
+		return false
+	}
+	for s := 0; s < a.Sensors(); s++ {
+		for c := 0; c < a.Classes(); c++ {
+			if math.Float64bits(a.At(s, c)) != math.Float64bits(b.At(s, c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSessionCodecGolden pins the version-1 wire bytes in both directions:
+// today's encoder must reproduce the committed file, and today's decoder must
+// accept it. A codec change that breaks either direction strands persisted
+// session state across a rolling upgrade — bump SessionCodecVersion instead.
+func TestSessionCodecGolden(t *testing.T) {
+	path := filepath.Join("testdata", "session_v1.golden")
+	blob, err := EncodeSessionState(snapshotFixture())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("encoder output diverged from %s (%d vs %d bytes); "+
+			"if intentional, bump SessionCodecVersion and add a new golden", path, len(blob), len(want))
+	}
+	st, err := DecodeSessionState(want)
+	if err != nil {
+		t.Fatalf("decoder rejected the golden snapshot: %v", err)
+	}
+	if st.ID != "s-42" || st.Slot != 11 || !st.Opts.Freeze || st.Counters.FreshVotes != 19 {
+		t.Fatalf("golden decoded to unexpected state: %+v", st)
+	}
+}
+
+func TestSessionCodecRejectsDamage(t *testing.T) {
+	good, err := EncodeSessionState(snapshotFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      append([]byte("OSSX"), good[4:]...),
+		"future version": append(append([]byte(nil), good[:4]...), append([]byte{0x63}, good[5:]...)...),
+		"truncated":      good[:len(good)-2],
+		"trailing":       append(append([]byte(nil), good...), 0xff),
+	}
+	for name, blob := range cases {
+		if _, err := DecodeSessionState(blob); err == nil {
+			t.Errorf("%s: decode accepted damaged input", name)
+		}
+	}
+}
+
+func TestSessionCodecEncodeRejectsBadState(t *testing.T) {
+	for name, mutate := range map[string]func(*SessionState){
+		"empty id":       func(st *SessionState) { st.ID = "" },
+		"no matrix":      func(st *SessionState) { st.Matrix = nil },
+		"negative slot":  func(st *SessionState) { st.Slot = -1 },
+		"no recall":      func(st *SessionState) { st.Device.Recall = nil },
+		"huge payload":   func(st *SessionState) { st.Attachment = make([]byte, maxAttachment+1) },
+		"negative votes": func(st *SessionState) { st.Counters.FreshVotes = -1 },
+	} {
+		st := snapshotFixture()
+		mutate(&st)
+		if _, err := EncodeSessionState(st); err == nil {
+			t.Errorf("%s: encode accepted a bad snapshot", name)
+		}
+	}
+}
+
+func FuzzDecodeSessionState(f *testing.F) {
+	seed, err := EncodeSessionState(snapshotFixture())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("OSS1"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := DecodeSessionState(b)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must re-encode, and the re-encoded form
+		// must decode back to the same value (canonical-form equivalence; the
+		// raw bytes may differ through non-minimal varints).
+		out, err := EncodeSessionState(st)
+		if err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+		st2, err := DecodeSessionState(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(stripMatrix(st), stripMatrix(st2)) || !matricesBitEqual(st.Matrix, st2.Matrix) {
+			t.Fatal("re-encode cycle changed the snapshot")
+		}
+	})
+}

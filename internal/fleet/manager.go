@@ -63,6 +63,14 @@ type Config struct {
 	Quantized bool
 	// Now is the eviction clock (default time.Now; injectable for tests).
 	Now func() time.Time
+	// State, when non-nil, externalizes session state: the store holds the
+	// authoritative snapshot of every session and this replica's in-memory
+	// sessions become a validated cache over it. Create persists the initial
+	// snapshot, the serving layer persists one snapshot per classified round
+	// (PersistSession), and Get restores from the store whenever it holds a
+	// newer version than local memory — which is how a session migrates to
+	// this replica after a shard-map change or a peer death.
+	State StateStore
 }
 
 // Metrics is the serving-side counter set, updated atomically on the hot
@@ -79,6 +87,9 @@ type Metrics struct {
 	// WindowsBatched/BatchFlushes is the achieved mean batch size.
 	WindowsBatched atomic.Int64
 	BatchFlushes   atomic.Int64
+	// SessionsRestored counts sessions rebuilt from the state store — each
+	// one is a migration this replica absorbed.
+	SessionsRestored atomic.Int64
 }
 
 // noteBatch records one micro-batched forward pass of n windows.
@@ -100,6 +111,7 @@ type MetricsSnapshot struct {
 	QueueDepth       int   `json:"queueDepth"`
 	WindowsBatched   int64 `json:"windowsBatched"`
 	BatchFlushes     int64 `json:"batchFlushes"`
+	SessionsRestored int64 `json:"sessionsRestored"`
 }
 
 // shard is one slice of the session map with its own lock and LRU order
@@ -241,6 +253,35 @@ func (m *Manager) shardFor(id string) *shard {
 // fetched from the registry (building it on first use); a full shard
 // evicts its least-recently-used session to make room.
 func (m *Manager) Create(profile string, user int64, o Opts) (*Session, error) {
+	return m.createSession(fmt.Sprintf("s-%d", m.nextID.Add(1)), profile, user, o)
+}
+
+// ErrExists marks a CreateWithID for an id already in use → 409.
+var ErrExists = errors.New("session id already exists")
+
+// CreateWithID opens a session under a caller-chosen id — the router tier
+// assigns ids so a session's placement is a pure function of the id and the
+// ring, independent of which replica minted it. The id must be non-empty,
+// at most 64 bytes, and not already in use (locally or in the state store).
+func (m *Manager) CreateWithID(id, profile string, user int64, o Opts) (*Session, error) {
+	if id == "" || len(id) > 64 {
+		return nil, fmt.Errorf("%w: session id must be 1..64 bytes", ErrInvalid)
+	}
+	if _, err := m.getLocal(id); err == nil {
+		return nil, ErrExists
+	}
+	if m.cfg.State != nil {
+		if _, _, ok, err := m.cfg.State.Load(id); err != nil {
+			return nil, err
+		} else if ok {
+			return nil, ErrExists
+		}
+	}
+	return m.createSession(id, profile, user, o)
+}
+
+// createSession is the shared create path behind Create and CreateWithID.
+func (m *Manager) createSession(id, profile string, user int64, o Opts) (*Session, error) {
 	if m.shutdown.Load() {
 		return nil, ErrShutdown
 	}
@@ -253,7 +294,6 @@ func (m *Manager) Create(profile string, user int64, o Opts) (*Session, error) {
 			return nil, err
 		}
 	}
-	id := fmt.Sprintf("s-%d", m.nextID.Add(1))
 	s, err := NewSession(id, user, model, o)
 	if err != nil {
 		return nil, err
@@ -263,24 +303,48 @@ func (m *Manager) Create(profile string, user int64, o Opts) (*Session, error) {
 			s.score = sc
 		}
 	}
+	m.install(s, false)
+	m.metrics.SessionsCreated.Add(1)
+	// Persist the slot-0 snapshot so the session is adoptable by another
+	// replica even if this one dies before the first classified round.
+	if m.cfg.State != nil {
+		if err := m.persistLocked(s, nil); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// install links a session into its shard (evicting to make room). replace
+// unlinks any same-id session WITHOUT retiring its telemetry — the incoming
+// session's restored counters already include everything the replaced stale
+// cache entry counted, so merging would double-count.
+func (m *Manager) install(s *Session, replace bool) {
 	now := m.cfg.Now().UnixNano()
-	sh := m.shardFor(id)
+	sh := m.shardFor(s.id)
 	sh.mu.Lock()
+	if replace {
+		if old, ok := sh.sessions[s.id]; ok {
+			delete(sh.sessions, old.id)
+			sh.order.Remove(old.lru)
+			old.lru = nil
+			m.active.Add(-1)
+		}
+	}
 	m.evictExpiredLocked(sh, now)
 	for len(sh.sessions) >= m.perShardCap() {
 		m.evictLRULocked(sh)
 	}
 	s.lastUsed = now
 	s.lru = sh.order.PushFront(s)
-	sh.sessions[id] = s
+	sh.sessions[s.id] = s
 	sh.mu.Unlock()
 	m.active.Add(1)
-	m.metrics.SessionsCreated.Add(1)
-	return s, nil
 }
 
-// Get returns a live session and refreshes its LRU/TTL position.
-func (m *Manager) Get(id string) (*Session, error) {
+// getLocal returns a session from this replica's memory only, refreshing its
+// LRU/TTL position. It never consults the state store.
+func (m *Manager) getLocal(id string) (*Session, error) {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -293,7 +357,115 @@ func (m *Manager) Get(id string) (*Session, error) {
 	return s, nil
 }
 
-// Delete closes a session explicitly, retiring its telemetry.
+// Get returns a live session and refreshes its LRU/TTL position. With a
+// state store configured, local memory is only a cache: Get validates it
+// against the store's version and restores the newer snapshot when the store
+// is ahead — the local copy went stale while another replica owned the
+// session. A session found only in the store is restored the same way (the
+// migration path after a shard-map change routes the session here).
+func (m *Manager) Get(id string) (*Session, error) {
+	s, lerr := m.getLocal(id)
+	if m.cfg.State == nil {
+		return s, lerr
+	}
+	blob, ver, ok, err := m.cfg.State.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// Nothing in the store. A local session without a store entry only
+		// happens after an explicit Delete raced a Get; treat it as gone.
+		return nil, ErrNotFound
+	}
+	if lerr == nil && int64(s.Slot()) >= ver {
+		return s, nil
+	}
+	return m.restore(blob)
+}
+
+// restore rebuilds a session from a stored snapshot and installs it,
+// replacing any stale local copy.
+func (m *Manager) restore(blob []byte) (*Session, error) {
+	if m.shutdown.Load() {
+		return nil, ErrShutdown
+	}
+	st, err := DecodeSessionState(blob)
+	if err != nil {
+		return nil, err
+	}
+	model, err := m.reg.Get(st.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.Quantized {
+		if err := model.EnableInt8(); err != nil {
+			return nil, err
+		}
+	}
+	s, err := newSessionFromState(st, model)
+	if err != nil {
+		return nil, err
+	}
+	if m.batchers != nil {
+		if sc := m.batchers.scorerFor(model); sc != nil {
+			s.score = sc
+		}
+	}
+	m.install(s, true)
+	m.metrics.SessionsRestored.Add(1)
+	return s, nil
+}
+
+// PersistSession writes the session's current snapshot (core state plus the
+// given stream attachment) to the state store at version = slot. A no-op
+// without a store. The serving layer calls this once per classified round,
+// after the classify and before the result is released to the client.
+func (m *Manager) PersistSession(id string, attachment []byte) error {
+	if m.cfg.State == nil {
+		return nil
+	}
+	s, err := m.getLocal(id)
+	if err != nil {
+		return err
+	}
+	return m.persistLocked(s, attachment)
+}
+
+// persistLocked encodes and stores one session snapshot. The name records
+// the invariant: the caller must be the session's single serving goroutine
+// (the round lock), so slot cannot advance between State and Put.
+func (m *Manager) persistLocked(s *Session, attachment []byte) error {
+	st := s.State(attachment)
+	blob, err := EncodeSessionState(st)
+	if err != nil {
+		return err
+	}
+	return m.cfg.State.Put(st.ID, int64(st.Slot), blob)
+}
+
+// StoredState loads and decodes a session's snapshot straight from the
+// state store (ok=false when the store has none). The stream front uses it
+// to recover its attachment when adopting a migrated session.
+func (m *Manager) StoredState(id string) (SessionState, bool, error) {
+	if m.cfg.State == nil {
+		return SessionState{}, false, nil
+	}
+	blob, _, ok, err := m.cfg.State.Load(id)
+	if err != nil || !ok {
+		return SessionState{}, false, err
+	}
+	st, err := DecodeSessionState(blob)
+	if err != nil {
+		return SessionState{}, false, err
+	}
+	return st, true, nil
+}
+
+// HasStore reports whether session state is externalized.
+func (m *Manager) HasStore() bool { return m.cfg.State != nil }
+
+// Delete closes a session explicitly, retiring its telemetry and removing
+// its stored snapshot (so no replica can resurrect it).
 func (m *Manager) Delete(id string) error {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
@@ -302,6 +474,20 @@ func (m *Manager) Delete(id string) error {
 		m.removeLocked(sh, s)
 	}
 	sh.mu.Unlock()
+	if m.cfg.State != nil {
+		stored := false
+		if !ok {
+			_, _, stored, _ = m.cfg.State.Load(id)
+		}
+		if err := m.cfg.State.Delete(id); err != nil {
+			return err
+		}
+		if !ok && !stored {
+			return ErrNotFound
+		}
+		m.metrics.SessionsClosed.Add(1)
+		return nil
+	}
 	if !ok {
 		return ErrNotFound
 	}
@@ -424,6 +610,7 @@ func (m *Manager) Snapshot() MetricsSnapshot {
 		QueueDepth:       m.queue.depth(),
 		WindowsBatched:   m.metrics.WindowsBatched.Load(),
 		BatchFlushes:     m.metrics.BatchFlushes.Load(),
+		SessionsRestored: m.metrics.SessionsRestored.Load(),
 	}
 }
 

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// storePair builds two managers (replica A and replica B) sharing one state
+// store — the in-process shape of two serving replicas behind a router.
+func storePair(t *testing.T) (*Manager, *Manager, *MemStateStore) {
+	t.Helper()
+	st := NewMemStateStore()
+	reg := tinyRegistry()
+	a := NewManager(Config{Registry: reg, Workers: 1, State: st})
+	b := NewManager(Config{Registry: reg, Workers: 1, State: st})
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, st
+}
+
+// roundInputs builds a deterministic classify round for slot i.
+func roundInputs(i int) []SensorInput {
+	return []SensorInput{
+		{Sensor: i % 3, Class: (i * 2) % 5, Confidence: 0.02 + float64(i%7)/50},
+		{Sensor: (i + 1) % 3, Class: (i * 3) % 5, Confidence: 0.03 + float64(i%5)/40},
+	}
+}
+
+// driveRound classifies one round on a manager and persists the snapshot —
+// the exact sequence the serving layer performs per round.
+func driveRound(t *testing.T, m *Manager, id string, i int) ClassifyResult {
+	t.Helper()
+	res, err := m.Classify(context.Background(), id, roundInputs(i))
+	if err != nil {
+		t.Fatalf("round %d: %v", i, err)
+	}
+	if err := m.PersistSession(id, nil); err != nil {
+		t.Fatalf("persist round %d: %v", i, err)
+	}
+	return res
+}
+
+// TestManagerMigration proves the externalized-state contract: rounds served
+// on replica A, continued on replica B after a simulated A death, classify
+// identically to the same rounds served on a single never-migrated session.
+func TestManagerMigration(t *testing.T) {
+	a, b, _ := storePair(t)
+
+	// Control: one un-migrated session sees all 12 rounds.
+	ctrl, err := a.CreateWithID("ctrl", "MHEALTH", 7, Opts{StaleLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []ClassifyResult
+	for i := 0; i < 12; i++ {
+		res, err := ctrl.Classify(roundInputs(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	// Subject: 6 rounds on A, then A "dies" and B adopts from the store.
+	if _, err := a.CreateWithID("subj", "MHEALTH", 7, Opts{StaleLimit: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		got := driveRound(t, a, "subj", i)
+		if got.Slot != want[i].Slot || got.Class != want[i].Class {
+			t.Fatalf("pre-migration round %d: got %+v want %+v", i, got, want[i])
+		}
+	}
+	s, err := b.Get("subj")
+	if err != nil {
+		t.Fatalf("B.Get after migration: %v", err)
+	}
+	if s.Slot() != 6 {
+		t.Fatalf("restored session at slot %d, want 6", s.Slot())
+	}
+	if b.Snapshot().SessionsRestored != 1 {
+		t.Fatalf("SessionsRestored = %d, want 1", b.Snapshot().SessionsRestored)
+	}
+	for i := 6; i < 12; i++ {
+		got := driveRound(t, b, "subj", i)
+		if got.Slot != want[i].Slot || got.Class != want[i].Class {
+			t.Fatalf("post-migration round %d: got %+v want %+v", i, got, want[i])
+		}
+	}
+
+	// Telemetry travelled: B's view of the session includes A's rounds.
+	tel := s.Telemetry()
+	if tel.Slots != 12 {
+		t.Fatalf("migrated telemetry slots = %d, want 12", tel.Slots)
+	}
+}
+
+// TestManagerStaleCacheRefresh proves local memory is only a cache: when the
+// store advances past a replica's in-memory copy (another replica served
+// rounds in between), Get discards the stale copy and restores — without
+// double-counting the stale copy's telemetry.
+func TestManagerStaleCacheRefresh(t *testing.T) {
+	a, b, _ := storePair(t)
+	if _, err := a.CreateWithID("x", "MHEALTH", 1, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, a, "x", 0)
+	driveRound(t, a, "x", 1)
+
+	// B adopts and advances; A's in-memory copy is now stale at slot 2.
+	if _, err := b.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, b, "x", 2)
+	driveRound(t, b, "x", 3)
+
+	s, err := a.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Slot() != 4 {
+		t.Fatalf("A served slot %d after refresh, want 4", s.Slot())
+	}
+	// Aggregated telemetry must count each round exactly once despite the
+	// session having lived (in some version) on both replicas.
+	if tel := a.Telemetry(); tel.Slots != 4 {
+		t.Fatalf("A aggregated slots = %d, want 4 (stale copy double-counted?)", tel.Slots)
+	}
+}
+
+// TestManagerEvictionResurrect proves LRU eviction with a store demotes to
+// cache eviction: the session's state survives in the store and the next Get
+// restores it.
+func TestManagerEvictionResurrect(t *testing.T) {
+	st := NewMemStateStore()
+	m := NewManager(Config{Registry: tinyRegistry(), Shards: 1, MaxSessions: 1, Workers: 1, State: st})
+	defer m.Close()
+	if _, err := m.CreateWithID("first", "MHEALTH", 1, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, m, "first", 0)
+	if _, err := m.CreateWithID("second", "MHEALTH", 2, Opts{}); err != nil {
+		t.Fatal(err) // evicts "first" from the 1-session shard
+	}
+	s, err := m.Get("first")
+	if err != nil {
+		t.Fatalf("Get after eviction: %v", err)
+	}
+	if s.Slot() != 1 {
+		t.Fatalf("resurrected at slot %d, want 1", s.Slot())
+	}
+}
+
+func TestManagerCreateWithIDConflictsAndDelete(t *testing.T) {
+	a, b, store := storePair(t)
+	if _, err := a.CreateWithID("dup", "MHEALTH", 1, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateWithID("dup", "MHEALTH", 1, Opts{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("local duplicate: err = %v, want ErrExists", err)
+	}
+	// The other replica sees the conflict through the store alone.
+	if _, err := b.CreateWithID("dup", "MHEALTH", 1, Opts{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("cross-replica duplicate: err = %v, want ErrExists", err)
+	}
+	if _, err := a.CreateWithID("", "MHEALTH", 1, Opts{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty id: err = %v, want ErrInvalid", err)
+	}
+
+	// Delete removes the stored snapshot: no replica can resurrect it.
+	if err := a.Delete("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store holds %d sessions after delete, want 0", store.Len())
+	}
+	if _, err := b.Get("dup"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: err = %v, want ErrNotFound", err)
+	}
+	// Deleting a session known only to the store (not local memory) works.
+	if _, err := a.CreateWithID("remote", "MHEALTH", 1, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("remote"); err != nil {
+		t.Fatalf("store-only delete: %v", err)
+	}
+	if err := b.Delete("remote"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: err = %v, want ErrNotFound", err)
+	}
+}

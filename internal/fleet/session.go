@@ -99,6 +99,7 @@ type Session struct {
 	id    string
 	user  int64
 	model *Model
+	opts  Opts
 
 	// score resolves raw windows to votes. Standalone sessions use the
 	// direct (unbatched) scorer; the Manager swaps in its micro-batching
@@ -136,7 +137,71 @@ func NewSession(id string, user int64, m *Model, o Opts) (*Session, error) {
 		Quorum:     o.Quorum,
 	})
 	dev.Attach(tel)
-	return &Session{id: id, user: user, model: m, score: directScorer{m}, dev: dev, tel: tel}, nil
+	return &Session{id: id, user: user, model: m, opts: o, score: directScorer{m}, dev: dev, tel: tel}, nil
+}
+
+// newSessionFromState rebuilds a session from a decoded snapshot so a
+// replica can adopt a session another replica started. The snapshot's
+// profile must match the model it is installed onto; every device field is
+// re-validated against the live geometry by host.Device.Restore.
+func newSessionFromState(st SessionState, m *Model) (*Session, error) {
+	if st.Profile != m.Name {
+		return nil, fmt.Errorf("%w: snapshot for profile %q cannot restore onto %q", ErrInvalid, st.Profile, m.Name)
+	}
+	s, err := NewSession(st.ID, st.User, m, st.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.dev.Restore(st.Device); err != nil {
+		return nil, err
+	}
+	if err := s.dev.Matrix().CopyFrom(st.Matrix); err != nil {
+		return nil, err
+	}
+	if st.Slot < 0 {
+		return nil, fmt.Errorf("%w: negative snapshot slot", ErrInvalid)
+	}
+	s.slot = st.Slot
+	s.tel.Slots = st.Counters.Slots
+	s.tel.FreshVotes = st.Counters.FreshVotes
+	s.tel.RecallVotes = st.Counters.RecallVotes
+	s.tel.AdaptationUpdates = st.Counters.AdaptationUpdates
+	s.tel.Faults.QuorumAbstentions = st.Counters.QuorumAbstentions
+	return s, nil
+}
+
+// State snapshots the session under its lock. The attachment is the stream
+// front's opaque lineage section (nil for HTTP-only sessions); fleet stores
+// it verbatim. The returned snapshot shares nothing with live session state.
+func (s *Session) State(attachment []byte) SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tot := s.tel.Totals()
+	return SessionState{
+		ID:      s.id,
+		User:    s.user,
+		Profile: s.model.Name,
+		Opts:    s.opts,
+		Slot:    s.slot,
+		Device:  s.dev.State(),
+		Matrix:  s.dev.Matrix().Clone(),
+		Counters: SessionCounters{
+			Slots:             tot.Slots,
+			FreshVotes:        tot.FreshVotes,
+			RecallVotes:       tot.RecallVotes,
+			AdaptationUpdates: tot.AdaptationUpdates,
+			QuorumAbstentions: tot.Faults.QuorumAbstentions,
+		},
+		Attachment: append([]byte(nil), attachment...),
+	}
+}
+
+// Slot returns the number of classify rounds served so far — the version a
+// snapshot of this session would carry.
+func (s *Session) Slot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slot
 }
 
 // ID returns the session id.

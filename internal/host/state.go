@@ -1,0 +1,111 @@
+package host
+
+import "fmt"
+
+// Portable device state. The serving layer snapshots a host device so a
+// wearer's session can migrate between serving replicas: the recall store
+// and anticipation are exactly the per-user state the paper's host keeps
+// (§III-B), and they must travel with the user or a migrated session would
+// restart from the factory state mid-day.
+
+// RecallState is one exported recall-store entry (the last classification a
+// sensor reported). Valid is false for sensors that have never reported.
+type RecallState struct {
+	Class      int     `json:"class"`
+	Confidence float64 `json:"confidence"`
+	Slot       int     `json:"slot"`
+	Valid      bool    `json:"valid"`
+}
+
+// DeviceState is the portable snapshot of a host device: everything Observe,
+// NoteFinal and Adapt mutate except the confidence matrix, which the session
+// layer snapshots separately (the device does not own its storage).
+type DeviceState struct {
+	// Recall holds one entry per sensor, indexed by sensor id.
+	Recall []RecallState `json:"recall"`
+	// Anticipated is the anticipated activity class (-1 before any result).
+	Anticipated int `json:"anticipated"`
+	// LastFresh is the most recent received classification.
+	LastFresh RecallState `json:"lastFresh"`
+	// Received / AdaptsApplied mirror the device counters.
+	Received      int `json:"received"`
+	AdaptsApplied int `json:"adaptsApplied"`
+}
+
+// State snapshots the device's mutable state (matrix excluded; see
+// DeviceState).
+func (d *Device) State() DeviceState {
+	st := DeviceState{
+		Recall:        make([]RecallState, len(d.last)),
+		Anticipated:   d.anticipated,
+		LastFresh:     exportEntry(d.lastFresh),
+		Received:      d.received,
+		AdaptsApplied: d.adaptsApplied,
+	}
+	for i, e := range d.last {
+		st.Recall[i] = exportEntry(e)
+	}
+	return st
+}
+
+// Restore overwrites the device's mutable state with a snapshot taken from a
+// device of the same geometry. Every field is validated against the device
+// config first — a snapshot from a mismatched deployment must fail loudly,
+// not classify from out-of-range recall entries.
+func (d *Device) Restore(st DeviceState) error {
+	if len(st.Recall) != d.cfg.Sensors {
+		return fmt.Errorf("host: snapshot has %d recall entries, device has %d sensors",
+			len(st.Recall), d.cfg.Sensors)
+	}
+	for i, e := range st.Recall {
+		if err := d.checkEntry(e); err != nil {
+			return fmt.Errorf("host: recall entry %d: %w", i, err)
+		}
+	}
+	if err := d.checkEntry(st.LastFresh); err != nil {
+		return fmt.Errorf("host: last-fresh entry: %w", err)
+	}
+	if st.Anticipated < -1 || st.Anticipated >= d.cfg.Classes {
+		return fmt.Errorf("host: anticipated class %d outside [-1,%d)", st.Anticipated, d.cfg.Classes)
+	}
+	if st.Received < 0 || st.AdaptsApplied < 0 {
+		return fmt.Errorf("host: negative snapshot counters")
+	}
+	for i, e := range st.Recall {
+		d.last[i] = importEntry(e)
+	}
+	d.anticipated = st.Anticipated
+	d.lastFresh = importEntry(st.LastFresh)
+	d.received = st.Received
+	d.adaptsApplied = st.AdaptsApplied
+	return nil
+}
+
+// checkEntry validates one snapshot entry against the device geometry.
+// Invalid (never-reported) entries only need zeroed-out content.
+func (d *Device) checkEntry(e RecallState) error {
+	if !e.Valid {
+		if e.Class != 0 || e.Confidence != 0 || e.Slot != 0 {
+			return fmt.Errorf("invalid entry carries non-zero content")
+		}
+		return nil
+	}
+	if e.Class < 0 || e.Class >= d.cfg.Classes {
+		return fmt.Errorf("class %d outside [0,%d)", e.Class, d.cfg.Classes)
+	}
+	if e.Confidence < 0 {
+		return fmt.Errorf("negative confidence %v", e.Confidence)
+	}
+	if e.Slot < 0 {
+		return fmt.Errorf("negative slot %d", e.Slot)
+	}
+	return nil
+}
+
+func exportEntry(e recallEntry) RecallState {
+	return RecallState{Class: e.class, Confidence: e.confidence, Slot: e.slot, Valid: e.valid}
+}
+
+func importEntry(e RecallState) recallEntry {
+	return recallEntry{class: e.Class, confidence: e.Confidence, slot: e.Slot, valid: e.Valid}
+}

@@ -1,0 +1,93 @@
+package host
+
+import (
+	"reflect"
+	"testing"
+
+	"origin/internal/ensemble"
+	"origin/internal/sensor"
+)
+
+func deviceForState() *Device {
+	return New(Config{
+		Sensors: 3, Classes: 4, Recall: true,
+		Agg: AggWeighted, Matrix: ensemble.NewMatrix(3, 4), Adaptive: true,
+	})
+}
+
+// TestStateRoundTrip drives a device through some rounds, snapshots it,
+// restores onto a fresh device, and requires the two to classify identically
+// from then on — the migration contract.
+func TestStateRoundTrip(t *testing.T) {
+	d := deviceForState()
+	for slot := 0; slot < 5; slot++ {
+		d.Observe(&sensor.Result{Sensor: slot % 3, Class: (slot * 2) % 4, Confidence: 0.03 + float64(slot)/100, Slot: slot})
+		final := d.Classify(slot)
+		d.NoteFinal(final)
+		d.Adapt(slot, final)
+	}
+	st := d.State()
+
+	fresh := deviceForState()
+	if err := fresh.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := fresh.Matrix().CopyFrom(d.Matrix()); err != nil {
+		t.Fatalf("matrix copy: %v", err)
+	}
+	if fresh.Received() != d.Received() || fresh.AdaptsApplied() != d.AdaptsApplied() ||
+		fresh.Anticipated() != d.Anticipated() {
+		t.Fatalf("counters differ after restore: %+v vs %+v", fresh.State(), st)
+	}
+	if !reflect.DeepEqual(fresh.State(), st) {
+		t.Fatalf("restored state %+v != snapshot %+v", fresh.State(), st)
+	}
+	// Identical continuation: same inputs, same outputs, on both devices.
+	for slot := 5; slot < 9; slot++ {
+		d.Observe(&sensor.Result{Sensor: 1, Class: slot % 4, Confidence: 0.02, Slot: slot})
+		fresh.Observe(&sensor.Result{Sensor: 1, Class: slot % 4, Confidence: 0.02, Slot: slot})
+		a, b := d.Classify(slot), fresh.Classify(slot)
+		if a != b {
+			t.Fatalf("slot %d: original classified %d, restored %d", slot, a, b)
+		}
+		d.NoteFinal(a)
+		fresh.NoteFinal(b)
+		d.Adapt(slot, a)
+		fresh.Adapt(slot, b)
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	d := deviceForState()
+	good := d.State()
+	cases := map[string]DeviceState{
+		"wrong sensor count": {Recall: make([]RecallState, 2), Anticipated: -1},
+		"class out of range": func() DeviceState {
+			st := good
+			st.Recall = append([]RecallState(nil), st.Recall...)
+			st.Recall[0] = RecallState{Class: 9, Valid: true}
+			return st
+		}(),
+		"torn invalid entry": func() DeviceState {
+			st := good
+			st.Recall = append([]RecallState(nil), st.Recall...)
+			st.Recall[1] = RecallState{Class: 1, Valid: false}
+			return st
+		}(),
+		"bad anticipated": func() DeviceState {
+			st := good
+			st.Anticipated = 4
+			return st
+		}(),
+		"negative counters": func() DeviceState {
+			st := good
+			st.Received = -1
+			return st
+		}(),
+	}
+	for name, st := range cases {
+		if err := deviceForState().Restore(st); err == nil {
+			t.Errorf("%s: Restore accepted a bad snapshot", name)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"origin/internal/serve"
@@ -105,6 +106,27 @@ type Config struct {
 	// Traces records every session's classification sequence in the
 	// report (the replay tests need it; large runs may skip it).
 	Traces bool
+	// OnRound, when non-nil, is called after every successfully classified
+	// round with the run-wide completed-round total (1-based, counted
+	// across all users). Shard-chaos drills use it to trigger a replica
+	// kill at a deterministic point in the run's progress. Called from
+	// user goroutines; must be cheap and safe for concurrent use.
+	OnRound func(total int)
+
+	// rounds is the run-wide completed-round counter behind OnRound. It is
+	// a pointer so Config stays copyable; Run allocates it.
+	rounds *atomic.Int64
+}
+
+// noteRound records one successfully classified round and fires OnRound.
+func (c *Config) noteRound() {
+	if c.rounds == nil {
+		return
+	}
+	n := c.rounds.Add(1)
+	if c.OnRound != nil {
+		c.OnRound(int(n))
+	}
 }
 
 // SessionTrace is one user's served classification sequence.
@@ -304,6 +326,7 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Users <= 0 || cfg.Requests <= 0 {
 		return nil, fmt.Errorf("loadgen: users and requests must be positive")
 	}
+	cfg.rounds = new(atomic.Int64)
 	if cfg.SensorsPerRequest <= 0 {
 		cfg.SensorsPerRequest = 1
 	}
@@ -426,20 +449,46 @@ func Run(cfg Config) (*Report, error) {
 	return rep, err
 }
 
+// createSession opens user i's session, retrying transient failures
+// (network errors and 5xx answers) with a short linear backoff. Session
+// creation is safe to retry blindly: loadgen never picks the session id,
+// so a retry after a lost response simply mints a fresh session and the
+// orphan (if the lost create actually landed) idles until eviction. The
+// shard-chaos drills rely on this — a create that races a replica kill
+// must re-route, not fail the run.
+func createSession(cfg *Config, i int) (serve.CreateSessionResponse, error) {
+	create := serve.CreateSessionRequest{
+		Profile: cfg.Profile, User: UserID(i),
+		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
+	}
+	const attempts = 5
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(time.Duration(a) * 100 * time.Millisecond)
+		}
+		var created serve.CreateSessionResponse
+		status, _, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
+		if err == nil && status == http.StatusCreated {
+			return created, nil
+		}
+		lastErr = fmt.Errorf("loadgen: user %d create session: status %d err %v", i, status, err)
+		if err == nil && status < 500 {
+			return serve.CreateSessionResponse{}, lastErr // client error: retrying cannot help
+		}
+	}
+	return serve.CreateSessionResponse{}, lastErr
+}
+
 // runUser is one closed-loop user: create a session, then send every
 // round in order, retrying shed (429) rounds so the stream the session
 // processes is always the complete, ordered stream.
 func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
 	var r userResult
-	create := serve.CreateSessionRequest{
-		Profile: cfg.Profile, User: UserID(i),
-		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
-	}
-	var created serve.CreateSessionResponse
-	status, _, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
-	if err != nil || status != http.StatusCreated {
+	created, err := createSession(cfg, i)
+	if err != nil {
 		r.errs++
-		r.err = fmt.Errorf("loadgen: user %d create session: status %d err %v", i, status, err)
+		r.err = err
 		return r
 	}
 	r.trace = SessionTrace{User: UserID(i), ID: created.ID}
@@ -475,6 +524,7 @@ func runUser(cfg *Config, profile *synth.Profile, i int) userResult {
 				return r
 			}
 			r.ok++
+			cfg.noteRound()
 			r.latencies = append(r.latencies, lat)
 			r.trace.Classes = append(r.trace.Classes, res.Class)
 			if res.Class == st.Truth(k) {

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"origin/internal/comm"
-	"origin/internal/serve"
 	"origin/internal/synth"
 )
 
@@ -426,14 +425,9 @@ func runStreamUser(cfg *Config, profile *synth.Profile, i int) (r userResult) {
 		r.err = err
 		return r
 	}
-	create := serve.CreateSessionRequest{
-		Profile: cfg.Profile, User: UserID(i),
-		StaleLimit: cfg.StaleLimit, Quorum: cfg.Quorum, Freeze: cfg.Freeze,
-	}
-	var created serve.CreateSessionResponse
-	status, _, err := postJSON(cfg.Client, cfg.BaseURL+"/v1/sessions", create, &created)
-	if err != nil || status != http.StatusCreated {
-		return fail(fmt.Errorf("loadgen: user %d create session: status %d err %v", i, status, err))
+	created, err := createSession(cfg, i)
+	if err != nil {
+		return fail(err)
 	}
 	r.trace = SessionTrace{User: UserID(i), ID: created.ID}
 
@@ -476,6 +470,7 @@ func runStreamUser(cfg *Config, profile *synth.Profile, i int) (r userResult) {
 		}
 		lat := time.Since(t0)
 		r.ok++
+		cfg.noteRound()
 		r.latencies = append(r.latencies, lat)
 		r.trace.Classes = append(r.trace.Classes, class)
 		if class == fs.Truth(k) {

@@ -103,18 +103,25 @@ type SLOPhaseMeasured struct {
 // no resume was ever attempted, and Availability is uptime-weighted across
 // stream lineages (1 − downtime/wall), 1 when no stream lineage exists.
 type SLOMeasured struct {
-	DurationS         float64            `json:"durationS"`
-	OK                int                `json:"ok"`
-	Errors            int                `json:"errors"`
-	Shed              int                `json:"shed"`
-	Reconnects        int                `json:"reconnects"`
-	ResumeAttempts    int                `json:"resumeAttempts"`
-	ResumeMisses      int                `json:"resumeMisses"`
-	DoubleClassifies  int                `json:"doubleClassifies"`
-	ResumeSuccessRate float64            `json:"resumeSuccessRate"`
-	Availability      float64            `json:"availability"`
-	ShedRate          float64            `json:"shedRate"`
-	Phases            []SLOPhaseMeasured `json:"phases"`
+	DurationS         float64 `json:"durationS"`
+	OK                int     `json:"ok"`
+	Errors            int     `json:"errors"`
+	Shed              int     `json:"shed"`
+	Reconnects        int     `json:"reconnects"`
+	ResumeAttempts    int     `json:"resumeAttempts"`
+	ResumeMisses      int     `json:"resumeMisses"`
+	DoubleClassifies  int     `json:"doubleClassifies"`
+	ResumeSuccessRate float64 `json:"resumeSuccessRate"`
+	Availability      float64 `json:"availability"`
+	ShedRate          float64 `json:"shedRate"`
+	// Shard topology tallies (sharded runs only; zero on single-node days).
+	// They live in the measured half because which sessions migrate depends
+	// on wall-clock timing — the canonical section stays topology-blind by
+	// construction, which is exactly the property the shard gate asserts.
+	ShardKills      int                `json:"shardKills,omitempty"`
+	ShardJoins      int                `json:"shardJoins,omitempty"`
+	MigratedResumes int64              `json:"migratedResumes,omitempty"`
+	Phases          []SLOPhaseMeasured `json:"phases"`
 }
 
 // SLOReport pairs the two halves.

@@ -17,17 +17,36 @@ import (
 	"origin/internal/synth"
 )
 
+// ShardCluster is the topology handle sharded scenarios drive — satisfied
+// by *cluster.Cluster (declared here, not imported, so single-node scenario
+// users never link the cluster package).
+type ShardCluster interface {
+	// KillReplica crashes a replica abruptly; LeaveReplica decommissions it
+	// gracefully. AddReplica starts and joins a fresh one, returning its name.
+	KillReplica(name string) error
+	LeaveReplica(name string) error
+	AddReplica() (string, error)
+	// Replicas lists live members; Owner maps a session id to its ring owner.
+	Replicas() []string
+	Owner(session string) string
+	// MigratedResumes counts sessions resumed across a shard boundary from
+	// the shared state store since the cluster started.
+	MigratedResumes() int64
+}
+
 // Handles wires the engine to a live serving stack. BaseURL is required;
 // StreamAddr is required when any lineage uses the stream front; Chaos and
 // Manager are required only when the spec opens chaos or pressure windows
 // (mid-run toggles need the in-process handles — an external server cannot
-// have its faults flipped remotely).
+// have its faults flipped remotely); Cluster is required only when the spec
+// has shard ops.
 type Handles struct {
 	BaseURL    string
 	StreamAddr string
 	Client     *http.Client
 	Chaos      *fault.ChaosListener
 	Manager    *fleet.Manager
+	Cluster    ShardCluster
 }
 
 // LineageTrace is one lineage's canonical outcome: its full classification
@@ -76,6 +95,10 @@ type engine struct {
 	pl   *plan
 	h    Handles
 	lins []*liveLineage // indexed by lineage index; nil until born
+
+	// Shard-topology tallies (measured section).
+	shardKills int
+	shardJoins int
 }
 
 // Run executes the scenario against the serving stack behind h and
@@ -98,6 +121,9 @@ func Run(spec *Spec, h Handles) (*Result, error) {
 	if spec.HasPressure() && h.Manager == nil {
 		return nil, fmt.Errorf("scenario: spec %q opens pressure windows but Handles.Manager is nil", spec.Name)
 	}
+	if spec.HasShardOps() && h.Cluster == nil {
+		return nil, fmt.Errorf("scenario: spec %q changes shard topology but Handles.Cluster is nil", spec.Name)
+	}
 	pl := buildPlan(spec)
 	if spec.StreamFraction > 0 && h.StreamAddr == "" {
 		for _, lp := range pl.lineages {
@@ -114,15 +140,23 @@ func Run(spec *Spec, h Handles) (*Result, error) {
 
 	start := time.Now()
 	measured := obs.SLOMeasured{ResumeSuccessRate: 1, Availability: 1}
+	var migrated0 int64
+	if h.Cluster != nil {
+		migrated0 = h.Cluster.MigratedResumes()
+	}
 	for p := range spec.Phases {
 		ph := &spec.Phases[p]
 
-		// Phase-entry actions, in a fixed order: retire, windows, drift,
-		// roam, cold-start.
+		// Phase-entry actions, in a fixed order: retire, shard ops, windows,
+		// drift, roam, cold-start. Shard ops run before cold-starts so
+		// sessions born this phase are placed on the new topology.
 		for _, l := range e.lins {
 			if l != nil && l.lp.Die == p {
 				e.retire(l)
 			}
+		}
+		if err := e.applyShardOps(ph, p); err != nil {
+			return nil, err
 		}
 		if h.Chaos != nil {
 			cc := fault.ConnChaos{}
@@ -234,6 +268,11 @@ func Run(spec *Spec, h Handles) (*Result, error) {
 		}
 	}
 	measured.DurationS = time.Since(start).Seconds()
+	measured.ShardKills = e.shardKills
+	measured.ShardJoins = e.shardJoins
+	if h.Cluster != nil {
+		measured.MigratedResumes = h.Cluster.MigratedResumes() - migrated0
+	}
 	if measured.ResumeAttempts > 0 {
 		measured.ResumeSuccessRate = float64(measured.ResumeAttempts-measured.ResumeMisses) / float64(measured.ResumeAttempts)
 	}
@@ -282,6 +321,59 @@ func (e *engine) coldStart(lp lineagePlan, profile *synth.Profile, p int) (*live
 		}
 	}
 	return l, nil
+}
+
+// applyShardOps applies phase p's topology changes against the cluster
+// handle. Kills and leaves refuse to take the last replica down (the day
+// must stay servable); joins count toward shardJoins even when the spec
+// kills in the same phase.
+func (e *engine) applyShardOps(ph *Phase, p int) error {
+	for _, op := range ph.ShardOps {
+		switch op.Op {
+		case "kill", "leave":
+			if len(e.h.Cluster.Replicas()) <= 1 {
+				return fmt.Errorf("scenario: phase %q: refusing to %s the last replica", ph.Name, op.Op)
+			}
+			name := op.Replica
+			if name == "" {
+				name = e.victim(p)
+			}
+			var err error
+			if op.Op == "kill" {
+				err = e.h.Cluster.KillReplica(name)
+			} else {
+				err = e.h.Cluster.LeaveReplica(name)
+			}
+			if err != nil {
+				return fmt.Errorf("scenario: phase %q: %w", ph.Name, err)
+			}
+			e.shardKills++
+		case "join":
+			if _, err := e.h.Cluster.AddReplica(); err != nil {
+				return fmt.Errorf("scenario: phase %q: %w", ph.Name, err)
+			}
+			e.shardJoins++
+		}
+	}
+	return nil
+}
+
+// victim picks the replica whose death provably migrates a session: the ring
+// owner of the oldest lineage alive in phase p. Falls back to the first
+// member when no lineage survives into the phase (a kill before any session
+// exists still exercises membership change).
+func (e *engine) victim(p int) string {
+	for _, idx := range e.pl.live[p] {
+		if l := e.lins[idx]; l != nil && l.sessID != "" {
+			if owner := e.h.Cluster.Owner(l.sessID); owner != "" {
+				return owner
+			}
+		}
+	}
+	if reps := e.h.Cluster.Replicas(); len(reps) > 0 {
+		return reps[0]
+	}
+	return ""
 }
 
 // retire deletes a lineage's session server-side and drops its connection.

@@ -85,6 +85,25 @@ func (w *PressureWindow) pressure() fleet.Pressure {
 	}
 }
 
+// ShardOp is one shard-topology change applied at phase entry when the
+// scenario runs against a sharded cluster (Handles.Cluster). Op is one of:
+//
+//   - "kill":  crash a replica abruptly — no drain, no goodbye persist. With
+//     Replica empty the engine kills the replica owning the oldest live
+//     lineage's session, guaranteeing at least one mid-stream migration.
+//   - "leave": decommission a replica gracefully (drain, then stop).
+//     Replica selection follows the kill rule when empty.
+//   - "join":  start a fresh replica and join it to the ring (Replica must
+//     be empty — the cluster names its own members).
+//
+// Topology is wall-clock machinery: shard ops never touch the canonical
+// section, and a sharded day must replay byte-identical to the single-node
+// serial replayer — that invariance is the shard gate.
+type ShardOp struct {
+	Op      string `json:"op"`
+	Replica string `json:"replica,omitempty"`
+}
+
 // Phase is one segment of the simulated day.
 type Phase struct {
 	Name string `json:"name"`
@@ -119,6 +138,9 @@ type Phase struct {
 	// Chaos/Pressure open fault and stress windows for the phase's duration.
 	Chaos    *ChaosWindow    `json:"chaos,omitempty"`
 	Pressure *PressureWindow `json:"pressure,omitempty"`
+	// ShardOps are shard-topology changes (kill/leave/join) applied at phase
+	// entry; they require a sharded cluster handle (Handles.Cluster).
+	ShardOps []ShardOp `json:"shardOps,omitempty"`
 }
 
 // Spec is a complete declarative scenario.
@@ -233,6 +255,17 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("scenario: phase %q pressure fields must be non-negative", ph.Name)
 			}
 		}
+		for _, op := range ph.ShardOps {
+			switch op.Op {
+			case "kill", "leave":
+			case "join":
+				if op.Replica != "" {
+					return fmt.Errorf("scenario: phase %q: join op must not name a replica (the cluster names its members)", ph.Name)
+				}
+			default:
+				return fmt.Errorf("scenario: phase %q: unknown shard op %q (want kill, leave or join)", ph.Name, op.Op)
+			}
+		}
 	}
 	return nil
 }
@@ -251,6 +284,16 @@ func (s *Spec) HasChaos() bool {
 func (s *Spec) HasPressure() bool {
 	for i := range s.Phases {
 		if s.Phases[i].Pressure != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// HasShardOps reports whether any phase changes shard topology.
+func (s *Spec) HasShardOps() bool {
+	for i := range s.Phases {
+		if len(s.Phases[i].ShardOps) > 0 {
 			return true
 		}
 	}
@@ -350,6 +393,39 @@ func CalmScenario(profileName string, seed int64) (*Spec, error) {
 	}
 	if _, err := profileByName(profileName); err != nil {
 		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ShardScenario is the built-in shard-chaos day: every lineage on the stream
+// front (so every migration crosses the resume machinery), a steady opening
+// phase, a mid-day replica crash, a fresh replica joining with churned
+// population, and a settle phase. No connection chaos and no pressure — the
+// only adversary is topology, which keeps the gate's blame assignment sharp:
+// any divergence from serial replay is the sharding layer's fault. Run it
+// against a cluster of at least two replicas (three in CI, so a kill still
+// leaves a quorum of survivors to rebalance across).
+func ShardScenario(profileName string, seed int64) (*Spec, error) {
+	if _, err := profileByName(profileName); err != nil {
+		return nil, err
+	}
+	s := &Spec{
+		Name:           "shard",
+		Profile:        profileName,
+		Seed:           seed,
+		StreamFraction: 1,
+		ReconnectMax:   16, // severed splices redial through ownership moves
+		Phases: []Phase{
+			{Name: "steady", Users: 4, Rounds: 8},
+			{Name: "shard-crash", Users: 4, Rounds: 8,
+				ShardOps: []ShardOp{{Op: "kill"}}},
+			{Name: "shard-join", Users: 5, Rounds: 8, Churn: 1,
+				ShardOps: []ShardOp{{Op: "join"}}},
+			{Name: "settle", Users: 4, Rounds: 8, Churn: 1},
+		},
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -16,6 +16,11 @@ import "origin/internal/fleet"
 
 // CreateSessionRequest opens a session for one wearer.
 type CreateSessionRequest struct {
+	// ID, when set, is the caller-chosen session id (1..64 bytes). The
+	// router tier assigns ids so that a session's shard placement is a pure
+	// function of the id; direct clients normally leave it empty and take
+	// the server-minted id. Conflicts fail with 409.
+	ID string `json:"id,omitempty"`
 	// Profile is the dataset profile ("MHEALTH" or "PAMAP2").
 	Profile string `json:"profile"`
 	// User is the wearer id (any int64; used for bookkeeping and synth

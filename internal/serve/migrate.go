@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"origin/internal/synth"
+)
+
+// Stream-lineage attachment codec. The fleet session snapshot carries an
+// opaque attachment section for the serving front; the stream server uses it
+// to externalize everything a resume needs that lives outside the session
+// proper: the resume token, the last classified result (lost-push recovery),
+// and the window assembler (per-sensor rings, sequence numbers, and the
+// in-progress round order). With the attachment in the state store, a client
+// whose replica died can present its resume token to whichever replica the
+// router now picks and continue mid-window — the cross-replica analogue of
+// the in-replica parked-state resume.
+//
+// The encoding mirrors the fleet codec conventions: magic + uvarint version,
+// uvarint-length strings, zigzag ints, raw IEEE-754 float bits.
+
+var attachMagic = [4]byte{'O', 'S', 'A', '1'}
+
+const (
+	attachVersion    = 1
+	attachHasLast    = 0x01
+	attachMaxToken   = 64
+	attachMaxSensors = 4096
+	attachMaxWindow  = 1 << 16
+)
+
+// encodeStreamAttachment snapshots one stream lineage. The caller must be
+// the connection goroutine that owns st (no lock is taken).
+func encodeStreamAttachment(st *streamState) []byte {
+	a := st.asm
+	b := append([]byte(nil), attachMagic[:]...)
+	b = binary.AppendUvarint(b, attachVersion)
+	b = binary.AppendUvarint(b, uint64(len(st.token)))
+	b = append(b, st.token...)
+	var flags byte
+	if st.hasLast {
+		flags |= attachHasLast
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(st.lastSlot))
+	b = appendAttachZigzag(b, int64(st.lastClass))
+	b = binary.AppendUvarint(b, uint64(len(a.sensors)))
+	b = binary.AppendUvarint(b, uint64(a.window))
+	for i := range a.sensors {
+		ss := &a.sensors[i]
+		b = binary.AppendUvarint(b, uint64(ss.nextSeq))
+		b = binary.AppendUvarint(b, uint64(ss.filled))
+		if ss.ring == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, 1)
+		for _, v := range ss.ring {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(a.round)))
+	for _, sensor := range a.round {
+		b = binary.AppendUvarint(b, uint64(sensor))
+	}
+	return b
+}
+
+// decodeStreamAttachment rebuilds a parked-equivalent stream state from an
+// attachment, validating it against the live model geometry. The returned
+// state has no owner; attach installs one.
+func decodeStreamAttachment(blob []byte, session string, sensors, window int) (*streamState, error) {
+	if len(blob) < len(attachMagic) || string(blob[:4]) != string(attachMagic[:]) {
+		return nil, fmt.Errorf("serve: bad stream attachment magic")
+	}
+	d := &attachReader{b: blob, off: 4}
+	if v := d.uvarint(); d.err != nil || v != attachVersion {
+		return nil, fmt.Errorf("serve: unsupported stream attachment version")
+	}
+	token := d.str(attachMaxToken)
+	flags := d.byte()
+	lastSlot := d.count(math.MaxInt32)
+	lastClass := int(d.zigzag())
+	ns := d.count(attachMaxSensors)
+	win := d.count(attachMaxWindow)
+	if d.err != nil || token == "" || flags&^byte(attachHasLast) != 0 {
+		return nil, fmt.Errorf("serve: malformed stream attachment header")
+	}
+	if ns != sensors || win != window {
+		return nil, fmt.Errorf("serve: stream attachment geometry %dx%d, model wants %dx%d", ns, win, sensors, window)
+	}
+	if lastClass < -1 {
+		return nil, fmt.Errorf("serve: stream attachment last class %d", lastClass)
+	}
+	asm := NewStreamAssembler(sensors, window)
+	for i := 0; i < sensors; i++ {
+		ss := &asm.sensors[i]
+		ss.nextSeq = d.count(math.MaxInt32)
+		ss.filled = d.count(window)
+		hasRing := d.byte()
+		if d.err != nil || hasRing > 1 {
+			return nil, fmt.Errorf("serve: malformed stream attachment sensor %d", i)
+		}
+		if hasRing == 1 {
+			ss.ring = make([]float64, synth.Channels*window)
+			for j := range ss.ring {
+				ss.ring[j] = d.f64()
+			}
+		} else if ss.filled != 0 || ss.nextSeq != 0 {
+			return nil, fmt.Errorf("serve: stream attachment sensor %d has progress but no ring", i)
+		}
+	}
+	nr := d.count(sensors)
+	for i := 0; i < nr; i++ {
+		sensor := d.count(sensors - 1)
+		if d.err != nil {
+			break
+		}
+		if asm.inRound[sensor] {
+			return nil, fmt.Errorf("serve: stream attachment repeats sensor %d in round order", sensor)
+		}
+		asm.inRound[sensor] = true
+		asm.round = append(asm.round, sensor)
+	}
+	if d.err != nil || d.off != len(d.b) {
+		return nil, fmt.Errorf("serve: malformed stream attachment")
+	}
+	return &streamState{
+		session:   session,
+		token:     token,
+		asm:       asm,
+		lastSlot:  lastSlot,
+		lastClass: lastClass,
+		hasLast:   flags&attachHasLast != 0,
+	}, nil
+}
+
+func appendAttachZigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64((v<<1)^(v>>63)))
+}
+
+// attachReader is a sticky-error cursor (the fleet codec keeps its own; the
+// pattern is small enough that sharing would couple the packages for 40
+// lines).
+type attachReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *attachReader) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated")
+	}
+}
+
+func (d *attachReader) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *attachReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *attachReader) count(max int) int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(max) {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *attachReader) zigzag() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (d *attachReader) str(max int) string {
+	n := d.count(max)
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	v := string(d.b[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
+func (d *attachReader) f64() float64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}

@@ -81,7 +81,20 @@ func newResumeCache(ttl time.Duration, capacity int, metrics *Metrics, now func(
 // connection still owns the state (a half-open predecessor the client
 // outran), it is closed and waited for first, so state hand-off is strictly
 // serialized.
-func (r *resumeCache) attach(session, token string, sensors, window int, conn net.Conn) (st *streamState, resumed bool, err error) {
+//
+// restore, when non-nil, is the cross-replica fallback: on a token that
+// matches no local parked state, it may rebuild the state from the shared
+// state store (returning nil when the store has nothing usable). A hit
+// counts as StreamStoreResumes — the "migrated resume" the shard drill
+// gates on — and replaces whatever stale local entry existed.
+//
+// curSlot is the session core's next slot (from the manager, which has
+// already synced with the state store). A locally parked lineage whose last
+// classified slot is behind curSlot-1 is stale — the session advanced on
+// another replica while parked here, the shape rebalancing produces when
+// ownership bounces back — and must be replaced from the store, never
+// resumed.
+func (r *resumeCache) attach(session, token string, sensors, window, curSlot int, conn net.Conn, restore func() *streamState) (st *streamState, resumed bool, err error) {
 	for {
 		r.mu.Lock()
 		r.sweepLocked()
@@ -103,7 +116,22 @@ func (r *resumeCache) attach(session, token string, sensors, window int, conn ne
 				r.entries[session] = st
 				return st, false, nil
 			}
-			if e == nil || e.token != token {
+			stale := e != nil && e.token == token && e.hasLast && e.lastSlot < curSlot-1
+			if e == nil || e.token != token || stale {
+				if restore != nil {
+					if st = restore(); st != nil && st.token == token {
+						if e != nil {
+							r.removeLocked(e)
+						}
+						st.owner = conn
+						st.done = make(chan struct{})
+						r.entries[session] = st
+						if r.metrics != nil {
+							r.metrics.StreamStoreResumes.Add(1)
+						}
+						return st, true, nil
+					}
+				}
 				if r.metrics != nil {
 					r.metrics.StreamResumeMisses.Add(1)
 				}

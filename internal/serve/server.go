@@ -75,6 +75,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, fleet.ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, fleet.ErrExists):
+		status = http.StatusConflict
 	case errors.Is(err, fleet.ErrSaturated):
 		// Shed load: tell the client to back off briefly instead of
 		// letting the queue grow without bound.
@@ -98,12 +100,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %v", fleet.ErrInvalid, err))
 		return
 	}
-	sess, err := s.cfg.Manager.Create(req.Profile, req.User, fleet.Opts{
-		StaleLimit: req.StaleLimit, Quorum: req.Quorum, Freeze: req.Freeze,
-	})
+	opts := fleet.Opts{StaleLimit: req.StaleLimit, Quorum: req.Quorum, Freeze: req.Freeze}
+	var sess *fleet.Session
+	var err error
+	if req.ID != "" {
+		sess, err = s.cfg.Manager.CreateWithID(req.ID, req.Profile, req.User, opts)
+	} else {
+		sess, err = s.cfg.Manager.Create(req.Profile, req.User, opts)
+	}
 	if err != nil {
 		// An unknown profile is a client mistake, not a server fault.
-		if !errors.Is(err, fleet.ErrShutdown) && !errors.Is(err, fleet.ErrInvalid) {
+		if !errors.Is(err, fleet.ErrShutdown) && !errors.Is(err, fleet.ErrInvalid) &&
+			!errors.Is(err, fleet.ErrExists) {
 			err = fmt.Errorf("%w: %v", fleet.ErrInvalid, err)
 		}
 		writeError(w, err)
@@ -187,6 +195,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// With externalized state, the round is durable before the client sees
+	// its result: once the response ships, any replica can continue from
+	// slot+1. HTTP rounds carry no stream lineage, so the attachment is nil.
+	if s.cfg.Manager.HasStore() {
+		if err := s.cfg.Manager.PersistSession(r.PathValue("id"), nil); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -218,6 +235,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("queue_depth", "Queued (not yet started) classify jobs.", int64(snap.QueueDepth))
 	counter("windows_batched_total", "Windows scored through the micro-batcher.", snap.WindowsBatched)
 	counter("batch_flushes_total", "Micro-batch inference flushes.", snap.BatchFlushes)
+	counter("sessions_restored_total", "Sessions rebuilt from the shared state store (migrations absorbed).", snap.SessionsRestored)
 	if m := s.cfg.Metrics; m != nil {
 		counter("parse_nanos_total", "Request-decode time (JSON or stream frames) in nanoseconds.", m.ParseNanos.Load())
 		counter("parse_rounds_total", "Classify rounds whose request decode was timed.", m.ParseRounds.Load())
@@ -228,6 +246,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("stream_rounds_total", "Classify rounds completed over the stream front.", m.StreamRounds.Load())
 		counter("stream_resumes_total", "Stream sessions resumed after a disconnect.", m.StreamResumes.Load())
 		counter("stream_resume_misses_total", "Hello-with-token lookups that found no resumable state.", m.StreamResumeMisses.Load())
+		counter("stream_store_resumes_total", "Stream resumes served from the shared state store (migrated sessions).", m.StreamStoreResumes.Load())
 		counter("stream_parked_total", "Stream states parked on disconnect awaiting resume.", m.StreamParked.Load())
 		counter("stream_resume_expired_total", "Parked stream states dropped by TTL or cap.", m.StreamExpired.Load())
 		counter("stream_result_flushes_total", "Downlink writes carrying one or more coalesced result frames.", m.StreamResultFlushes.Load())

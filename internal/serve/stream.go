@@ -56,6 +56,10 @@ type Metrics struct {
 	StreamResumeMisses atomic.Int64
 	StreamParked       atomic.Int64
 	StreamExpired      atomic.Int64
+	// StreamStoreResumes counts resumes served from the shared state store
+	// rather than this replica's parked cache — each one is a session that
+	// migrated here from another replica (shard-map change or peer death).
+	StreamStoreResumes atomic.Int64
 
 	// Downlink instrumentation: result-frame flushes (consecutive results
 	// coalesce into one write) and heartbeats emitted.
@@ -278,7 +282,25 @@ func (s *StreamServer) handle(conn net.Conn) {
 		s.reject(w, comm.StreamErrSession, fmt.Sprintf("session %q: %v", sanitizeID(hello.Session), err))
 		return
 	}
-	st, resumed, err := s.states.attach(hello.Session, hello.Token, sess.Model().Sensors(), sess.Model().Window, conn)
+	// Cross-replica resume fallback: when the client's token matches no
+	// local parked state, rebuild the lineage from the shared state store.
+	// Manager.Get above already restored the session core if the store was
+	// ahead, so the attachment and the session agree on the round counter.
+	var restore func() *streamState
+	if s.cfg.Manager.HasStore() {
+		restore = func() *streamState {
+			snap, ok, err := s.cfg.Manager.StoredState(hello.Session)
+			if err != nil || !ok || len(snap.Attachment) == 0 {
+				return nil
+			}
+			rs, err := decodeStreamAttachment(snap.Attachment, hello.Session, sess.Model().Sensors(), sess.Model().Window)
+			if err != nil {
+				return nil
+			}
+			return rs
+		}
+	}
+	st, resumed, err := s.states.attach(hello.Session, hello.Token, sess.Model().Sensors(), sess.Model().Window, sess.Info().Slots, conn, restore)
 	if err != nil {
 		s.reject(w, comm.StreamErrResume, err.Error())
 		return
@@ -287,6 +309,18 @@ func (s *StreamServer) handle(conn net.Conn) {
 	// flipped off on the paths where it is torn.
 	park := true
 	defer func() { s.states.release(st, park) }()
+
+	// Persist the lineage (token included) before the ack hands the token to
+	// the client: if this replica dies immediately after the ack, the token
+	// must already be in the store or the client's resume would miss
+	// fleet-wide. One write per (re)connect, not per frame.
+	if s.cfg.Manager.HasStore() {
+		if err := s.cfg.Manager.PersistSession(hello.Session, encodeStreamAttachment(st)); err != nil {
+			park = false
+			s.reject(w, comm.StreamErrInternal, "session state persist failed")
+			return
+		}
+	}
 
 	ack := comm.HelloAck{
 		Resumed:  resumed,
@@ -412,6 +446,17 @@ func (s *StreamServer) handle(conn net.Conn) {
 			// Record the result before attempting the push: if the write
 			// fails, the parked state carries it to the resume hello-ack.
 			st.lastSlot, st.lastClass, st.hasLast = res.Slot, res.Class, true
+			// Persist the combined snapshot (session core + lineage) after
+			// the classify and before the result reaches the client: once the
+			// client sees slot k, the store must be able to serve slot k+1 —
+			// the crash-recovery contract the shard drill gates on.
+			if s.cfg.Manager.HasStore() {
+				if err := s.cfg.Manager.PersistSession(hello.Session, encodeStreamAttachment(st)); err != nil {
+					park = false
+					s.reject(w, comm.StreamErrInternal, "session state persist failed")
+					return
+				}
+			}
 			if s.cfg.Metrics != nil {
 				s.cfg.Metrics.StreamRounds.Add(1)
 			}
